@@ -1,0 +1,172 @@
+(* The benchmark harness: regenerates every table and figure of the paper's
+   evaluation (see DESIGN.md's per-experiment index), plus a bechamel
+   micro-benchmark suite over the experiment kernels.
+
+   Usage:
+     bench/main.exe                 run every experiment (quick GA config)
+     bench/main.exe table1 fig10    run selected experiments
+     bench/main.exe --full ...      paper-scale GA (11 generations x 50)
+     bench/main.exe fig10 --eager   CERE-style capture ablation
+     bench/main.exe bechamel        micro-benchmarks via bechamel *)
+
+module E = Repro_core.Experiments
+module Ga = Repro_search.Ga
+
+let run_fig3 () =
+  (* the full 10^4-evaluation sweep is cheap: measurements are synthesized
+     on top of the five real per-size executions *)
+  E.print_fig3 (E.fig3 ())
+
+let quick_apps_note cfg =
+  if cfg == Ga.quick_config then
+    print_endline
+      "(quick GA config: 6 generations x 14 genomes; pass --full for the \
+       paper's 11 x 50)"
+
+let run_all ~cfg ~eager names =
+  let sep title =
+    Printf.printf "\n============ %s ============\n%!" title
+  in
+  let want name = names = [] || List.mem name names in
+  if want "table1" then begin
+    sep "Table 1";
+    E.print_table1 ()
+  end;
+  if want "fig1" then begin
+    sep "Figure 1";
+    E.print_fig1 (E.fig1 ())
+  end;
+  if want "fig2" then begin
+    sep "Figure 2";
+    E.print_fig2 (E.fig2 ())
+  end;
+  if want "fig3" then begin
+    sep "Figure 3";
+    run_fig3 ()
+  end;
+  if want "fig7" then begin
+    sep "Figure 7";
+    quick_apps_note cfg;
+    E.print_fig7 (E.fig7 ~cfg ())
+  end;
+  if want "fig8" then begin
+    sep "Figure 8";
+    E.print_fig8 (E.fig8 ())
+  end;
+  if want "fig9" then begin
+    sep "Figure 9";
+    quick_apps_note cfg;
+    E.print_fig9 (E.fig9 ~cfg ())
+  end;
+  if want "fig10" then begin
+    sep (if eager then "Figure 10 (eager/CERE ablation)" else "Figure 10");
+    E.print_fig10 (E.fig10 ~eager ())
+  end;
+  if want "fig11" then begin
+    sep "Figure 11";
+    E.print_fig11 (E.fig11 ())
+  end
+
+(* ------------------------- bechamel suite -------------------------- *)
+
+let bechamel_suite () =
+  let open Bechamel in
+  let app name = Option.get (Repro_apps.Registry.find name) in
+  let fft = app "FFT" in
+  let dx = Repro_apps.Registry.dexfile fft in
+  let mids =
+    Array.to_list
+      (Array.map (fun m -> m.Repro_dex.Bytecode.cm_id)
+         dx.Repro_dex.Bytecode.dx_methods)
+  in
+  let capture = Option.get (Repro_core.Pipeline.capture_once fft) in
+  let env = Repro_core.Pipeline.make_eval_env fft capture in
+  let rng = Repro_util.Rng.create 5 in
+  let tests =
+    [ (* Table 1 / app substrate: one full interpreted online run *)
+      Test.make ~name:"table1:online-run-interpreted"
+        (Staged.stage (fun () ->
+             let ctx = Repro_apps.Registry.build_ctx fft in
+             Repro_vm.Interp.install ctx;
+             ignore (Repro_vm.Interp.run_main ctx)));
+      (* Figures 1/2 kernel: compile one random sequence *)
+      Test.make ~name:"fig1:compile-random-sequence"
+        (Staged.stage (fun () ->
+             let g = Repro_search.Genome.random rng in
+             match
+               Repro_lir.Compile.llvm_binary dx
+                 (Repro_search.Genome.to_spec g) env.Repro_core.Pipeline.region
+             with
+             | (_ : Repro_lir.Binary.t) -> ()
+             | exception Repro_lir.Compile.Compile_error _ -> ()
+             | exception Repro_lir.Compile.Compile_timeout -> ()));
+      (* Figure 3 kernel: one noisy online evaluation draw *)
+      Test.make ~name:"fig3:online-noise-draw"
+        (Staged.stage (fun () ->
+             ignore (Repro_util.Rng.lognormal rng ~mu:0.0 ~sigma:0.1)));
+      (* Figure 7 kernel: one verified replay of the Android region code *)
+      Test.make ~name:"fig7:verified-replay"
+        (Staged.stage (fun () ->
+             let b = Repro_lir.Compile.android_binary dx mids in
+             ignore
+               (Repro_capture.Verify.check dx
+                  capture.Repro_core.Pipeline.snapshot
+                  env.Repro_core.Pipeline.vmap b)));
+      (* Figure 8 kernel: classify a profile *)
+      Test.make ~name:"fig8:breakdown"
+        (Staged.stage (fun () ->
+             let online = Repro_core.Pipeline.online_run fft in
+             ignore
+               (Repro_profiler.Breakdown.of_profile dx
+                  ~region:env.Repro_core.Pipeline.region
+                  online.Repro_core.Pipeline.profile)));
+      (* Figure 9 kernel: one GA genome evaluation *)
+      Test.make ~name:"fig9:genome-evaluation"
+        (Staged.stage (fun () ->
+             ignore
+               (Repro_core.Pipeline.evaluate_genome env
+                  (Repro_search.Genome.random rng))));
+      (* Figure 10 kernel: one capture *)
+      Test.make ~name:"fig10:capture"
+        (Staged.stage (fun () ->
+             ignore (Repro_core.Pipeline.capture_once fft)));
+      (* Figure 11 kernel: snapshot accounting *)
+      Test.make ~name:"fig11:snapshot-size"
+        (Staged.stage (fun () ->
+             ignore
+               (Repro_capture.Snapshot.program_bytes
+                  capture.Repro_core.Pipeline.snapshot)));
+    ]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:50 ~quota:(Time.second 0.5) () in
+  let raw =
+    Benchmark.all cfg [ instance ]
+      (Test.make_grouped ~name:"experiments" tests)
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols instance raw in
+  let rows = Hashtbl.fold (fun name r acc -> (name, r) :: acc) results [] in
+  List.iter
+    (fun (name, r) ->
+       match Analyze.OLS.estimates r with
+       | Some (e :: _) -> Printf.printf "bechamel %-42s %12.0f ns/run\n%!" name e
+       | Some [] | None -> Printf.printf "bechamel %-42s (no estimate)\n%!" name)
+    (List.sort compare rows)
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let full = List.mem "--full" args in
+  let eager = List.mem "--eager" args in
+  let names =
+    List.filter (fun a -> not (String.length a > 1 && a.[0] = '-')) args
+  in
+  let cfg = if full then Ga.default_config else Ga.quick_config in
+  if names = [ "bechamel" ] then bechamel_suite ()
+  else begin
+    run_all ~cfg ~eager names;
+    print_newline ();
+    print_endline "done.  See EXPERIMENTS.md for paper-vs-measured notes."
+  end

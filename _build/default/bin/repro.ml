@@ -1,0 +1,281 @@
+(* Command-line interface to the reproduction: inspect apps, run them under
+   different code versions, capture and replay hot regions, run the full
+   replay-based iterative compilation, and regenerate the paper's
+   tables/figures. *)
+
+open Cmdliner
+module App = Repro_apps.Registry
+module B = Repro_dex.Bytecode
+module Pipeline = Repro_core.Pipeline
+module E = Repro_core.Experiments
+module Ga = Repro_search.Ga
+
+let app_conv =
+  let parse s =
+    match App.find s with
+    | Some app -> Ok app
+    | None ->
+      Error (`Msg (Printf.sprintf "unknown app %S; try `repro list'" s))
+  in
+  Arg.conv (parse, fun fmt app -> Format.pp_print_string fmt app.App.name)
+
+let app_arg =
+  Arg.(required & pos 0 (some app_conv) None & info [] ~docv:"APP")
+
+let seed_arg =
+  Arg.(value & opt int 7 & info [ "seed" ] ~doc:"Deterministic seed.")
+
+let full_arg =
+  Arg.(value & flag
+       & info [ "full" ]
+         ~doc:"Use the paper-scale GA (11 generations x 50 genomes).")
+
+(* ------------------------------ list ------------------------------- *)
+
+let list_cmd =
+  let run () = E.print_table1 () in
+  Cmd.v (Cmd.info "list" ~doc:"List the 21 evaluation applications (Table 1).")
+    Term.(const run $ const ())
+
+(* ------------------------------ passes ----------------------------- *)
+
+let passes_cmd =
+  let run () =
+    Repro_util.Table.print
+      ~aligns:[ Repro_util.Table.Left; Repro_util.Table.Left;
+                Repro_util.Table.Left; Repro_util.Table.Left ]
+      ~header:[ "Pass"; "Safe"; "Parameters"; "Description" ]
+      (List.map
+         (fun p ->
+            [ p.Repro_lir.Passes.name;
+              (if p.Repro_lir.Passes.safe then "yes" else "NO");
+              String.concat ", "
+                (List.map
+                   (fun pr ->
+                      Printf.sprintf "%s:%d..%d" pr.Repro_lir.Passes.pname
+                        pr.Repro_lir.Passes.pmin pr.Repro_lir.Passes.pmax)
+                   p.Repro_lir.Passes.params);
+              p.Repro_lir.Passes.descr ])
+         Repro_lir.Passes.catalog)
+  in
+  Cmd.v
+    (Cmd.info "passes"
+       ~doc:"List the LLVM-style optimization pass catalog (the GA's space).")
+    Term.(const run $ const ())
+
+(* ------------------------------- run ------------------------------- *)
+
+let version_arg =
+  Arg.(value & opt (enum [ ("android", `Android); ("interp", `Interp);
+                           ("o0", `O0); ("o3", `O3) ]) `Android
+       & info [ "code" ] ~doc:"Code version: android, interp, o0 or o3.")
+
+let run_cmd =
+  let run app version seed =
+    let dx = App.dexfile app in
+    let mids =
+      Array.to_list (Array.map (fun m -> m.B.cm_id) dx.B.dx_methods)
+    in
+    let online =
+      match version with
+      | `Interp ->
+        let ctx = App.build_ctx ~seed app in
+        Repro_vm.Interp.install ctx;
+        let ret = Repro_vm.Interp.run_main ctx in
+        { Pipeline.ctx; profile = Repro_profiler.Profile.of_ctx ctx;
+          cycles = ctx.Repro_vm.Exec_ctx.cycles; ret }
+      | `Android -> Pipeline.online_run ~seed app
+      | `O0 ->
+        Pipeline.online_run ~seed
+          ~binary:(Repro_lir.Compile.llvm_binary dx Repro_lir.Pipelines.o0 mids)
+          app
+      | `O3 ->
+        Pipeline.online_run ~seed
+          ~binary:(Repro_lir.Compile.llvm_binary dx Repro_lir.Pipelines.o3 mids)
+          app
+    in
+    Printf.printf "%s: %d cycles (%.2f simulated ms), result=%s, gc runs=%d\n"
+      app.App.name online.Pipeline.cycles
+      (Repro_vm.Exec_ctx.elapsed_ms online.Pipeline.ctx)
+      (match online.Pipeline.ret with
+       | Some v -> Repro_vm.Value.to_string v
+       | None -> "()")
+      online.Pipeline.ctx.Repro_vm.Exec_ctx.gc_count;
+    let io = Buffer.contents online.Pipeline.ctx.Repro_vm.Exec_ctx.io in
+    Printf.printf "io: %d bytes%s\n" (String.length io)
+      (if String.length io < 200 then ":\n" ^ io else " (truncated)")
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run an application online under a code version.")
+    Term.(const run $ app_arg $ version_arg $ seed_arg)
+
+(* ------------------------------- hot ------------------------------- *)
+
+let hot_cmd =
+  let run app seed =
+    let online = Pipeline.online_run ~seed app in
+    let dx = App.dexfile app in
+    match Pipeline.hot_region_of app online with
+    | None -> print_endline "no replayable hot region found"
+    | Some hot ->
+      let region = Pipeline.region_methods app hot in
+      Printf.printf "hot region: %s\n"
+        (B.method_full_name dx.B.dx_methods.(hot));
+      Printf.printf "compilable region (%d methods): %s\n" (List.length region)
+        (String.concat ", "
+           (List.map
+              (fun mid -> B.method_full_name dx.B.dx_methods.(mid))
+              region));
+      print_endline "code breakdown (Figure 8 for this app):";
+      List.iter
+        (fun (c, f) ->
+           Printf.printf "  %-14s %s\n"
+             (Repro_profiler.Breakdown.category_name c)
+             (Repro_util.Table.fmt_pct f))
+        (Repro_profiler.Breakdown.of_profile dx ~region online.Pipeline.profile)
+  in
+  Cmd.v
+    (Cmd.info "hot"
+       ~doc:"Profile an app and show its hot region (Algorithm 1).")
+    Term.(const run $ app_arg $ seed_arg)
+
+(* ----------------------------- capture ----------------------------- *)
+
+let capture_cmd =
+  let run app seed =
+    match Pipeline.capture_once ~seed app with
+    | None -> print_endline "no replayable hot region: nothing to capture"
+    | Some cap ->
+      let o = cap.Pipeline.overhead in
+      let snap = cap.Pipeline.snapshot in
+      Printf.printf "captured %s (method %s) with args [%s]\n"
+        app.App.name
+        (B.method_full_name
+           (App.dexfile app).B.dx_methods.(cap.Pipeline.hot_mid))
+        (String.concat "; "
+           (List.map Repro_vm.Value.to_string
+              snap.Repro_capture.Snapshot.snap_args));
+      Printf.printf
+        "overhead: fork %.1f ms, preparation %.1f ms, faults+CoW %.1f ms \
+         (total %.1f ms; %d faults, %d CoW, %d map entries, %d protected)\n"
+        o.Repro_capture.Capture.fork_ms o.Repro_capture.Capture.preparation_ms
+        o.Repro_capture.Capture.fault_cow_ms
+        (Repro_capture.Capture.total_ms o) o.Repro_capture.Capture.n_faults
+        o.Repro_capture.Capture.n_cow o.Repro_capture.Capture.n_map_entries
+        o.Repro_capture.Capture.n_protected;
+      Printf.printf
+        "storage: %.2f MB program-specific, %.2f MB boot-common, %d code files logged\n"
+        (float_of_int (Repro_capture.Snapshot.program_bytes snap) /. 1048576.)
+        (float_of_int (Repro_capture.Snapshot.common_bytes snap) /. 1048576.)
+        (List.length snap.Repro_capture.Snapshot.snap_code_files)
+  in
+  Cmd.v
+    (Cmd.info "capture"
+       ~doc:"Capture the app's hot region during an online run (Figure 4).")
+    Term.(const run $ app_arg $ seed_arg)
+
+(* ----------------------------- optimize ---------------------------- *)
+
+let optimize_cmd =
+  let run app seed full =
+    let cfg = if full then Ga.default_config else Ga.quick_config in
+    match Pipeline.capture_once ~seed app with
+    | None -> print_endline "no replayable hot region: nothing to optimize"
+    | Some cap ->
+      let opt = Pipeline.optimize ~seed:(seed + 13) ~cfg app cap in
+      Printf.printf "replay baselines: Android %.3f ms, LLVM -O3 %.3f ms\n"
+        opt.Pipeline.env.Pipeline.android_region_ms
+        opt.Pipeline.env.Pipeline.o3_region_ms;
+      Printf.printf "GA: %d evaluations%s\n" opt.Pipeline.ga.Ga.evaluations
+        (match opt.Pipeline.ga.Ga.halted_early with
+         | Some r -> " (halted early: " ^ r ^ ")"
+         | None -> "");
+      (match opt.Pipeline.best_genome, opt.Pipeline.ga.Ga.best with
+       | Some g, Some (_, fit) ->
+         Printf.printf "best replay fitness: %.3f ms\nbest genome: %s\n" fit
+           (Repro_search.Genome.to_string g)
+       | _ -> print_endline "no verified binary found");
+      let sp = Pipeline.measure_speedups app opt in
+      Printf.printf
+        "whole-program speedup over Android: LLVM -O3 %.2fx, LLVM GA %.2fx\n"
+        sp.Pipeline.o3_speedup sp.Pipeline.ga_speedup
+  in
+  Cmd.v
+    (Cmd.info "optimize"
+       ~doc:"Run the full replay-based iterative compilation (Figure 6).")
+    Term.(const run $ app_arg $ seed_arg $ full_arg)
+
+(* ---------------------------- experiment --------------------------- *)
+
+let experiment_cmd =
+  let names =
+    [ "table1"; "fig1"; "fig2"; "fig3"; "fig7"; "fig8"; "fig9"; "fig10";
+      "fig11" ]
+  in
+  let name_arg =
+    Arg.(required
+         & pos 0 (some (enum (List.map (fun n -> (n, n)) names))) None
+         & info [] ~docv:"EXPERIMENT")
+  in
+  let eager_arg =
+    Arg.(value & flag
+         & info [ "eager" ]
+           ~doc:"Figure 10 ablation: CERE-style eager page copying.")
+  in
+  let run name full eager =
+    let cfg = if full then Ga.default_config else Ga.quick_config in
+    match name with
+    | "table1" -> E.print_table1 ()
+    | "fig1" -> E.print_fig1 (E.fig1 ())
+    | "fig2" -> E.print_fig2 (E.fig2 ())
+    | "fig3" -> E.print_fig3 (E.fig3 ())
+    | "fig7" -> E.print_fig7 (E.fig7 ~cfg ())
+    | "fig8" -> E.print_fig8 (E.fig8 ())
+    | "fig9" -> E.print_fig9 (E.fig9 ~cfg ())
+    | "fig10" -> E.print_fig10 (E.fig10 ~eager ())
+    | "fig11" -> E.print_fig11 (E.fig11 ())
+    | _ -> assert false
+  in
+  Cmd.v
+    (Cmd.info "experiment"
+       ~doc:"Regenerate one of the paper's tables or figures.")
+    Term.(const run $ name_arg $ full_arg $ eager_arg)
+
+(* ----------------------------- disasm ------------------------------ *)
+
+let disasm_cmd =
+  let method_arg =
+    Arg.(value & opt (some string) None
+         & info [ "method" ] ~docv:"Class.method"
+           ~doc:"Limit output to one method.")
+  in
+  let run app meth =
+    let dx = App.dexfile app in
+    match meth with
+    | None -> print_string (Repro_dex.Disasm.dexfile dx)
+    | Some qualified ->
+      (match String.index_opt qualified '.' with
+       | None -> prerr_endline "expected Class.method"
+       | Some i ->
+         let cls = String.sub qualified 0 i in
+         let name =
+           String.sub qualified (i + 1) (String.length qualified - i - 1)
+         in
+         (match B.find_method dx cls name with
+          | Some m -> print_string (Repro_dex.Disasm.method_ dx m)
+          | None -> prerr_endline "no such method"))
+  in
+  Cmd.v
+    (Cmd.info "disasm" ~doc:"Disassemble an app's bytecode.")
+    Term.(const run $ app_arg $ method_arg)
+
+let () =
+  let doc =
+    "Replay-based offline iterative compilation for interactive \
+     applications (PLDI 2021 reproduction)"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "repro" ~doc)
+          [ list_cmd; passes_cmd; run_cmd; hot_cmd; capture_cmd; optimize_cmd;
+            experiment_cmd; disasm_cmd ]))

@@ -1,0 +1,1 @@
+examples/autotune_fft.ml: Array Hashtbl List Option Printf Repro_apps Repro_capture Repro_core Repro_search Sys

@@ -1,0 +1,1 @@
+examples/capture_replay_game.ml: Array List Option Printf Repro_apps Repro_capture Repro_core Repro_dex Repro_lir Repro_vm String

@@ -1,0 +1,1 @@
+examples/capture_replay_game.mli:

@@ -1,0 +1,1 @@
+examples/custom_app.ml: Array Printf Repro_apps Repro_core Repro_dex Repro_search Repro_vm

@@ -1,0 +1,1 @@
+examples/pass_ablation.ml: Array List Option Printf Repro_apps Repro_capture Repro_core Repro_lir Repro_vm Sys

@@ -1,0 +1,1 @@
+examples/pass_ablation.mli:

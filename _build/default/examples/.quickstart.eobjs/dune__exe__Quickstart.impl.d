@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Option Printf Repro_capture Repro_dex Repro_lir Repro_vm

@@ -1,0 +1,1 @@
+lib/apps/interactive.ml: Scimark

@@ -1,0 +1,1 @@
+lib/apps/registry.ml: Art Hashtbl Interactive List Repro_dex Repro_vm Scimark

@@ -1,0 +1,1 @@
+lib/apps/registry.mli: Repro_dex Repro_vm

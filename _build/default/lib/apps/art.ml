@@ -1,0 +1,302 @@
+(* The "Art" benchmark set (Table 1): programs used by Google and third
+   parties to evaluate the Android compiler, ported to MiniDex. *)
+
+let lcg = Scimark.lcg
+
+let sieve = {|
+class Sieve {
+  static int primes(bool[] flags) {
+    int n = flags.length;
+    for (int i = 0; i < n; i = i + 1) { flags[i] = true; }
+    int count = 0;
+    for (int i = 2; i < n; i = i + 1) {
+      if (flags[i]) {
+        count = count + 1;
+        for (int k = i + i; k < n; k = k + i) { flags[k] = false; }
+      }
+    }
+    return count;
+  }
+}
+class Main {
+  static int size = 16384;
+  static int rounds = 4;
+  static int main() {
+    int count = 0;
+    bool[] flags = new bool[size];
+    for (int r = 0; r < rounds; r = r + 1) {
+      count = Sieve.primes(flags);
+      Sys.print(count);
+    }
+    return count;
+  }
+}
+|}
+
+let bubblesort = lcg ^ {|
+class BubbleSort {
+  static int sort(int[] a) {
+    int n = a.length;
+    for (int i = 0; i < n - 1; i = i + 1) {
+      for (int j = 0; j < n - 1 - i; j = j + 1) {
+        if (a[j] > a[j + 1]) {
+          int t = a[j];
+          a[j] = a[j + 1];
+          a[j + 1] = t;
+        }
+      }
+    }
+    return a[0] + a[n / 2] + a[n - 1];
+  }
+}
+class Main {
+  static int size = 220;
+  static int rounds = 4;
+  static int main() {
+    int check = 0;
+    for (int r = 0; r < rounds; r = r + 1) {
+      int[] a = new int[size];
+      for (int i = 0; i < size; i = i + 1) { a[i] = Lcg.next() % 100000; }
+      check = BubbleSort.sort(a);
+      Sys.print(check);
+    }
+    return check;
+  }
+}
+|}
+
+let selectionsort = lcg ^ {|
+class SelectionSort {
+  static int sort(int[] a) {
+    int n = a.length;
+    for (int i = 0; i < n - 1; i = i + 1) {
+      int min = i;
+      for (int j = i + 1; j < n; j = j + 1) {
+        if (a[j] < a[min]) { min = j; }
+      }
+      int t = a[i];
+      a[i] = a[min];
+      a[min] = t;
+    }
+    return a[0] + a[n / 2] + a[n - 1];
+  }
+}
+class Main {
+  static int size = 260;
+  static int rounds = 4;
+  static int main() {
+    int check = 0;
+    for (int r = 0; r < rounds; r = r + 1) {
+      int[] a = new int[size];
+      for (int i = 0; i < size; i = i + 1) { a[i] = Lcg.next() % 100000; }
+      check = SelectionSort.sort(a);
+      Sys.print(check);
+    }
+    return check;
+  }
+}
+|}
+
+let linpack = lcg ^ {|
+class Linpack {
+  static void daxpy(int n, float da, float[] dx, int xoff, float[] dy, int yoff) {
+    if (da == 0.0) { return; }
+    for (int i = 0; i < n; i = i + 1) {
+      dy[yoff + i] = dy[yoff + i] + da * dx[xoff + i];
+    }
+  }
+  static float gefa(float[] a, int lda, int n) {
+    float norm = 0.0;
+    for (int k = 0; k < n - 1; k = k + 1) {
+      int col = k * lda;
+      int pivot = k;
+      float vmax = Math.abs(a[col + k]);
+      for (int i = k + 1; i < n; i = i + 1) {
+        float v = Math.abs(a[col + i]);
+        if (v > vmax) { vmax = v; pivot = i; }
+      }
+      if (a[col + pivot] != 0.0) {
+        if (pivot != k) {
+          float t = a[col + pivot];
+          a[col + pivot] = a[col + k];
+          a[col + k] = t;
+        }
+        float recp = 0.0 - 1.0 / a[col + k];
+        for (int i = k + 1; i < n; i = i + 1) {
+          a[col + i] = a[col + i] * recp;
+        }
+        for (int j = k + 1; j < n; j = j + 1) {
+          int cj = j * lda;
+          float t = a[cj + pivot];
+          if (pivot != k) {
+            a[cj + pivot] = a[cj + k];
+            a[cj + k] = t;
+          }
+          daxpy(n - k - 1, t, a, col + k + 1, a, cj + k + 1);
+        }
+        norm = norm + vmax;
+      }
+    }
+    return norm;
+  }
+}
+class Main {
+  static int n = 40;
+  static int rounds = 4;
+  static int main() {
+    float acc = 0.0;
+    for (int r = 0; r < rounds; r = r + 1) {
+      float[] a = new float[n * n];
+      for (int i = 0; i < a.length; i = i + 1) { a[i] = Lcg.nextFloat() - 0.5; }
+      acc = acc + Linpack.gefa(a, n, n);
+      Sys.print((int) (acc * 100.0));
+    }
+    return (int) (acc * 100.0);
+  }
+}
+|}
+
+let fibonacci_iter = {|
+class Fib {
+  static int iter(int n) {
+    int a = 0;
+    int b = 1;
+    for (int i = 0; i < n; i = i + 1) {
+      int t = a + b;
+      a = b;
+      b = t;
+    }
+    return a;
+  }
+  static int run(int n, int reps) {
+    int s = 0;
+    for (int i = 0; i < reps; i = i + 1) { s = s + Fib.iter(n) % 1000003; }
+    return s;
+  }
+}
+class Main {
+  static int rounds = 4;
+  static int main() {
+    int s = 0;
+    for (int r = 0; r < rounds; r = r + 1) {
+      s = Fib.run(60, 900);
+      Sys.print(s);
+    }
+    return s;
+  }
+}
+|}
+
+let fibonacci_recv = {|
+class Fib {
+  static int rec(int n) {
+    if (n < 2) { return n; }
+    return rec(n - 1) + rec(n - 2);
+  }
+  static int run(int n) { return Fib.rec(n); }
+}
+class Main {
+  static int rounds = 4;
+  static int main() {
+    int s = 0;
+    for (int r = 0; r < rounds; r = r + 1) {
+      s = Fib.run(19);
+      Sys.print(s);
+    }
+    return s;
+  }
+}
+|}
+
+(* Dhrystone's record/array/branch mix: record assignments through object
+   references, enumeration switches, character-buffer comparisons. *)
+let dhrystone = lcg ^ {|
+class Record {
+  Record next;
+  int discr;
+  int enumComp;
+  int intComp;
+  int[] chars;
+  void init() {
+    chars = new int[30];
+    for (int i = 0; i < 30; i = i + 1) { chars[i] = 65 + i % 26; }
+  }
+}
+class Dhry {
+  static int proc1(Record r) {
+    Record n = r.next;
+    n.intComp = r.intComp;
+    n.discr = r.discr;
+    n.enumComp = proc6(r.enumComp);
+    if (n.discr == 0) {
+      n.intComp = 6;
+      n.enumComp = proc6(n.enumComp);
+    } else {
+      n.intComp = n.intComp + 10;
+    }
+    return n.intComp;
+  }
+  static int proc6(int e) {
+    if (e == 0) { return 2; }
+    if (e == 1) { return 0; }
+    if (e == 2) { return 1; }
+    return 3;
+  }
+  static int func2(int[] s1, int[] s2) {
+    int idx = 1;
+    while (idx <= 1) {
+      if (s1[idx] == s2[idx + 1]) { idx = idx + 1; }
+      else { return idx + 100; }
+    }
+    int sum = 0;
+    for (int i = 0; i < s1.length && i < s2.length; i = i + 1) {
+      if (s1[i] == s2[i]) { sum = sum + 1; }
+    }
+    return sum;
+  }
+  static int run(Record a, Record b, int loops) {
+    int check = 0;
+    for (int i = 0; i < loops; i = i + 1) {
+      check = check + proc1(a);
+      check = check + func2(a.chars, b.chars);
+      int[] arr = new int[16];
+      for (int k = 0; k < 16; k = k + 1) { arr[k] = k * 3 + check % 7; }
+      check = check + arr[(check % 16 + 16) % 16];
+    }
+    return check;
+  }
+}
+class Validate {
+  static int records(Record a, Record b, int reps) {
+    int s = 0;
+    try {
+      for (int r = 0; r < reps; r = r + 1) {
+        for (int i = 0; i < a.chars.length; i = i + 1) {
+          s = s + a.chars[i] - b.chars[i] + r;
+        }
+      }
+      if (s < 0 - 1000000) { throw 3; }
+    } catch (int e) { s = e; }
+    return s;
+  }
+}
+class Main {
+  static int loops = 1200;
+  static int rounds = 4;
+  static int main() {
+    Record a = new Record();
+    Record b = new Record();
+    a.next = b;
+    b.next = a;
+    a.discr = 0;
+    a.intComp = 40;
+    a.enumComp = 2;
+    int check = 0;
+    for (int r = 0; r < rounds; r = r + 1) {
+      check = Dhry.run(a, b, loops) + Validate.records(a, b, 12) % 2;
+      Sys.print(check);
+    }
+    return check;
+  }
+}
+|}

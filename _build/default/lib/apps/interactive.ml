@@ -1,0 +1,712 @@
+(* The nine interactive applications of Table 1, modelled as MiniDex
+   programs with the same structure as the real apps: an outer event loop
+   doing rendering (JNI draw calls) and input (non-deterministic), around a
+   pure, replayable computational kernel — the AI move search, the board
+   evaluation, the odds calculator — which is what the capture mechanism
+   targets.  Kernels lean on virtual dispatch where the real apps do
+   (strategy/heuristic objects), giving the replay-profile-driven
+   devirtualization something to find. *)
+
+let lcg = Scimark.lcg
+
+(* Conway's Game of Life (MaterialLife). *)
+let materiallife = lcg ^ {|
+class Life {
+  static int step(bool[] grid, bool[] next, int w, int h) {
+    int alive = 0;
+    for (int y = 0; y < h; y = y + 1) {
+      for (int x = 0; x < w; x = x + 1) {
+        int n = 0;
+        for (int dy = 0 - 1; dy <= 1; dy = dy + 1) {
+          for (int dx = 0 - 1; dx <= 1; dx = dx + 1) {
+            if (dx != 0 || dy != 0) {
+              int nx = (x + dx + w) % w;
+              int ny = (y + dy + h) % h;
+              if (grid[ny * w + nx]) { n = n + 1; }
+            }
+          }
+        }
+        bool cell = grid[y * w + x];
+        if (cell && (n == 2 || n == 3)) { next[y * w + x] = true; }
+        else if (!cell && n == 3) { next[y * w + x] = true; }
+        else { next[y * w + x] = false; }
+        if (next[y * w + x]) { alive = alive + 1; }
+      }
+    }
+    for (int i = 0; i < grid.length; i = i + 1) { grid[i] = next[i]; }
+    return alive;
+  }
+  static int generation(bool[] grid, bool[] next, int w, int h, int steps) {
+    int alive = 0;
+    for (int s = 0; s < steps; s = s + 1) { alive = Life.step(grid, next, w, h); }
+    return alive;
+  }
+}
+class Census {
+  static int tally(bool[] grid, int gen) {
+    int s = 0;
+    try {
+      for (int i = 0; i < grid.length; i = i + 1) {
+        if (grid[i]) { s = s + 1; }
+      }
+      if (s > grid.length) { throw 2; }
+    } catch (int e) { s = e; }
+    return s + gen;
+  }
+}
+class Main {
+  static int w = 64;
+  static int h = 48;
+  static int frames = 3;
+  static int main() {
+    bool[] grid = new bool[w * h];
+    bool[] next = new bool[w * h];
+    for (int i = 0; i < grid.length; i = i + 1) {
+      grid[i] = Sys.rand(100) < 35;
+    }
+    int alive = 0;
+    for (int f = 0; f < frames; f = f + 1) {
+      alive = Life.generation(grid, next, w, h, 3) + Census.tally(grid, f) % 2;
+      for (int y = 0; y < h; y = y + 1) {
+        for (int x = 0; x < w; x = x + 1) {
+          int c = 0;
+          if (grid[y * w + x]) { c = 1; }
+          Sys.draw(x, y, c);
+        }
+      }
+    }
+    return alive;
+  }
+}
+|}
+
+(* Connect four (4inaRow): negamax with a large history/score table that
+   dominates the capture's memory footprint (the paper's 41 MB outlier). *)
+let fourinarow = lcg ^ {|
+class Board {
+  int[] cells;
+  int[] heights;
+  void init() {
+    cells = new int[7 * 6];
+    heights = new int[7];
+  }
+  bool canPlay(int col) { return heights[col] < 6; }
+  void play(int col, int player) {
+    cells[heights[col] * 7 + col] = player;
+    heights[col] = heights[col] + 1;
+  }
+  void undo(int col) {
+    heights[col] = heights[col] - 1;
+    cells[heights[col] * 7 + col] = 0;
+  }
+  int lineScore(int player) {
+    int score = 0;
+    for (int y = 0; y < 6; y = y + 1) {
+      for (int x = 0; x < 4; x = x + 1) {
+        int run = 0;
+        for (int k = 0; k < 4; k = k + 1) {
+          if (cells[y * 7 + x + k] == player) { run = run + 1; }
+        }
+        score = score + run * run;
+      }
+    }
+    for (int x = 0; x < 7; x = x + 1) {
+      for (int y = 0; y < 3; y = y + 1) {
+        int run = 0;
+        for (int k = 0; k < 4; k = k + 1) {
+          if (cells[(y + k) * 7 + x] == player) { run = run + 1; }
+        }
+        score = score + run * run;
+      }
+    }
+    return score;
+  }
+}
+class Ai {
+  static int[] history;
+  static void ensure() {
+    if (history == null) {
+      history = new int[400000];
+    }
+  }
+  static int negamax(Board b, int depth, int player) {
+    if (depth == 0) { return b.lineScore(player) - b.lineScore(3 - player); }
+    int best = 0 - 1000000;
+    for (int c = 0; c < 7; c = c + 1) {
+      if (b.canPlay(c)) {
+        b.play(c, player);
+        int v = 0 - negamax(b, depth - 1, 3 - player);
+        b.undo(c);
+        if (v > best) { best = v; }
+      }
+    }
+    return best;
+  }
+  static int best(Board b, int player) {
+    ensure();
+    for (int i = 0; i < history.length; i = i + 512) {
+      history[i] = history[i] / 2;
+    }
+    int bestCol = 0;
+    int bestVal = 0 - 1000000;
+    for (int c = 0; c < 7; c = c + 1) {
+      if (b.canPlay(c)) {
+        b.play(c, player);
+        int v = 0 - negamax(b, 2, 3 - player);
+        b.undo(c);
+        v = v + history[(c * 5000) % history.length];
+        if (v > bestVal) { bestVal = v; bestCol = c; }
+      }
+    }
+    history[(bestCol * 77777) % history.length] = bestVal;
+    return bestCol;
+  }
+}
+class Main {
+  static int moves = 8;
+  static int main() {
+    Board b = new Board();
+    int player = 1;
+    int last = 0;
+    for (int m = 0; m < moves; m = m + 1) {
+      int col = 0;
+      if (player == 1) { col = Ai.best(b, 1); }
+      else { col = Sys.rand(7); }
+      if (b.canPlay(col)) { b.play(col, player); last = col; }
+      for (int frame = 0; frame < 24; frame = frame + 1) {
+        for (int y = 0; y < 6; y = y + 1) {
+          for (int x = 0; x < 7; x = x + 1) {
+            Sys.draw(x, y, b.cells[y * 7 + x] + frame % 2);
+          }
+        }
+      }
+      player = 3 - player;
+    }
+    return last;
+  }
+}
+|}
+
+(* Chess app (DroidFish): most of the real app's time is inside a native
+   engine — modelled by an unreplayable clock-guided native-math routine —
+   with only a small Java-side search being optimizable. *)
+let droidfish = lcg ^ {|
+class Eval {
+  int material(int[] board) {
+    int score = 0;
+    for (int i = 0; i < board.length; i = i + 1) {
+      int p = board[i];
+      if (p == 1) { score = score + 100; }
+      else if (p == 2) { score = score + 320; }
+      else if (p == 3) { score = score + 330; }
+      else if (p == 4) { score = score + 500; }
+      else if (p == 5) { score = score + 900; }
+      else if (p < 0) { score = score - 111; }
+    }
+    return score;
+  }
+}
+class Book {
+  static int[] data;
+  static void load() {
+    data = new int[60000];
+    for (int i = 0; i < data.length; i = i + 1) {
+      data[i] = (i * 1103515245 + 12345) % 1000;
+    }
+  }
+}
+class Search {
+  static int quiesce(int[] board, Eval e, int depth) {
+    int stand = e.material(board);
+    if (depth == 0) { return stand; }
+    int best = stand;
+    for (int i = 0; i < 14; i = i + 1) {
+      int from = (i * 7) % 64;
+      int to = (i * 11 + 3) % 64;
+      int captured = board[to];
+      board[to] = board[from];
+      board[from] = 0;
+      int v = 0 - quiesce(board, e, depth - 1) / 2;
+      board[from] = board[to];
+      board[to] = captured;
+      if (v > best) { best = v; }
+    }
+    return best;
+  }
+  static int think(int[] board, Eval e) {
+    int bonus = 0;
+    for (int i = 0; i < Book.data.length; i = i + 512) {
+      bonus = bonus + Book.data[i];
+    }
+    return quiesce(board, e, 2) + bonus % 7;
+  }
+}
+class Engine {
+  static float nps = 0.0;
+  static int nativeSearch(int budget) {
+    int t0 = Sys.clock();
+    float acc = 0.0;
+    for (int i = 0; i < budget; i = i + 1) {
+      acc = acc + Math.sin(i * 0.1) * Math.cos(i * 0.05) + Math.pow(1.001, i % 64);
+    }
+    nps = acc;
+    int t1 = Sys.clock();
+    return (int) acc + (t1 - t0);
+  }
+}
+class Main {
+  static int moves = 5;
+  static int main() {
+    Book.load();
+    int[] board = new int[64];
+    for (int i = 0; i < 16; i = i + 1) { board[i] = i % 6; }
+    for (int i = 48; i < 64; i = i + 1) { board[i] = 0 - (i % 6); }
+    Eval e = new Eval();
+    int score = 0;
+    for (int m = 0; m < moves; m = m + 1) {
+      score = Search.think(board, e);
+      score = score + Engine.nativeSearch(6000) % 64;
+      board[(score % 64 + 64) % 64] = (score % 5 + 5) % 5;
+      for (int sq = 0; sq < 64; sq = sq + 1) {
+        Sys.draw(sq % 8, sq / 8, board[sq]);
+      }
+    }
+    return score;
+  }
+}
+|}
+
+(* ColorOverflow: flood-fill territory game with strategy objects. *)
+let coloroverflow = lcg ^ {|
+class Strategy {
+  int score(int[] board, int w, int h, int cell) { return 0; }
+}
+class EdgeStrategy extends Strategy {
+  int score(int[] board, int w, int h, int cell) {
+    int x = cell % w;
+    int y = cell / w;
+    int s = 0;
+    if (x == 0 || x == w - 1) { s = s + 3; }
+    if (y == 0 || y == h - 1) { s = s + 3; }
+    return s + board[cell];
+  }
+}
+class GreedyStrategy extends Strategy {
+  int score(int[] board, int w, int h, int cell) {
+    int s = board[cell] * 2;
+    if (cell + 1 < board.length) { s = s + board[cell + 1]; }
+    if (cell - 1 >= 0) { s = s + board[cell - 1]; }
+    return s;
+  }
+}
+class Game {
+  static int overflow(int[] board, int w, int h, Strategy strat, int iters) {
+    int total = 0;
+    for (int it = 0; it < iters; it = it + 1) {
+      for (int c = 0; c < board.length; c = c + 1) {
+        int s = strat.score(board, w, h, c);
+        board[c] = (board[c] + s) % 5;
+        if (board[c] >= 4) {
+          board[c] = 0;
+          if (c + 1 < board.length) { board[c + 1] = board[c + 1] + 1; }
+          if (c >= 1) { board[c - 1] = board[c - 1] + 1; }
+          if (c + w < board.length) { board[c + w] = board[c + w] + 1; }
+          if (c >= w) { board[c - w] = board[c - w] + 1; }
+          total = total + 1;
+        }
+      }
+    }
+    return total;
+  }
+}
+class Main {
+  static int w = 24;
+  static int h = 18;
+  static int turns = 6;
+  static int main() {
+    int[] board = new int[w * h];
+    for (int i = 0; i < board.length; i = i + 1) { board[i] = Sys.rand(4); }
+    Strategy a = new EdgeStrategy();
+    Strategy b = new GreedyStrategy();
+    int total = 0;
+    for (int t = 0; t < turns; t = t + 1) {
+      Strategy s = a;
+      if (t % 2 == 1) { s = b; }
+      total = total + Game.overflow(board, w, h, s, 10);
+      for (int c = 0; c < board.length; c = c + 1) {
+        Sys.draw(c % w, c / w, board[c]);
+      }
+    }
+    return total;
+  }
+}
+|}
+
+(* Brainstonz: 4x4 stone-placement game with two-ply search. *)
+let brainstonz = lcg ^ {|
+class Board {
+  int[] cells;
+  void init() { cells = new int[16]; }
+  int evaluate(int player) {
+    int score = 0;
+    for (int i = 0; i < 16; i = i + 1) {
+      if (cells[i] == player) {
+        score = score + 4;
+        int x = i % 4;
+        int y = i / 4;
+        if (x > 0 && cells[i - 1] == player) { score = score + 3; }
+        if (x < 3 && cells[i + 1] == player) { score = score + 3; }
+        if (y > 0 && cells[i - 4] == player) { score = score + 3; }
+        if (y < 3 && cells[i + 4] == player) { score = score + 3; }
+      }
+    }
+    return score;
+  }
+}
+class Ai {
+  static int search(Board b, int player, int depth) {
+    if (depth == 0) { return b.evaluate(player) - b.evaluate(3 - player); }
+    int best = 0 - 100000;
+    for (int i = 0; i < 16; i = i + 1) {
+      if (b.cells[i] == 0) {
+        b.cells[i] = player;
+        int v = 0 - search(b, 3 - player, depth - 1);
+        b.cells[i] = 0;
+        if (v > best) { best = v; }
+      }
+    }
+    return best;
+  }
+  static int pick(Board b, int player) {
+    int bestMove = 0;
+    int bestVal = 0 - 100000;
+    for (int i = 0; i < 16; i = i + 1) {
+      if (b.cells[i] == 0) {
+        b.cells[i] = player;
+        int v = 0 - search(b, 3 - player, 2);
+        b.cells[i] = 0;
+        if (v > bestVal) { bestVal = v; bestMove = i; }
+      }
+    }
+    return bestMove;
+  }
+}
+class Main {
+  static int main() {
+    Board b = new Board();
+    int move = 0;
+    for (int t = 0; t < 6; t = t + 1) {
+      int player = t % 2 + 1;
+      if (player == 1) { move = Ai.pick(b, 1); }
+      else { move = Sys.rand(16); }
+      if (b.cells[move] == 0) { b.cells[move] = player; }
+      for (int frame = 0; frame < 30; frame = frame + 1) {
+        for (int c = 0; c < 16; c = c + 1) {
+          Sys.draw(c % 4, c / 4, b.cells[c] + frame % 3);
+        }
+      }
+    }
+    return move;
+  }
+}
+|}
+
+(* Blokish: polyomino placement scoring over a 14x14 board. *)
+let blokish = lcg ^ {|
+class Piece {
+  int[] dx;
+  int[] dy;
+  void init(int variant) {
+    dx = new int[4];
+    dy = new int[4];
+    for (int i = 0; i < 4; i = i + 1) {
+      dx[i] = (variant * 3 + i * 2) % 3;
+      dy[i] = (variant + i) % 3;
+    }
+  }
+}
+class Blok {
+  static int bestPlacement(int[] board, int size, Piece[] pieces, int player) {
+    int best = 0 - 1;
+    int bestScore = 0 - 100000;
+    for (int p = 0; p < pieces.length; p = p + 1) {
+      Piece piece = pieces[p];
+      for (int y = 0; y < size - 3; y = y + 1) {
+        for (int x = 0; x < size - 3; x = x + 1) {
+          bool fits = true;
+          int touch = 0;
+          for (int k = 0; k < 4; k = k + 1) {
+            int cx = x + piece.dx[k];
+            int cy = y + piece.dy[k];
+            if (board[cy * size + cx] != 0) { fits = false; }
+            if (cx > 0 && board[cy * size + cx - 1] == player) { touch = touch + 1; }
+            if (cy > 0 && board[(cy - 1) * size + cx] == player) { touch = touch + 1; }
+          }
+          if (fits) {
+            int score = touch * 5 + (size - x) + (size - y) + p;
+            if (score > bestScore) {
+              bestScore = score;
+              best = (p * size + y) * size + x;
+            }
+          }
+        }
+      }
+    }
+    return best;
+  }
+}
+class Scores {
+  static int checksum(int[] board, int rounds) {
+    int s = 0;
+    try {
+      for (int r = 0; r < rounds; r = r + 1) {
+        for (int i = 0; i < board.length; i = i + 1) {
+          s = s + board[i] * (i + r);
+        }
+      }
+      if (s < 0) { throw 1; }
+    } catch (int e) { s = e; }
+    return s;
+  }
+}
+class Main {
+  static int size = 14;
+  static int main() {
+    int[] board = new int[size * size];
+    Piece[] pieces = new Piece[8];
+    for (int i = 0; i < pieces.length; i = i + 1) { pieces[i] = new Piece(i); }
+    int last = 0;
+    for (int turn = 0; turn < 7; turn = turn + 1) {
+      int player = turn % 2 + 1;
+      int placement = Blok.bestPlacement(board, size, pieces, player);
+      if (placement >= 0) {
+        int cell = placement % (size * size);
+        board[cell] = player;
+        last = cell;
+      }
+      for (int c = 0; c < board.length; c = c + 1) {
+        Sys.draw(c % size, c / size, board[c]);
+      }
+      if (Sys.rand(10) < 2) { board[Sys.rand(size * size)] = 0; }
+      last = last + Scores.checksum(board, 3) % 2;
+    }
+    return last;
+  }
+}
+|}
+
+(* Svarka odds calculator: enumerates three-card draws and scores hands. *)
+let svarka = lcg ^ {|
+class Svarka {
+  static int[] strength;
+  static void prep() {
+    strength = new int[180000];
+    for (int i = 0; i < strength.length; i = i + 1) {
+      strength[i] = (i * 2654435761) % 97;
+    }
+  }
+  static int handValue(int c1, int c2, int c3) {
+    int r1 = c1 % 8 + 7;
+    int r2 = c2 % 8 + 7;
+    int r3 = c3 % 8 + 7;
+    int s1 = c1 / 8;
+    int s2 = c2 / 8;
+    int s3 = c3 / 8;
+    int best = 0;
+    if (s1 == s2) { best = r1 + r2; }
+    if (s1 == s3 && r1 + r3 > best) { best = r1 + r3; }
+    if (s2 == s3 && r2 + r3 > best) { best = r2 + r3; }
+    if (s1 == s2 && s2 == s3) { best = r1 + r2 + r3; }
+    if (r1 == 7 && best < 11) { best = 11; }
+    if (r1 == r2 && r2 == r3) { best = r1 * 3 + 30; }
+    if (best < r1 && best < r2 && best < r3) {
+      best = r1;
+      if (r2 > best) { best = r2; }
+      if (r3 > best) { best = r3; }
+    }
+    return best;
+  }
+  static int odds(int c1, int c2) {
+    int wins = 0;
+    int total = 0;
+    for (int o1 = 0; o1 < 32; o1 = o1 + 1) {
+      for (int o2 = 0; o2 < 32; o2 = o2 + 1) {
+        for (int o3 = 0; o3 < 32; o3 = o3 + 4) {
+          if (o1 != c1 && o1 != c2 && o2 != c1 && o2 != c2 && o1 != o2
+              && o3 != o1 && o3 != o2) {
+            int mine = handValue(c1, c2, o3);
+            int theirs = handValue(o1, o2, o3);
+            mine = mine
+                 + strength[(mine * 7919 + theirs * 1047 + o1 * 31 + o2)
+                            % strength.length] % 3;
+            if (mine >= theirs) { wins = wins + 1; }
+            total = total + 1;
+          }
+        }
+      }
+    }
+    return wins * 100 / total;
+  }
+}
+class Main {
+  static int main() {
+    Svarka.prep();
+    int pct = 0;
+    for (int hand = 0; hand < 5; hand = hand + 1) {
+      int c1 = Sys.rand(32);
+      int c2 = (c1 + 1 + Sys.rand(31)) % 32;
+      pct = Svarka.odds(c1, c2);
+      for (int spr = 0; spr < 520; spr = spr + 1) {
+        Sys.draw(spr % 12, spr / 12, (c1 + spr) % 32);
+      }
+      Sys.print(pct);
+    }
+    return pct;
+  }
+}
+|}
+
+(* Reversi: othello with pluggable heuristics (virtual dispatch). *)
+let reversi = lcg ^ {|
+class Heuristic {
+  int weight(int cell, int size) { return 1; }
+}
+class CornerHeuristic extends Heuristic {
+  int weight(int cell, int size) {
+    int x = cell % size;
+    int y = cell / size;
+    int w = 1;
+    if ((x == 0 || x == size - 1) && (y == 0 || y == size - 1)) { w = 12; }
+    else if (x == 0 || x == size - 1 || y == 0 || y == size - 1) { w = 4; }
+    return w;
+  }
+}
+class Reversi {
+  static int flipsFor(int[] board, int size, int cell, int player) {
+    if (board[cell] != 0) { return 0 - 1; }
+    int x0 = cell % size;
+    int y0 = cell / size;
+    int flips = 0;
+    for (int dy = 0 - 1; dy <= 1; dy = dy + 1) {
+      for (int dx = 0 - 1; dx <= 1; dx = dx + 1) {
+        if (dx != 0 || dy != 0) {
+          int x = x0 + dx;
+          int y = y0 + dy;
+          int run = 0;
+          while (x >= 0 && x < size && y >= 0 && y < size
+                 && board[y * size + x] == 3 - player) {
+            run = run + 1;
+            x = x + dx;
+            y = y + dy;
+          }
+          if (run > 0 && x >= 0 && x < size && y >= 0 && y < size
+              && board[y * size + x] == player) {
+            flips = flips + run;
+          }
+        }
+      }
+    }
+    return flips;
+  }
+  static int bestMove(int[] board, int size, int player, Heuristic h) {
+    int best = 0 - 1;
+    int bestScore = 0 - 1;
+    for (int c = 0; c < board.length; c = c + 1) {
+      int flips = flipsFor(board, size, c, player);
+      if (flips > 0) {
+        int score = flips * h.weight(c, size);
+        if (score > bestScore) { bestScore = score; best = c; }
+      }
+    }
+    return best;
+  }
+}
+class Main {
+  static int size = 8;
+  static int main() {
+    int[] board = new int[size * size];
+    board[27] = 1; board[28] = 2; board[35] = 2; board[36] = 1;
+    Heuristic h = new CornerHeuristic();
+    int last = 0;
+    for (int turn = 0; turn < 16; turn = turn + 1) {
+      int player = turn % 2 + 1;
+      int move = 0 - 1;
+      if (player == 1) { move = Reversi.bestMove(board, size, 1, h); }
+      else {
+        int tries = 0;
+        while (move < 0 && tries < 10) {
+          int cand = Sys.rand(size * size);
+          if (Reversi.flipsFor(board, size, cand, 2) > 0) { move = cand; }
+          tries = tries + 1;
+        }
+      }
+      if (move >= 0) {
+        board[move] = player;
+        last = move;
+      }
+      for (int c = 0; c < board.length; c = c + 1) {
+        Sys.draw(c % size, c / size, board[c]);
+      }
+    }
+    return last;
+  }
+}
+|}
+
+(* Poker odds (Vitosha): Monte-Carlo showdown sampling with an internal
+   PRNG; the smallest capture in the set (0.35 MB in the paper). *)
+let pokerodds = lcg ^ {|
+class Poker {
+  static int rank(int[] hand) {
+    int[] counts = new int[13];
+    int flush = 1;
+    for (int i = 0; i < 5; i = i + 1) {
+      counts[hand[i] % 13] = counts[hand[i] % 13] + 1;
+      if (hand[i] / 13 != hand[0] / 13) { flush = 0; }
+    }
+    int pairs = 0;
+    int trips = 0;
+    int quads = 0;
+    int high = 0;
+    for (int v = 0; v < 13; v = v + 1) {
+      if (counts[v] == 2) { pairs = pairs + 1; }
+      if (counts[v] == 3) { trips = trips + 1; }
+      if (counts[v] == 4) { quads = quads + 1; }
+      if (counts[v] > 0) { high = v; }
+    }
+    if (quads > 0) { return 700 + high; }
+    if (trips > 0 && pairs > 0) { return 600 + high; }
+    if (flush == 1) { return 500 + high; }
+    if (trips > 0) { return 300 + high; }
+    if (pairs == 2) { return 200 + high; }
+    if (pairs == 1) { return 100 + high; }
+    return high;
+  }
+  static int simulate(int[] mine, int samples) {
+    int wins = 0;
+    int[] theirs = new int[5];
+    for (int s = 0; s < samples; s = s + 1) {
+      for (int i = 0; i < 5; i = i + 1) {
+        theirs[i] = Lcg.next() % 52;
+      }
+      if (rank(mine) >= rank(theirs)) { wins = wins + 1; }
+    }
+    return wins * 100 / samples;
+  }
+}
+class Main {
+  static int main() {
+    int[] mine = new int[5];
+    int pct = 0;
+    for (int round = 0; round < 5; round = round + 1) {
+      for (int i = 0; i < 5; i = i + 1) { mine[i] = Sys.rand(52); }
+      pct = Poker.simulate(mine, 800);
+      for (int spr = 0; spr < 560; spr = spr + 1) {
+        Sys.draw(spr % 10, spr / 10, mine[spr % 5]);
+      }
+      Sys.print(pct);
+    }
+    return pct;
+  }
+}
+|}

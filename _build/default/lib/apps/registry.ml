@@ -1,0 +1,91 @@
+module Image = Repro_vm.Image
+
+type app_class = Scimark_suite | Art_suite | Interactive_suite
+
+type t = {
+  name : string;
+  cls : app_class;
+  descr : string;
+  source : string;
+  image : Image.config;
+  expect_hot : (string * string) list;
+}
+
+let class_name = function
+  | Scimark_suite -> "Scimark"
+  | Art_suite -> "Art"
+  | Interactive_suite -> "Interactive"
+
+(* Memory footprints: the boot-common runtime image is the same for every
+   process (12.6 MB, Figure 11); apps differ in mapped libraries (maps
+   entries, Figure 10's preparation cost) and in how much heap their hot
+   region touches (their own code determines that). *)
+let image ?(extra_maps = 80) ?(warm = 64) ?(heap_pages = 16384) () =
+  { Image.default_config with extra_maps; heap_pages; warm_heap_pages = warm }
+
+let bench ?extra_maps ?warm name descr source expect_hot cls =
+  { name; cls; descr; source; image = image ?extra_maps ?warm (); expect_hot }
+
+let all = [
+  bench "FFT" ~warm:90 "Fast Fourier Transform" Scimark.fft
+    [ ("FFT", "run") ] Scimark_suite ~extra_maps:60;
+  bench "SOR" ~warm:110 "Jacobi successive over-relaxation" Scimark.sor
+    [ ("SOR", "execute") ] Scimark_suite ~extra_maps:54;
+  bench "MonteCarlo" ~warm:60 "Estimates pi value" Scimark.montecarlo
+    [ ("MonteCarlo", "integrate") ] Scimark_suite ~extra_maps:58;
+  bench "Sparse matmult" ~warm:130 "Indirection and addressing" Scimark.sparse_matmult
+    [ ("Sparse", "matmult") ] Scimark_suite ~extra_maps:66;
+  bench "LU" ~warm:100 "Linear algebra kernels" Scimark.lu
+    [ ("LU", "factor") ] Scimark_suite ~extra_maps:62;
+  bench "Sieve" ~warm:50 "Lists prime numbers" Art.sieve
+    [ ("Sieve", "primes") ] Art_suite ~extra_maps:50;
+  bench "BubbleSort" ~warm:60 "Simple sorting algorithm" Art.bubblesort
+    [ ("BubbleSort", "sort") ] Art_suite ~extra_maps:48;
+  bench "SelectionSort" ~warm:55 "Simple sorting algorithm" Art.selectionsort
+    [ ("SelectionSort", "sort") ] Art_suite ~extra_maps:48;
+  bench "Linpack" ~warm:120 "Numerical linear algebra" Art.linpack
+    [ ("Linpack", "gefa") ] Art_suite ~extra_maps:70;
+  bench "Fibonacci.iter" ~warm:40 "Fibonacci sequence iterative" Art.fibonacci_iter
+    [ ("Fib", "run"); ("Fib", "iter") ] Art_suite ~extra_maps:44;
+  bench "Fibonacci.recv" ~warm:40 "Fibonacci sequence recursive" Art.fibonacci_recv
+    [ ("Fib", "run"); ("Fib", "rec") ] Art_suite ~extra_maps:44;
+  bench "Dhrystone" ~warm:80 "Representative general CPU performance" Art.dhrystone
+    [ ("Dhry", "run") ] Art_suite ~extra_maps:52;
+  bench "MaterialLife" ~warm:600 "Game of life" Interactive.materiallife
+    [ ("Life", "generation"); ("Life", "step") ] Interactive_suite
+    ~extra_maps:170;
+  bench "4inaRow" ~warm:700 "Puzzle game" Interactive.fourinarow
+    [ ("Ai", "best") ] Interactive_suite ~extra_maps:210;
+  bench "DroidFish" ~warm:1400 "Chess game" Interactive.droidfish
+    [ ("Search", "think"); ("Search", "quiesce") ] Interactive_suite
+    ~extra_maps:240;
+  bench "ColorOverflow" ~warm:500 "Strategic game" Interactive.coloroverflow
+    [ ("Game", "overflow") ] Interactive_suite ~extra_maps:160;
+  bench "Brainstonz" ~warm:420 "Board game" Interactive.brainstonz
+    [ ("Ai", "pick"); ("Ai", "search") ] Interactive_suite ~extra_maps:150;
+  bench "Blokish" ~warm:800 "Board game" Interactive.blokish
+    [ ("Blok", "bestPlacement") ] Interactive_suite ~extra_maps:190;
+  bench "Svarka Calculator" ~warm:380 "Generates odds for a card game" Interactive.svarka
+    [ ("Svarka", "odds") ] Interactive_suite ~extra_maps:140;
+  bench "Reversi Android" ~warm:640 "Board game" Interactive.reversi
+    [ ("Reversi", "bestMove"); ("Reversi", "flipsFor") ] Interactive_suite ~extra_maps:180;
+  bench "Poker Odds (Vitosha)" ~warm:300 "Statistical analysis for poker cards"
+    Interactive.pokerodds
+    [ ("Poker", "simulate") ] Interactive_suite ~extra_maps:130;
+]
+
+let names = List.map (fun a -> a.name) all
+let find name = List.find_opt (fun a -> a.name = name) all
+
+let cache : (string, Repro_dex.Bytecode.dexfile) Hashtbl.t = Hashtbl.create 32
+
+let dexfile app =
+  match Hashtbl.find_opt cache app.name with
+  | Some dx -> dx
+  | None ->
+    let dx = Repro_dex.Lower.compile app.source in
+    Hashtbl.add cache app.name dx;
+    dx
+
+let build_ctx ?(seed = 42) ?fuel app =
+  Image.build ~config:app.image ?fuel ~seed (dexfile app)

@@ -1,0 +1,26 @@
+(** The 21 evaluation applications (paper Table 1): 5 Scimark kernels, 7
+    Android-compiler benchmarks, 9 interactive apps. *)
+
+type app_class = Scimark_suite | Art_suite | Interactive_suite
+
+type t = {
+  name : string;
+  cls : app_class;
+  descr : string;
+  source : string;                 (** MiniDex source text *)
+  image : Repro_vm.Image.config;   (** process memory footprint *)
+  expect_hot : (string * string) list;
+  (** acceptable hot regions as (class, method); used by tests and docs *)
+}
+
+val all : t list
+val find : string -> t option
+val names : string list
+
+val class_name : app_class -> string
+
+val dexfile : t -> Repro_dex.Bytecode.dexfile
+(** Compile (memoized) the app's source. *)
+
+val build_ctx : ?seed:int -> ?fuel:int -> t -> Repro_vm.Exec_ctx.t
+(** Fresh process image for one online run of the app. *)

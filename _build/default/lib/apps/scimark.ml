@@ -1,0 +1,266 @@
+(* The Scimark 2.0 kernels (Table 1), ported to MiniDex.  Each program has
+   a [Main.main] driving several rounds of its kernel; I/O happens only in
+   the driver so the kernel is a replayable hot region.  Randomness comes
+   from an explicit linear congruential generator kept in program state,
+   as in the original Scimark sources. *)
+
+let lcg = {|
+class Lcg {
+  static int seed = 123456789;
+  static int next() {
+    seed = (seed * 1103515245 + 12345) % 2147483647;
+    if (seed < 0) { seed = 0 - seed; }
+    return seed;
+  }
+  static float nextFloat() { return next() % 1000000 / 1000000.0; }
+}
+|}
+
+let fft = lcg ^ {|
+class FFT {
+  static void transform(float[] re, float[] im, int dir) {
+    int n = re.length;
+    int j = 0;
+    for (int i = 0; i < n - 1; i = i + 1) {
+      if (i < j) {
+        float tr = re[i]; re[i] = re[j]; re[j] = tr;
+        float ti = im[i]; im[i] = im[j]; im[j] = ti;
+      }
+      int k = n / 2;
+      while (k <= j && k > 0) { j = j - k; k = k / 2; }
+      j = j + k;
+    }
+    int len = 2;
+    while (len <= n) {
+      float ang = 2.0 * 3.141592653589793 / len;
+      if (dir < 0) { ang = 0.0 - ang; }
+      float wr = Math.cos(ang);
+      float wi = Math.sin(ang);
+      int half = len / 2;
+      for (int i = 0; i < n; i = i + len) {
+        float cwr = 1.0;
+        float cwi = 0.0;
+        for (int k = 0; k < half; k = k + 1) {
+          int a = i + k;
+          int b = i + k + half;
+          float xr = re[b] * cwr - im[b] * cwi;
+          float xi = re[b] * cwi + im[b] * cwr;
+          re[b] = re[a] - xr;
+          im[b] = im[a] - xi;
+          re[a] = re[a] + xr;
+          im[a] = im[a] + xi;
+          float nwr = cwr * wr - cwi * wi;
+          cwi = cwr * wi + cwi * wr;
+          cwr = nwr;
+        }
+      }
+      len = len * 2;
+    }
+  }
+  static float run(float[] re, float[] im) {
+    transform(re, im, 1);
+    transform(re, im, 0 - 1);
+    float n = re.length;
+    float s = 0.0;
+    for (int i = 0; i < re.length; i = i + 1) {
+      re[i] = re[i] / n;
+      im[i] = im[i] / n;
+      s = s + re[i];
+    }
+    return s;
+  }
+}
+class Main {
+  static int size = 256;
+  static int rounds = 5;
+  static float[] makeSignal() {
+    float[] x = new float[size];
+    for (int i = 0; i < size; i = i + 1) { x[i] = Lcg.nextFloat(); }
+    return x;
+  }
+  static int main() {
+    float acc = 0.0;
+    for (int r = 0; r < rounds; r = r + 1) {
+      float[] re = makeSignal();
+      float[] im = makeSignal();
+      acc = acc + FFT.run(re, im);
+      Sys.print((int) (acc * 1000.0));
+    }
+    return (int) (acc * 1000.0);
+  }
+}
+|}
+
+let sor = lcg ^ {|
+class SOR {
+  static float execute(float omega, float[] g, int m, int n, int iters) {
+    float omf = 1.0 - omega;
+    for (int p = 0; p < iters; p = p + 1) {
+      for (int i = 1; i < m - 1; i = i + 1) {
+        int row = i * n;
+        int rowm = row - n;
+        int rowp = row + n;
+        for (int j = 1; j < n - 1; j = j + 1) {
+          g[row + j] = omega * 0.25
+              * (g[rowm + j] + g[rowp + j] + g[row + j - 1] + g[row + j + 1])
+              + omf * g[row + j];
+        }
+      }
+    }
+    float s = 0.0;
+    for (int i = 0; i < g.length; i = i + 1) { s = s + g[i]; }
+    return s;
+  }
+}
+class Main {
+  static int dim = 48;
+  static int rounds = 4;
+  static int main() {
+    float acc = 0.0;
+    for (int r = 0; r < rounds; r = r + 1) {
+      float[] g = new float[dim * dim];
+      for (int i = 0; i < g.length; i = i + 1) { g[i] = Lcg.nextFloat(); }
+      acc = acc + SOR.execute(1.25, g, dim, dim, 6);
+      Sys.print((int) acc);
+    }
+    return (int) acc;
+  }
+}
+|}
+
+let montecarlo = lcg ^ {|
+class MonteCarlo {
+  static float integrate(int samples) {
+    int hits = 0;
+    for (int i = 0; i < samples; i = i + 1) {
+      float x = Lcg.nextFloat();
+      float y = Lcg.nextFloat();
+      if (x * x + y * y <= 1.0) { hits = hits + 1; }
+    }
+    float h = hits;
+    return 4.0 * h / samples;
+  }
+}
+class Main {
+  static int samples = 9000;
+  static int rounds = 5;
+  static int main() {
+    float pi = 0.0;
+    for (int r = 0; r < rounds; r = r + 1) {
+      pi = MonteCarlo.integrate(samples);
+      Sys.print((int) (pi * 100000.0));
+    }
+    return (int) (pi * 100000.0);
+  }
+}
+|}
+
+let sparse_matmult = lcg ^ {|
+class Sparse {
+  static float matmult(float[] y, float[] val, int[] row, int[] col, float[] x,
+                       int iters) {
+    int m = row.length - 1;
+    for (int p = 0; p < iters; p = p + 1) {
+      for (int r = 0; r < m; r = r + 1) {
+        float sum = 0.0;
+        int lo = row[r];
+        int hi = row[r + 1];
+        for (int i = lo; i < hi; i = i + 1) {
+          sum = sum + x[col[i]] * val[i];
+        }
+        y[r] = sum;
+      }
+    }
+    float s = 0.0;
+    for (int i = 0; i < y.length; i = i + 1) { s = s + y[i]; }
+    return s;
+  }
+}
+class Main {
+  static int n = 600;
+  static int nz = 3000;
+  static int rounds = 4;
+  static int main() {
+    float[] x = new float[n];
+    float[] y = new float[n];
+    float[] val = new float[nz];
+    int[] col = new int[nz];
+    int[] row = new int[n + 1];
+    for (int i = 0; i < n; i = i + 1) { x[i] = Lcg.nextFloat(); }
+    int perRow = nz / n;
+    for (int r = 0; r < n; r = r + 1) {
+      row[r] = r * perRow;
+      for (int k = 0; k < perRow; k = k + 1) {
+        int idx = r * perRow + k;
+        val[idx] = Lcg.nextFloat();
+        col[idx] = Lcg.next() % n;
+      }
+    }
+    row[n] = n * perRow;
+    float acc = 0.0;
+    for (int p = 0; p < rounds; p = p + 1) {
+      acc = acc + Sparse.matmult(y, val, row, col, x, 4);
+      Sys.print((int) acc);
+    }
+    return (int) acc;
+  }
+}
+|}
+
+let lu = lcg ^ {|
+class LU {
+  static float factor(float[] a, int n, int[] pivot) {
+    for (int j = 0; j < n; j = j + 1) {
+      int jp = j;
+      float t = a[j * n + j];
+      if (t < 0.0) { t = 0.0 - t; }
+      for (int i = j + 1; i < n; i = i + 1) {
+        float ab = a[i * n + j];
+        if (ab < 0.0) { ab = 0.0 - ab; }
+        if (ab > t) { jp = i; t = ab; }
+      }
+      pivot[j] = jp;
+      if (a[jp * n + j] == 0.0) { return 0.0 - 1.0; }
+      if (jp != j) {
+        for (int k = 0; k < n; k = k + 1) {
+          float tmp = a[j * n + k];
+          a[j * n + k] = a[jp * n + k];
+          a[jp * n + k] = tmp;
+        }
+      }
+      if (j < n - 1) {
+        float recp = 1.0 / a[j * n + j];
+        for (int k = j + 1; k < n; k = k + 1) {
+          a[k * n + j] = a[k * n + j] * recp;
+        }
+      }
+      if (j < n - 1) {
+        for (int ii = j + 1; ii < n; ii = ii + 1) {
+          float aij = a[ii * n + j];
+          for (int jj = j + 1; jj < n; jj = jj + 1) {
+            a[ii * n + jj] = a[ii * n + jj] - aij * a[j * n + jj];
+          }
+        }
+      }
+    }
+    float s = 0.0;
+    for (int i = 0; i < n; i = i + 1) { s = s + a[i * n + i]; }
+    return s;
+  }
+}
+class Main {
+  static int n = 40;
+  static int rounds = 4;
+  static int main() {
+    float acc = 0.0;
+    for (int r = 0; r < rounds; r = r + 1) {
+      float[] a = new float[n * n];
+      int[] pivot = new int[n];
+      for (int i = 0; i < a.length; i = i + 1) { a[i] = Lcg.nextFloat() + 0.01; }
+      acc = acc + LU.factor(a, n, pivot);
+      Sys.print((int) (acc * 100.0));
+    }
+    return (int) (acc * 100.0);
+  }
+}
+|}

@@ -1,0 +1,1 @@
+lib/capture/capture.ml: List Repro_os Repro_vm Snapshot

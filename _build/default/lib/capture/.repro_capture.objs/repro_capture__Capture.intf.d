@@ -1,0 +1,1 @@
+lib/capture/capture.mli: Repro_vm Snapshot

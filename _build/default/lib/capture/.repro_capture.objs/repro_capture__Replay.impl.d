@@ -1,0 +1,1 @@
+lib/capture/replay.ml: List Printf Repro_dex Repro_lir Repro_os Repro_vm Snapshot

@@ -1,0 +1,1 @@
+lib/capture/replay.mli: Repro_dex Repro_lir Repro_vm Snapshot Typeprof

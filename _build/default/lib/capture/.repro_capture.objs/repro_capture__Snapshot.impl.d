@@ -1,0 +1,1 @@
+lib/capture/snapshot.ml: List Repro_os Repro_vm

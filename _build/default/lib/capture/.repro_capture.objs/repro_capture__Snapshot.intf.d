@@ -1,0 +1,1 @@
+lib/capture/snapshot.mli: Repro_os Repro_vm

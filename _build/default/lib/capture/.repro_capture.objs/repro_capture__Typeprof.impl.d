@@ -1,0 +1,1 @@
+lib/capture/typeprof.ml: Hashtbl List Option Repro_vm

@@ -1,0 +1,1 @@
+lib/capture/typeprof.mli: Repro_vm

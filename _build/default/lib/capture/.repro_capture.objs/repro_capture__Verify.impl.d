@@ -1,0 +1,1 @@
+lib/capture/verify.ml: Array Hashtbl List Replay Repro_dex Repro_os Repro_vm Snapshot

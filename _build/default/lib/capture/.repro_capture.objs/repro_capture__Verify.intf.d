@@ -1,0 +1,1 @@
+lib/capture/verify.mli: Repro_dex Repro_lir Repro_vm Snapshot

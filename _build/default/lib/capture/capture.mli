@@ -1,0 +1,48 @@
+(** The online capture mechanism (paper §3.2, Figure 4).
+
+    Wrapped around one execution of the hot region in the live process:
+
+    + fork a child — Copy-on-Write preserves the pristine memory image;
+    + walk /proc-style mappings and read-protect the app's data pages;
+    + a fault handler records each page the region touches, then restores
+      access so execution continues;
+    + after the region ends, the child spools the recorded pages' original
+      contents (plus the unprotectable stack/GC-auxiliary pages) to storage.
+
+    The measured overhead (fork, preparation, faults + CoW) is charged to
+    the online execution context in simulated milliseconds — that is the
+    user-visible cost Figure 10 reports. *)
+
+type overhead = {
+  fork_ms : float;
+  preparation_ms : float;       (** maps parsing + page protection *)
+  fault_cow_ms : float;         (** in-region page faults and CoW copies *)
+  n_faults : int;
+  n_cow : int;
+  n_map_entries : int;
+  n_protected : int;
+}
+
+val total_ms : overhead -> float
+
+type result = {
+  snapshot : Snapshot.t;
+  overhead : overhead;
+  region_ret : Repro_vm.Value.t option;   (** the region's own result *)
+}
+
+val capture_region :
+  app:string ->
+  Repro_vm.Exec_ctx.t -> mid:int -> args:Repro_vm.Value.t list ->
+  run:(unit -> Repro_vm.Value.t option) ->
+  result
+(** Capture one execution of region [mid].  [run] performs the actual
+    region execution (through whatever dispatcher is installed); the
+    capture machinery forks, protects, observes and then harvests the
+    snapshot from the child.  Exceptions from [run] propagate after the
+    capture state is torn down. *)
+
+val eager_mode : bool ref
+(** Ablation (CERE-style capture, §6): when set, every recorded page is
+    copied at fault time in user space instead of relying on kernel
+    Copy-on-Write, inflating the in-region overhead.  Default false. *)

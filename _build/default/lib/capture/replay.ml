@@ -1,0 +1,91 @@
+module B = Repro_dex.Bytecode
+module Mem = Repro_os.Mem
+module Ctx = Repro_vm.Exec_ctx
+module Heap = Repro_vm.Heap
+module Interp = Repro_vm.Interp
+module Value = Repro_vm.Value
+module Exec = Repro_lir.Exec
+module Binary = Repro_lir.Binary
+
+type code_version =
+  | Android_code of Binary.t
+  | Interpreter
+  | Optimized of Binary.t
+
+type outcome =
+  | Finished of Value.t option * int
+  | Crashed of string
+  | Hung
+
+type run = {
+  outcome : outcome;
+  ctx : Ctx.t;
+  loader_collisions : int;
+}
+
+(* The loader program occupies a fixed low range; captured pages landing
+   there must first be parked and moved after break-free (Figure 5).  With
+   the Android address-space layout this is rare; we track the count to
+   keep the mechanism observable. *)
+let loader_base = 0x0050_0000
+let loader_pages = 64
+
+let default_fuel = 200_000_000
+
+let run ?(fuel = default_fuel) ?cost ?record_vcall (dx : B.dexfile)
+    (snap : Snapshot.t) version =
+  (* 1) rebuild the address space *)
+  let mem = Mem.create () in
+  List.iter
+    (fun m ->
+       Mem.map mem ~base:m.Mem.map_base ~npages:m.Mem.map_npages
+         ~kind:m.Mem.map_kind ~name:m.Mem.map_name)
+    snap.Snapshot.snap_maps;
+  (* 2-3) place pages; count collisions with the loader's own range *)
+  let loader_lo = loader_base / Mem.page_size in
+  let loader_hi = loader_lo + loader_pages in
+  let collisions = ref 0 in
+  let place { Snapshot.pg_index; pg_data } =
+    if pg_index >= loader_lo && pg_index < loader_hi then incr collisions;
+    Mem.install_page mem ~page:pg_index pg_data
+  in
+  List.iter place snap.Snapshot.snap_common;
+  List.iter place snap.Snapshot.snap_pages;
+  Mem.reset_stats mem;
+  (* restore allocator + GC accounting ("architectural state") *)
+  let heap_map =
+    List.find (fun m -> m.Mem.map_kind = Mem.Rheap) snap.Snapshot.snap_maps
+  in
+  let heap =
+    Heap.restore mem ~base:heap_map.Mem.map_base ~npages:heap_map.Mem.map_npages
+      ~next:snap.Snapshot.snap_heap_next
+  in
+  let statics_map =
+    List.find (fun m -> m.Mem.map_kind = Mem.Rstatics) snap.Snapshot.snap_maps
+  in
+  let ctx =
+    Ctx.create ?cost ~seed:0 ~fuel dx mem heap
+      ~statics_base:statics_map.Mem.map_base
+  in
+  ctx.Ctx.alloc_since_gc <- snap.Snapshot.snap_alloc_since_gc;
+  (match record_vcall with
+   | Some h -> ctx.Ctx.record_vcall <- Some h
+   | None -> ());
+  (* 4) choose and execute the code version *)
+  (match version with
+   | Interpreter -> Interp.install ctx
+   | Android_code binary | Optimized binary -> Exec.install ctx binary);
+  let outcome =
+    match Ctx.invoke ctx snap.Snapshot.snap_mid snap.Snapshot.snap_args with
+    | ret -> Finished (ret, ctx.Ctx.cycles)
+    | exception Ctx.App_exception code ->
+      Crashed (Printf.sprintf "uncaught exception %d" code)
+    | exception Exec.Segfault msg -> Crashed ("segfault: " ^ msg)
+    | exception Ctx.Timeout -> Hung
+  in
+  { outcome; ctx; loader_collisions = !collisions }
+
+let cycles r =
+  match r.outcome with
+  | Finished (_, c) -> Some c
+  | Crashed _ | Hung -> None

@@ -1,0 +1,38 @@
+(** Replaying captured executions (paper §3.3, Figure 5).
+
+    The loader rebuilds a partial Android process from the snapshot —
+    mappings recreated, captured pages placed at their original addresses
+    (collisions with the loader's own range are placed via the break-free
+    relocation step), allocator and GC accounting restored — and then jumps
+    into the hot region under one of three code versions: the original
+    Android-compiled code, the interpreter, or a candidate optimized
+    binary. *)
+
+type code_version =
+  | Android_code of Repro_lir.Binary.t
+  | Interpreter
+  | Optimized of Repro_lir.Binary.t
+
+type outcome =
+  | Finished of Repro_vm.Value.t option * int   (** result, cycles *)
+  | Crashed of string
+  | Hung                                        (** exceeded the replay fuel *)
+
+type run = {
+  outcome : outcome;
+  ctx : Repro_vm.Exec_ctx.t;      (** post-replay state, for verification *)
+  loader_collisions : int;        (** captured pages that hit loader pages *)
+}
+
+val loader_base : int
+val loader_pages : int
+
+val run :
+  ?fuel:int -> ?cost:Repro_vm.Cost.model ->
+  ?record_vcall:(Typeprof.site -> int -> unit) ->
+  Repro_dex.Bytecode.dexfile -> Snapshot.t -> code_version -> run
+(** Default fuel: 200M cycles (a replay that runs 100x longer than any
+    sensible region is declared hung, like a watchdog would). *)
+
+val cycles : run -> int option
+(** Cycles if the replay finished. *)

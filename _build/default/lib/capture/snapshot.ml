@@ -1,0 +1,28 @@
+module Mem = Repro_os.Mem
+module Storage = Repro_os.Storage
+
+type page_image = { pg_index : int; pg_data : int64 array }
+
+type t = {
+  snap_app : string;
+  snap_mid : int;
+  snap_args : Repro_vm.Value.t list;
+  snap_maps : Mem.mapping list;
+  snap_pages : page_image list;
+  snap_common : page_image list;
+  snap_code_files : (string * int) list;
+  snap_heap_next : int;
+  snap_alloc_since_gc : int;
+}
+
+let program_bytes t = List.length t.snap_pages * Mem.page_size
+let common_bytes t = List.length t.snap_common * Mem.page_size
+
+let boot_common_label = "boot-common-pages"
+
+let store storage t =
+  Storage.write storage ~label:(t.snap_app ^ "/capture") ~bytes:(program_bytes t);
+  if Storage.size storage ~label:boot_common_label = None then
+    Storage.write storage ~label:boot_common_label ~bytes:(common_bytes t)
+
+let discard storage t = Storage.delete storage ~label:(t.snap_app ^ "/capture")

@@ -1,0 +1,32 @@
+(** A captured hot-region execution: everything a replay needs to
+    re-execute the region exactly as it ran online (§3.2/§3.3).
+
+    Program-specific pages hold the original (pre-region) contents of every
+    page the region touched, recovered from the forked child's
+    Copy-on-Write frames.  Boot-common pages (immutable runtime objects)
+    are stored once per device boot and shared across captures; mapped code
+    files are only logged as paths. *)
+
+type page_image = { pg_index : int; pg_data : int64 array }
+
+type t = {
+  snap_app : string;
+  snap_mid : int;                        (** hot-region root method *)
+  snap_args : Repro_vm.Value.t list;     (** architectural state *)
+  snap_maps : Repro_os.Mem.mapping list; (** address-space layout to rebuild *)
+  snap_pages : page_image list;          (** program-specific pages *)
+  snap_common : page_image list;         (** boot-common runtime pages *)
+  snap_code_files : (string * int) list; (** mmapped files: path, pages *)
+  snap_heap_next : int;                  (** allocator bump pointer *)
+  snap_alloc_since_gc : int;             (** GC accounting at capture *)
+}
+
+val program_bytes : t -> int
+val common_bytes : t -> int
+
+val store : Repro_os.Storage.t -> t -> unit
+(** Spool to device storage: program pages under an app-specific label,
+    common pages under the shared per-boot label (written once). *)
+
+val discard : Repro_os.Storage.t -> t -> unit
+(** Release the app-specific blob after optimization finishes (§5.4). *)

@@ -1,0 +1,25 @@
+type site = int * int
+
+type t = { counts : (site * int, int) Hashtbl.t }
+
+let create () = { counts = Hashtbl.create 64 }
+
+let record t site cid =
+  let key = (site, cid) in
+  Hashtbl.replace t.counts key
+    (1 + Option.value ~default:0 (Hashtbl.find_opt t.counts key))
+
+let lookup t site =
+  Hashtbl.fold
+    (fun (s, cid) n acc -> if s = site then (cid, n) :: acc else acc)
+    t.counts []
+  |> List.sort (fun (_, a) (_, b) -> compare b a)
+
+let install t (ctx : Repro_vm.Exec_ctx.t) =
+  ctx.Repro_vm.Exec_ctx.record_vcall <- Some (fun site cid -> record t site cid)
+
+let sites t =
+  Hashtbl.fold (fun (s, _) _ acc -> s :: acc) t.counts []
+  |> List.sort_uniq compare
+
+let total t = Hashtbl.fold (fun _ n acc -> acc + n) t.counts 0

@@ -1,0 +1,22 @@
+(** Dispatch-type profiles collected during interpreted replays (§3.4):
+    for every virtual call site, the histogram of observed receiver
+    classes.  Drives speculative devirtualization and branch hints. *)
+
+type t
+
+type site = int * int
+(** (defining method id, bytecode pc) *)
+
+val create : unit -> t
+
+val record : t -> site -> int -> unit
+(** Count one dispatch of class id at a site. *)
+
+val lookup : t -> site -> (int * int) list
+(** Histogram (class id, count), descending by count; [] if never seen. *)
+
+val install : t -> Repro_vm.Exec_ctx.t -> unit
+(** Hook the context so interpreted execution records into this profile. *)
+
+val sites : t -> site list
+val total : t -> int

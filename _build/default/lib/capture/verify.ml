@@ -1,0 +1,73 @@
+module B = Repro_dex.Bytecode
+module Mem = Repro_os.Mem
+module Ctx = Repro_vm.Exec_ctx
+module Value = Repro_vm.Value
+
+type t = {
+  writes : (int * int64) list;
+  ret : Value.t option;
+}
+
+let diff_against_snapshot (ctx : Ctx.t) (snap : Snapshot.t) =
+  let mem = ctx.Ctx.mem in
+  let original = Hashtbl.create 64 in
+  List.iter
+    (fun { Snapshot.pg_index; pg_data } ->
+       Hashtbl.replace original pg_index pg_data)
+    snap.Snapshot.snap_pages;
+  List.iter
+    (fun { Snapshot.pg_index; pg_data } ->
+       Hashtbl.replace original pg_index pg_data)
+    snap.Snapshot.snap_common;
+  let diffs = ref [] in
+  let scan_kind kind =
+    List.iter
+      (fun page ->
+         match Mem.page_data mem ~page with
+         | None -> ()
+         | Some now ->
+           let orig = Hashtbl.find_opt original page in
+           Array.iteri
+             (fun w v ->
+                let o = match orig with Some a -> a.(w) | None -> 0L in
+                if v <> o then
+                  diffs := ((page * Mem.page_size) + (w * 8), v) :: !diffs)
+             now)
+      (Mem.touched_pages mem ~kind)
+  in
+  scan_kind Mem.Rheap;
+  scan_kind Mem.Rstatics;
+  List.sort compare !diffs
+
+let collect dx snap =
+  let r = Replay.run dx snap Replay.Interpreter in
+  match r.Replay.outcome with
+  | Replay.Finished (ret, _) ->
+    { writes = diff_against_snapshot r.Replay.ctx snap; ret }
+  | Replay.Crashed msg ->
+    failwith ("Verify.collect: interpreted replay crashed: " ^ msg)
+  | Replay.Hung -> failwith "Verify.collect: interpreted replay hung"
+
+type check_result =
+  | Passed of int
+  | Wrong_output
+  | Crashed of string
+  | Hung
+
+let ret_equal a b =
+  match a, b with
+  | None, None -> true
+  | Some a, Some b -> Value.equal a b
+  | None, Some _ | Some _, None -> false
+
+let check dx snap reference binary =
+  let r = Replay.run dx snap (Replay.Optimized binary) in
+  match r.Replay.outcome with
+  | Replay.Crashed msg -> Crashed msg
+  | Replay.Hung -> Hung
+  | Replay.Finished (ret, cycles) ->
+    if
+      ret_equal ret reference.ret
+      && diff_against_snapshot r.Replay.ctx snap = reference.writes
+    then Passed cycles
+    else Wrong_output

@@ -1,0 +1,29 @@
+(** Verification maps (paper §3.4): the externally observable behaviour of
+    a hot region, recorded from an interpreted replay — every memory word
+    the region changed (object fields, array elements, statics) plus its
+    return value.  Candidate binaries whose replay produces a different
+    map are discarded as miscompiled. *)
+
+type t = {
+  writes : (int * int64) list;   (** address, final value; sorted *)
+  ret : Repro_vm.Value.t option;
+}
+
+val diff_against_snapshot : Repro_vm.Exec_ctx.t -> Snapshot.t -> (int * int64) list
+(** All heap/static words whose post-replay value differs from the captured
+    original (absent pages read as zero). *)
+
+val collect : Repro_dex.Bytecode.dexfile -> Snapshot.t -> t
+(** Build the map through an interpreted replay.
+    @raise Failure if the interpreted replay itself fails (a capture bug). *)
+
+type check_result =
+  | Passed of int                 (** cycles of the verified replay *)
+  | Wrong_output
+  | Crashed of string
+  | Hung
+
+val check :
+  Repro_dex.Bytecode.dexfile -> Snapshot.t -> t -> Repro_lir.Binary.t ->
+  check_result
+(** Replay the snapshot under a candidate binary and compare behaviour. *)

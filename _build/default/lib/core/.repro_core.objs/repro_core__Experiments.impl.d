@@ -1,0 +1,1 @@
+lib/core/experiments.ml: Array Astring Float Hashtbl List Option Pipeline Printf Repro_apps Repro_capture Repro_dex Repro_lir Repro_profiler Repro_search Repro_util Repro_vm String Study

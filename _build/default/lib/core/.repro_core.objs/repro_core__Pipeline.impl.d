@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Array Digest Float Hashtbl List Option Repro_apps Repro_capture Repro_dex Repro_hgraph Repro_lir Repro_profiler Repro_search Repro_util Repro_vm String

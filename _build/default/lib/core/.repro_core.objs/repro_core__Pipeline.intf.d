@@ -1,0 +1,1 @@
+lib/core/pipeline.mli: Repro_apps Repro_capture Repro_dex Repro_lir Repro_profiler Repro_search Repro_util Repro_vm

@@ -1,0 +1,1 @@
+lib/core/study.ml: Hashtbl Pipeline Repro_apps Repro_search

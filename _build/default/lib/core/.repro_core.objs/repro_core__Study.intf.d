@@ -1,0 +1,1 @@
+lib/core/study.mli: Pipeline Repro_apps Repro_search

@@ -1,0 +1,128 @@
+(** One driver per table/figure of the paper's evaluation (§5).  Each
+    experiment returns structured data plus a printer that renders rows in
+    the shape the paper reports.  See DESIGN.md's per-experiment index. *)
+
+module Ga = Repro_search.Ga
+
+(* ------------------------------- Table 1 --------------------------- *)
+
+val table1 : unit -> (string * string * string) list
+(** (type, name, description) rows. *)
+
+val print_table1 : unit -> unit
+
+(* ------------------------------- Figure 1 -------------------------- *)
+
+type fig1_outcome =
+  | F1_compiler_error
+  | F1_compile_timeout
+  | F1_runtime_crash
+  | F1_runtime_timeout
+  | F1_wrong_output
+  | F1_correct
+
+type fig1 = {
+  f1_counts : (fig1_outcome * int) list;
+  f1_total : int;
+}
+
+val fig1 : ?sequences:int -> ?seed:int -> unit -> fig1
+(** Random optimization sequences applied to the FFT kernel, classified by
+    compilation/replay outcome (paper: ~60% correct, ~15% compiler
+    error/timeout, ~25% runtime-visible misbehaviour). *)
+
+val print_fig1 : fig1 -> unit
+
+(* ------------------------------- Figure 2 -------------------------- *)
+
+type fig2 = {
+  f2_speedups : float array;     (** vs the Android compiler, ascending *)
+  f2_android_ms : float;
+}
+
+val fig2 : ?binaries:int -> ?seed:int -> unit -> fig2
+(** Replay speedup over the Android compiler for randomly generated
+    *correct* binaries of the FFT kernel. *)
+
+val print_fig2 : fig2 -> unit
+
+(* ------------------------------- Figure 3 -------------------------- *)
+
+type fig3_row = {
+  f3_evals : int;
+  f3_online : float;        (** single-trajectory estimate *)
+  f3_online_lo75 : float;
+  f3_online_hi75 : float;
+  f3_online_lo95 : float;
+  f3_online_hi95 : float;
+  f3_offline : float;
+}
+
+type fig3 = {
+  f3_rows : fig3_row list;
+  f3_true_speedup : float;        (** O1 over O0 on the largest input *)
+  f3_online_settle : int option;  (** evals until the online estimate stays
+                                      within 10% of the true value *)
+  f3_offline_settle : int option;
+}
+
+val fig3 : ?max_evals:int -> ?trajectories:int -> ?seed:int -> unit -> fig3
+
+val print_fig3 : fig3 -> unit
+
+(* ----------------------------- Figures 7/8/9 ----------------------- *)
+
+type fig7_row = {
+  f7_app : string;
+  f7_cls : string;
+  f7_o3 : float;
+  f7_ga : float;
+}
+
+val fig7 : ?cfg:Ga.config -> ?seed:int -> ?apps:string list -> unit -> fig7_row list
+val print_fig7 : fig7_row list -> unit
+
+type fig8_row = {
+  f8_app : string;
+  f8_fractions : (string * float) list;   (** category name -> share *)
+}
+
+val fig8 : ?cfg:Ga.config -> ?seed:int -> ?apps:string list -> unit -> fig8_row list
+val print_fig8 : fig8_row list -> unit
+
+type fig9_point = {
+  f9_generation : int;
+  f9_best : float;    (** speedup over Android of the best genome so far *)
+  f9_worst : float;   (** of the worst measured genome in the generation *)
+}
+
+type fig9_row = { f9_app : string; f9_points : fig9_point list }
+
+val fig9 : ?cfg:Ga.config -> ?seed:int -> ?apps:string list -> unit -> fig9_row list
+val print_fig9 : fig9_row list -> unit
+
+(* ----------------------------- Figures 10/11 ----------------------- *)
+
+type fig10_row = {
+  f10_app : string;
+  f10_fork : float;
+  f10_prep : float;
+  f10_faults_cow : float;
+  f10_total : float;
+}
+
+val fig10 : ?seed:int -> ?eager:bool -> ?apps:string list -> unit -> fig10_row list
+(** [eager] switches to the CERE-style copy-at-fault ablation. *)
+
+val print_fig10 : fig10_row list -> unit
+
+type fig11_row = {
+  f11_app : string;
+  f11_program_mb : float;
+  f11_common_mb : float;
+}
+
+val fig11 : ?seed:int -> ?apps:string list -> unit -> fig11_row list
+val print_fig11 : fig11_row list -> unit
+
+val average : float list -> float

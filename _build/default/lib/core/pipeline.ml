@@ -1,0 +1,308 @@
+module App = Repro_apps.Registry
+module B = Repro_dex.Bytecode
+module Ctx = Repro_vm.Exec_ctx
+module Interp = Repro_vm.Interp
+module Cost = Repro_vm.Cost
+module Value = Repro_vm.Value
+module Binary = Repro_lir.Binary
+module Compile = Repro_lir.Compile
+module Exec = Repro_lir.Exec
+module Capture = Repro_capture.Capture
+module Snapshot = Repro_capture.Snapshot
+module Replay = Repro_capture.Replay
+module Verify = Repro_capture.Verify
+module Typeprof = Repro_capture.Typeprof
+module Profile = Repro_profiler.Profile
+module Regions = Repro_profiler.Regions
+module Genome = Repro_search.Genome
+module Ga = Repro_search.Ga
+module Rng = Repro_util.Rng
+module Stats = Repro_util.Stats
+
+type online = {
+  ctx : Ctx.t;
+  profile : Profile.t;
+  cycles : int;
+  ret : Value.t option;
+}
+
+let all_mids dx = Array.to_list (Array.map (fun m -> m.B.cm_id) dx.B.dx_methods)
+
+let android_cache : (string, Binary.t) Hashtbl.t = Hashtbl.create 32
+
+let android_binary_for app =
+  match Hashtbl.find_opt android_cache app.App.name with
+  | Some b -> b
+  | None ->
+    let dx = App.dexfile app in
+    let b = Compile.android_binary dx (all_mids dx) in
+    Hashtbl.add android_cache app.App.name b;
+    b
+
+let online_run ?(seed = 42) ?binary ?(sample_period = 20_000) app =
+  let ctx = App.build_ctx ~seed app in
+  ctx.Ctx.sample_period <- sample_period;
+  ctx.Ctx.next_sample <- sample_period;
+  (match binary with
+   | Some b -> Exec.install ctx b
+   | None -> Exec.install ctx (android_binary_for app));
+  let ret = Interp.run_main ctx in
+  { ctx; profile = Profile.of_ctx ctx; cycles = ctx.Ctx.cycles; ret }
+
+let hot_region_of app online =
+  Regions.hot_region (App.dexfile app) online.profile
+
+let region_methods app mid = Regions.compilable_region (App.dexfile app) mid
+
+type captured = {
+  snapshot : Snapshot.t;
+  overhead : Capture.overhead;
+  hot_mid : int;
+  online_with_capture : online;
+}
+
+let capture_once ?(seed = 42) ?(capture_at = 2) app =
+  (* a first run finds the hot region; the capture run targets it *)
+  let scout = online_run ~seed app in
+  match hot_region_of app scout with
+  | None -> None
+  | Some hot_mid ->
+    let ctx = App.build_ctx ~seed app in
+    ctx.Ctx.sample_period <- 20_000;
+    ctx.Ctx.next_sample <- 20_000;
+    let binary = android_binary_for app in
+    let base = Exec.dispatcher binary in
+    let result = ref None in
+    let entries = ref 0 in
+    let dispatch ctx' mid args =
+      if mid = hot_mid then incr entries;
+      if mid = hot_mid && !entries = capture_at && !result = None then begin
+        let r =
+          Capture.capture_region ~app:app.App.name ctx' ~mid ~args
+            ~run:(fun () -> base ctx' mid args)
+        in
+        result := Some r;
+        r.Capture.region_ret
+      end
+      else base ctx' mid args
+    in
+    Ctx.set_dispatch ctx dispatch;
+    let ret = Interp.run_main ctx in
+    (match !result with
+     | None -> None
+     | Some r ->
+       Some
+         { snapshot = r.Capture.snapshot;
+           overhead = r.Capture.overhead;
+           hot_mid;
+           online_with_capture =
+             { ctx; profile = Profile.of_ctx ctx; cycles = ctx.Ctx.cycles; ret } })
+
+type evaluation_env = {
+  dx : B.dexfile;
+  app : App.t;
+  capture : captured;
+  vmap : Verify.t;
+  typeprof : Typeprof.t;
+  region : int list;
+  android_region_ms : float;
+  o3_region_ms : float;
+  replays_per_eval : int;
+  noise_sigma : float;
+  rng : Rng.t;
+}
+
+(* Offline replays run on an idle device with pinned frequency (§4): the
+   remaining noise is small and multiplicative. *)
+let default_noise_sigma = 0.012
+
+let synth_times rng ~replays ~sigma cycles cost =
+  let ms = float_of_int cycles /. float_of_int cost.Cost.cycles_per_ms in
+  Array.init replays (fun _ -> ms *. Rng.lognormal rng ~mu:0.0 ~sigma)
+
+let region_binary_android env =
+  let b = android_binary_for env.app in
+  Binary.create (List.filter_map (Binary.find b) env.region)
+
+let replay_cycles_of_binary dx snap vmap binary =
+  match Verify.check dx snap vmap binary with
+  | Verify.Passed cycles -> Some cycles
+  | Verify.Wrong_output | Verify.Crashed _ | Verify.Hung -> None
+
+let make_eval_env ?(seed = 1234) ?(replays = 10) app capture =
+  let dx = App.dexfile app in
+  let rng = Rng.create seed in
+  let typeprof = Typeprof.create () in
+  let snap = capture.snapshot in
+  (* interpreted replay: verification map + dispatch-type profile (§3.4) *)
+  let r =
+    Replay.run dx snap Replay.Interpreter
+      ~record_vcall:(fun site cid -> Typeprof.record typeprof site cid)
+  in
+  let vmap =
+    match r.Replay.outcome with
+    | Replay.Finished (ret, _) ->
+      { Verify.writes = Verify.diff_against_snapshot r.Replay.ctx snap; ret }
+    | Replay.Crashed msg -> failwith ("interpreted replay crashed: " ^ msg)
+    | Replay.Hung -> failwith "interpreted replay hung"
+  in
+  let region = Regions.compilable_region dx capture.hot_mid in
+  let env0 =
+    { dx; app; capture; vmap; typeprof; region;
+      android_region_ms = nan; o3_region_ms = nan;
+      replays_per_eval = replays; noise_sigma = default_noise_sigma; rng }
+  in
+  let cost = Cost.default in
+  let ms_of_binary binary =
+    match replay_cycles_of_binary dx snap vmap binary with
+    | Some cycles ->
+      Stats.mean
+        (Stats.remove_outliers_mad
+           (synth_times rng ~replays ~sigma:default_noise_sigma cycles cost))
+    | None -> nan
+  in
+  let android_ms = ms_of_binary (region_binary_android env0) in
+  let o3 =
+    match
+      Compile.llvm_binary ~profile:(Typeprof.lookup typeprof) dx
+        Repro_lir.Pipelines.o3 region
+    with
+    | b -> ms_of_binary b
+    | exception (Compile.Compile_error _ | Compile.Compile_timeout) -> nan
+  in
+  { env0 with android_region_ms = android_ms; o3_region_ms = o3 }
+
+let binary_key binary =
+  let parts =
+    List.map
+      (fun mid ->
+         match Binary.find binary mid with
+         | Some f -> Repro_hgraph.Hir.to_string f
+         | None -> "")
+      (Binary.mids binary)
+  in
+  Digest.to_hex (Digest.string (String.concat "\n" parts))
+
+let evaluate_genome env genome =
+  let spec = Genome.to_spec genome in
+  match
+    Compile.llvm_binary ~profile:(Typeprof.lookup env.typeprof) env.dx spec
+      env.region
+  with
+  | exception Compile.Compile_error msg -> Ga.Compile_failed msg
+  | exception Compile.Compile_timeout -> Ga.Compile_failed "compile timeout"
+  | binary ->
+    (match Verify.check env.dx env.capture.snapshot env.vmap binary with
+     | Verify.Passed cycles ->
+       let times =
+         synth_times env.rng ~replays:env.replays_per_eval
+           ~sigma:env.noise_sigma cycles Cost.default
+       in
+       Ga.Measured
+         { times; size = binary.Binary.size; key = binary_key binary }
+     | Verify.Wrong_output -> Ga.Wrong_output
+     | Verify.Crashed msg -> Ga.Runtime_crashed msg
+     | Verify.Hung -> Ga.Runtime_hung)
+
+let replay_ms env binary =
+  match replay_cycles_of_binary env.dx env.capture.snapshot env.vmap binary with
+  | Some cycles ->
+    Some
+      (Stats.mean
+         (Stats.remove_outliers_mad
+            (synth_times env.rng ~replays:env.replays_per_eval
+               ~sigma:env.noise_sigma cycles Cost.default)))
+  | None -> None
+
+type optimized = {
+  env : evaluation_env;
+  ga : Ga.result;
+  best_genome : Genome.t option;
+  best_binary : Binary.t option;
+}
+
+let compile_genome env genome =
+  match
+    Compile.llvm_binary ~profile:(Typeprof.lookup env.typeprof) env.dx
+      (Genome.to_spec genome) env.region
+  with
+  | b -> Some b
+  | exception (Compile.Compile_error _ | Compile.Compile_timeout) -> None
+
+let optimize ?(seed = 99) ?(cfg = Ga.quick_config) app capture =
+  let env = make_eval_env ~seed:(seed + 1) app capture in
+  let rng = Rng.create seed in
+  let ga =
+    Ga.search rng cfg
+      ~evaluate:(evaluate_genome env)
+      ?baseline_ms:
+        (if Float.is_nan env.android_region_ms then None
+         else Some env.android_region_ms)
+      ?o3_ms:(if Float.is_nan env.o3_region_ms then None else Some env.o3_region_ms)
+      ()
+  in
+  let best =
+    match ga.Ga.best with
+    | None -> None
+    | Some (genome, fit) ->
+      Some (Ga.hill_climb rng ~evaluate:(evaluate_genome env) (genome, fit)
+              ~rounds:2)
+  in
+  let best_genome = Option.map fst best in
+  let best_binary = Option.bind best_genome (compile_genome env) in
+  { env; ga; best_genome; best_binary }
+
+let overlay base overlay_binary =
+  let funcs =
+    List.filter_map (Binary.find base) (Binary.mids base)
+  in
+  let combined = Binary.create funcs in
+  List.iter
+    (fun mid ->
+       match Binary.find overlay_binary mid with
+       | Some f -> Hashtbl.replace combined.Binary.funcs mid f
+       | None -> ())
+    (Binary.mids overlay_binary);
+  Binary.recompute_size combined;
+  combined
+
+let final_binary opt =
+  let base = android_binary_for opt.env.app in
+  match opt.best_binary with
+  | Some b -> overlay base b
+  | None -> base
+
+let o3_binary env =
+  let base = android_binary_for env.app in
+  match
+    Compile.llvm_binary ~profile:(Typeprof.lookup env.typeprof) env.dx
+      Repro_lir.Pipelines.o3 env.region
+  with
+  | b -> overlay base b
+  | exception (Compile.Compile_error _ | Compile.Compile_timeout) -> base
+
+type speedups = {
+  android_cycles : float;
+  o3_cycles : float;
+  ga_cycles : float;
+  o3_speedup : float;
+  ga_speedup : float;
+}
+
+let measure_speedups ?(runs = 5) app opt =
+  let android = android_binary_for app in
+  let o3 = o3_binary opt.env in
+  let ga = final_binary opt in
+  let mean_cycles binary =
+    let samples =
+      Array.init runs (fun i ->
+          float_of_int (online_run ~seed:(1000 + i) ~binary app).cycles)
+    in
+    Stats.mean samples
+  in
+  let android_cycles = mean_cycles android in
+  let o3_cycles = mean_cycles o3 in
+  let ga_cycles = mean_cycles ga in
+  { android_cycles; o3_cycles; ga_cycles;
+    o3_speedup = android_cycles /. o3_cycles;
+    ga_speedup = android_cycles /. ga_cycles }

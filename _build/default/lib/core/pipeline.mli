@@ -1,0 +1,99 @@
+(** The replay-based iterative compilation pipeline (paper Figure 6),
+    assembled from the substrate libraries:
+
+    online run (Android code) -> profile -> hot region -> capture ->
+    interpreted replay (verification map + dispatch profile) -> GA over
+    compile+verified-replay evaluations -> best binary installed. *)
+
+module App = Repro_apps.Registry
+
+type online = {
+  ctx : Repro_vm.Exec_ctx.t;      (** finished online run *)
+  profile : Repro_profiler.Profile.t;
+  cycles : int;
+  ret : Repro_vm.Value.t option;
+}
+
+val android_binary_for : App.t -> Repro_lir.Binary.t
+(** The device's default code: every compilable method, Android pipeline. *)
+
+val online_run :
+  ?seed:int -> ?binary:Repro_lir.Binary.t -> ?sample_period:int -> App.t ->
+  online
+(** One full online execution (out of the box: the Android binary). *)
+
+val hot_region_of : App.t -> online -> int option
+val region_methods : App.t -> int -> int list
+
+type captured = {
+  snapshot : Repro_capture.Snapshot.t;
+  overhead : Repro_capture.Capture.overhead;
+  hot_mid : int;
+  online_with_capture : online;
+}
+
+val capture_once : ?seed:int -> ?capture_at:int -> App.t -> captured option
+(** Run online under the Android binary with a capture scheduled for the
+    [capture_at]-th entry into the hot region (default 2: captures warm
+    state, after first-call initialization); [None] when no replayable hot
+    region exists. *)
+
+type evaluation_env = {
+  dx : Repro_dex.Bytecode.dexfile;
+  app : App.t;
+  capture : captured;
+  vmap : Repro_capture.Verify.t;
+  typeprof : Repro_capture.Typeprof.t;
+  region : int list;
+  android_region_ms : float;     (** replay fitness of the Android code *)
+  o3_region_ms : float;
+  replays_per_eval : int;
+  noise_sigma : float;
+  rng : Repro_util.Rng.t;
+}
+
+val make_eval_env : ?seed:int -> ?replays:int -> App.t -> captured ->
+  evaluation_env
+(** Interpreted replay for the verification map and type profile, plus
+    baseline replay measurements. *)
+
+val evaluate_genome :
+  evaluation_env -> Repro_search.Genome.t -> Repro_search.Ga.outcome
+(** Compile the genome for the region, verify by replay, measure.  The
+    deterministic replay cycle count is expanded into [replays_per_eval]
+    measurements through the offline noise model (replays run on an idle,
+    frequency-pinned device: §4). *)
+
+val replay_ms : evaluation_env -> Repro_lir.Binary.t -> float option
+(** Mean verified replay time of an arbitrary binary, [None] on failure. *)
+
+type optimized = {
+  env : evaluation_env;
+  ga : Repro_search.Ga.result;
+  best_genome : Repro_search.Genome.t option;
+  best_binary : Repro_lir.Binary.t option;  (** verified best, if any *)
+}
+
+val optimize :
+  ?seed:int -> ?cfg:Repro_search.Ga.config -> App.t -> captured -> optimized
+(** The full search, including the final hill-climbing step. *)
+
+val final_binary : optimized -> Repro_lir.Binary.t
+(** Android code with the GA-optimized region installed on top. *)
+
+val o3_binary : evaluation_env -> Repro_lir.Binary.t
+(** Android code with the region compiled at LLVM -O3 instead. *)
+
+type speedups = {
+  android_cycles : float;
+  o3_cycles : float;
+  ga_cycles : float;
+  o3_speedup : float;
+  ga_speedup : float;
+}
+
+val measure_speedups :
+  ?runs:int -> App.t -> optimized -> speedups
+(** Whole-program execution outside the replay environment (paper §4): the
+    same online runs under the three binaries, averaged over several
+    fixed-seed executions. *)

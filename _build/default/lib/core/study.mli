@@ -1,0 +1,17 @@
+(** Per-application study: capture + search + measurements, computed once
+    and shared by every experiment that needs it (Figures 7, 8, 9). *)
+
+type t = {
+  app : Repro_apps.Registry.t;
+  capture : Pipeline.captured;
+  opt : Pipeline.optimized;
+  speedups : Pipeline.speedups;
+}
+
+val run :
+  ?seed:int -> ?cfg:Repro_search.Ga.config -> Repro_apps.Registry.t ->
+  t option
+(** [None] if the app exposes no replayable hot region.  Results are
+    memoized per (app, config identity), so figure drivers share work. *)
+
+val clear_cache : unit -> unit

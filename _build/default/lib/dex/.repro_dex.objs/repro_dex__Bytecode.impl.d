@@ -1,0 +1,1 @@
+lib/dex/bytecode.ml: Array Ast

@@ -1,0 +1,1 @@
+lib/dex/disasm.ml: Array Ast Buffer Bytecode List Printf String

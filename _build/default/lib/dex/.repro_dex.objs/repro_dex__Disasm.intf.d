@@ -1,0 +1,1 @@
+lib/dex/disasm.mli: Bytecode

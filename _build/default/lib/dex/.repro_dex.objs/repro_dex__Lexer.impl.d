@@ -1,0 +1,1 @@
+lib/dex/lexer.ml: List Printf String

@@ -1,0 +1,1 @@
+lib/dex/lower.ml: Array Ast Bytecode Hashtbl List Option Parser Printf Typecheck

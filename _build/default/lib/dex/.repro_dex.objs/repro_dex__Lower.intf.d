@@ -1,0 +1,1 @@
+lib/dex/lower.mli: Bytecode Typecheck

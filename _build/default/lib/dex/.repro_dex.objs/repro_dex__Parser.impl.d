@@ -1,0 +1,1 @@
+lib/dex/parser.ml: Array Ast Lexer List Printf

@@ -1,0 +1,1 @@
+lib/dex/parser.mli: Ast

@@ -1,0 +1,1 @@
+lib/dex/typecheck.ml: Ast Bytecode Hashtbl List Option Printf

@@ -1,0 +1,1 @@
+lib/dex/typecheck.mli: Ast Bytecode

@@ -1,0 +1,99 @@
+(* Abstract syntax of MiniDex, the small Java-like language in which the
+   evaluation applications are written.  MiniDex stands in for Dalvik/Java
+   source in the reproduction: it has classes with single inheritance and
+   virtual dispatch, static methods and fields, int/float/bool scalars,
+   arrays, exceptions, and a set of built-in "native" calls (the [Sys] and
+   [Math] pseudo-classes) that model JNI, I/O and non-determinism. *)
+
+type typ =
+  | Tint
+  | Tfloat
+  | Tbool
+  | Tvoid
+  | Tarray of typ
+  | Tobj of string
+
+type binop =
+  | Add | Sub | Mul | Div | Rem
+  | Band | Bor | Bxor | Shl | Shr
+  | Lt | Le | Gt | Ge | Eq | Ne
+  | Land | Lor
+
+type unop = Neg | Not
+
+type expr =
+  | Eint of int
+  | Efloat of float
+  | Ebool of bool
+  | Enull
+  | Evar of string
+  | Ethis
+  | Ebinop of binop * expr * expr
+  | Eunop of unop * expr
+  | Estatic_call of string * string * expr list  (* Class.method(args) *)
+  | Evirtual_call of expr * string * expr list   (* obj.method(args) *)
+  | Enew of string * expr list                   (* new C(args) *)
+  | Enew_array of typ * expr                     (* new t[n] *)
+  | Eindex of expr * expr                        (* a[i] *)
+  | Efield of expr * string                      (* obj.f *)
+  | Estatic_field of string * string             (* Class.f *)
+  | Elen of expr                                 (* a.length *)
+  | Ecast of typ * expr                          (* (int)e / (float)e *)
+
+type lvalue =
+  | Lvar of string
+  | Lindex of expr * expr
+  | Lfield of expr * string
+  | Lstatic of string * string
+
+type stmt =
+  | Sdecl of typ * string * expr option
+  | Sassign of lvalue * expr
+  | Sif of expr * stmt list * stmt list
+  | Swhile of expr * stmt list
+  | Sfor of stmt option * expr * stmt option * stmt list
+  | Sreturn of expr option
+  | Sexpr of expr
+  | Sblock of stmt list
+  | Sthrow of expr
+  | Stry of stmt list * string * stmt list  (* try body / catch (int name) / handler *)
+  | Sbreak
+  | Scontinue
+
+type method_def = {
+  m_name : string;
+  m_static : bool;
+  m_ret : typ;
+  m_params : (typ * string) list;
+  m_body : stmt list;
+}
+
+type field_def = {
+  f_name : string;
+  f_typ : typ;
+  f_static : bool;
+  f_init : expr option;  (* static fields only; must be a constant *)
+}
+
+type class_def = {
+  c_name : string;
+  c_super : string option;
+  c_fields : field_def list;
+  c_methods : method_def list;
+}
+
+type program = class_def list
+
+let rec string_of_typ = function
+  | Tint -> "int"
+  | Tfloat -> "float"
+  | Tbool -> "bool"
+  | Tvoid -> "void"
+  | Tarray t -> string_of_typ t ^ "[]"
+  | Tobj c -> c
+
+let string_of_binop = function
+  | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/" | Rem -> "%"
+  | Band -> "&" | Bor -> "|" | Bxor -> "^" | Shl -> "<<" | Shr -> ">>"
+  | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">=" | Eq -> "==" | Ne -> "!="
+  | Land -> "&&" | Lor -> "||"

@@ -1,0 +1,141 @@
+(* Register-based bytecode in the style of Dalvik.  A program is lowered to a
+   [dexfile]: a set of classes with field layouts and vtables, plus one
+   register-machine code array per method.  This is the representation the
+   online interpreter executes and from which the HGraph IR is built. *)
+
+type reg = int
+
+type const =
+  | Cint of int
+  | Cfloat of float
+  | Cbool of bool
+  | Cnull
+
+(* Built-in native methods.  These model JNI and platform calls: [Math]
+   methods are JNI natives that the LLVM backend may replace with intrinsics
+   (paper §3.5); [Nprint]/[Ndraw] are I/O; [Nrand]/[Nclock] are sources of
+   non-determinism.  The last four make a method unreplayable (§3.1). *)
+type native =
+  | Nsqrt | Nsin | Ncos | Nabs_f | Nabs_i | Nfloor | Nexp | Nlog | Npow
+  | Nmin_i | Nmax_i | Nmin_f | Nmax_f
+  | Nprint_i | Nprint_f
+  | Ndraw
+  | Nrand
+  | Nclock
+
+type cond = Ceq | Cne | Clt | Cle | Cgt | Cge
+
+type insn =
+  | Const of reg * const
+  | Move of reg * reg
+  | Binop of Ast.binop * reg * reg * reg       (* dst, a, b *)
+  | Unop of Ast.unop * reg * reg
+  | IntToFloat of reg * reg
+  | FloatToInt of reg * reg
+  | If of cond * reg * reg * int               (* branch target = insn index *)
+  | Ifz of cond * reg * int                    (* compare against zero/null *)
+  | Goto of int
+  | NewObj of reg * int                        (* dst, class id *)
+  | NewArr of reg * elem_kind * reg            (* dst, kind, length reg *)
+  | ALoad of elem_kind * reg * reg * reg       (* dst, array, index *)
+  | AStore of elem_kind * reg * reg * reg      (* array, index, src *)
+  | ArrLen of reg * reg
+  | IGet of elem_kind * reg * reg * int        (* dst, obj, field offset *)
+  | IPut of elem_kind * reg * reg * int        (* obj, src, field offset *)
+  | SGet of elem_kind * reg * int              (* dst, static slot *)
+  | SPut of elem_kind * int * reg              (* static slot, src *)
+  | InvokeStatic of reg option * int * reg list       (* ret, method id, args *)
+  | InvokeVirtual of reg option * int * reg list      (* ret, vtable slot, args;
+                                                         receiver is first arg *)
+  | InvokeNative of reg option * native * reg list
+  | Ret of reg option
+  | Throw of reg
+
+and elem_kind = Kint | Kfloat | Kbool | Kref
+
+type compiled_method = {
+  cm_id : int;
+  cm_class : int;                      (* defining class id; -1 for none *)
+  cm_class_name : string;
+  cm_name : string;
+  cm_static : bool;
+  cm_nparams : int;                    (* includes [this] for virtuals *)
+  cm_param_kinds : elem_kind array;    (* one per parameter register *)
+  cm_nregs : int;
+  cm_code : insn array;
+  cm_ret : Ast.typ;
+  cm_has_try : bool;                   (* methods with try/catch are
+                                          "uncompilable" by the Android
+                                          backend in our model *)
+  cm_handlers : (int * int * reg * int) array;
+  (* (start, end_) protected insn range, exception value register, handler
+     entry index; innermost handler listed first *)
+}
+
+type class_info = {
+  ci_id : int;
+  ci_name : string;
+  ci_super : int option;
+  ci_nfields : int;                    (* instance slots incl. inherited *)
+  ci_field_offset : (string * int) list;
+  ci_vtable : int array;               (* vtable slot -> method id *)
+  ci_vslot_names : string array;       (* slot -> method name, for debug *)
+}
+
+type static_init = { si_slot : int; si_value : const }
+
+type dexfile = {
+  dx_classes : class_info array;
+  dx_methods : compiled_method array;
+  dx_nstatics : int;
+  dx_static_names : (string * int) list;   (* "Class.field" -> slot *)
+  dx_static_inits : static_init list;
+  dx_main : int;                            (* method id of Main.main *)
+}
+
+let native_name = function
+  | Nsqrt -> "Math.sqrt" | Nsin -> "Math.sin" | Ncos -> "Math.cos"
+  | Nabs_f -> "Math.fabs" | Nabs_i -> "Math.abs" | Nfloor -> "Math.floor"
+  | Nexp -> "Math.exp" | Nlog -> "Math.log" | Npow -> "Math.pow"
+  | Nmin_i -> "Math.min" | Nmax_i -> "Math.max"
+  | Nmin_f -> "Math.fmin" | Nmax_f -> "Math.fmax"
+  | Nprint_i -> "Sys.print" | Nprint_f -> "Sys.printf"
+  | Ndraw -> "Sys.draw" | Nrand -> "Sys.rand" | Nclock -> "Sys.clock"
+
+(* Is this native an I/O operation (observable side effect outside memory)? *)
+let native_is_io = function
+  | Nprint_i | Nprint_f | Ndraw -> true
+  | Nsqrt | Nsin | Ncos | Nabs_f | Nabs_i | Nfloor | Nexp | Nlog | Npow
+  | Nmin_i | Nmax_i | Nmin_f | Nmax_f | Nrand | Nclock -> false
+
+(* Is this native non-deterministic? *)
+let native_is_nondet = function
+  | Nrand | Nclock -> true
+  | Nsqrt | Nsin | Ncos | Nabs_f | Nabs_i | Nfloor | Nexp | Nlog | Npow
+  | Nmin_i | Nmax_i | Nmin_f | Nmax_f | Nprint_i | Nprint_f | Ndraw -> false
+
+(* Math natives have pure LLVM-IR equivalents (intrinsics); they do not make
+   a region unreplayable and the backend's JNI->intrinsic pass can inline
+   them (§3.5). *)
+let native_has_intrinsic n = not (native_is_io n) && not (native_is_nondet n)
+
+let find_class dx name =
+  let rec loop i =
+    if i >= Array.length dx.dx_classes then None
+    else if dx.dx_classes.(i).ci_name = name then Some dx.dx_classes.(i)
+    else loop (i + 1)
+  in
+  loop 0
+
+let find_method dx cls_name m_name =
+  let rec loop i =
+    if i >= Array.length dx.dx_methods then None
+    else begin
+      let m = dx.dx_methods.(i) in
+      if m.cm_class_name = cls_name && m.cm_name = m_name then Some m
+      else loop (i + 1)
+    end
+  in
+  loop 0
+
+let method_full_name m = m.cm_class_name ^ "." ^ m.cm_name

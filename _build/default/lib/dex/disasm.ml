@@ -1,0 +1,79 @@
+module B = Bytecode
+
+let const = function
+  | B.Cint k -> string_of_int k
+  | B.Cfloat f -> Printf.sprintf "%g" f
+  | B.Cbool b -> string_of_bool b
+  | B.Cnull -> "null"
+
+let cond = function
+  | B.Ceq -> "eq" | B.Cne -> "ne" | B.Clt -> "lt"
+  | B.Cle -> "le" | B.Cgt -> "gt" | B.Cge -> "ge"
+
+let kind = function
+  | B.Kint -> "i" | B.Kfloat -> "f" | B.Kbool -> "b" | B.Kref -> "r"
+
+let r k = "r" ^ string_of_int k
+let regs rs = String.concat ", " (List.map r rs)
+
+let mname (dx : B.dexfile) mid = B.method_full_name dx.B.dx_methods.(mid)
+
+let insn dx = function
+  | B.Const (d, c) -> Printf.sprintf "%s = const %s" (r d) (const c)
+  | B.Move (d, s) -> Printf.sprintf "%s = %s" (r d) (r s)
+  | B.Binop (op, d, a, b) ->
+    Printf.sprintf "%s = %s %s %s" (r d) (r a) (Ast.string_of_binop op) (r b)
+  | B.Unop (Ast.Neg, d, a) -> Printf.sprintf "%s = neg %s" (r d) (r a)
+  | B.Unop (Ast.Not, d, a) -> Printf.sprintf "%s = not %s" (r d) (r a)
+  | B.IntToFloat (d, a) -> Printf.sprintf "%s = i2f %s" (r d) (r a)
+  | B.FloatToInt (d, a) -> Printf.sprintf "%s = f2i %s" (r d) (r a)
+  | B.If (c, a, b, t) -> Printf.sprintf "if-%s %s, %s -> @%d" (cond c) (r a) (r b) t
+  | B.Ifz (c, a, t) -> Printf.sprintf "if-%sz %s -> @%d" (cond c) (r a) t
+  | B.Goto t -> Printf.sprintf "goto @%d" t
+  | B.NewObj (d, cid) ->
+    Printf.sprintf "%s = new %s" (r d) dx.B.dx_classes.(cid).B.ci_name
+  | B.NewArr (d, k, len) ->
+    Printf.sprintf "%s = new-array.%s [%s]" (r d) (kind k) (r len)
+  | B.ALoad (k, d, a, i) ->
+    Printf.sprintf "%s = aload.%s %s[%s]" (r d) (kind k) (r a) (r i)
+  | B.AStore (k, a, i, s) ->
+    Printf.sprintf "astore.%s %s[%s] = %s" (kind k) (r a) (r i) (r s)
+  | B.ArrLen (d, a) -> Printf.sprintf "%s = len %s" (r d) (r a)
+  | B.IGet (k, d, o, off) -> Printf.sprintf "%s = iget.%s %s.f%d" (r d) (kind k) (r o) off
+  | B.IPut (k, o, s, off) -> Printf.sprintf "iput.%s %s.f%d = %s" (kind k) (r o) off (r s)
+  | B.SGet (k, d, slot) -> Printf.sprintf "%s = sget.%s s%d" (r d) (kind k) slot
+  | B.SPut (k, slot, s) -> Printf.sprintf "sput.%s s%d = %s" (kind k) slot (r s)
+  | B.InvokeStatic (ret, mid, args) ->
+    Printf.sprintf "%sinvoke-static %s(%s)"
+      (match ret with Some d -> r d ^ " = " | None -> "")
+      (mname dx mid) (regs args)
+  | B.InvokeVirtual (ret, slot, args) ->
+    Printf.sprintf "%sinvoke-virtual vslot%d(%s)"
+      (match ret with Some d -> r d ^ " = " | None -> "")
+      slot (regs args)
+  | B.InvokeNative (ret, n, args) ->
+    Printf.sprintf "%sinvoke-native %s(%s)"
+      (match ret with Some d -> r d ^ " = " | None -> "")
+      (B.native_name n) (regs args)
+  | B.Ret None -> "ret"
+  | B.Ret (Some a) -> Printf.sprintf "ret %s" (r a)
+  | B.Throw a -> Printf.sprintf "throw %s" (r a)
+
+let method_ dx (m : B.compiled_method) =
+  let buf = Buffer.create 256 in
+  Printf.bprintf buf "%s %s.%s (params=%d regs=%d)\n"
+    (if m.B.cm_static then "static" else "virtual")
+    m.B.cm_class_name m.B.cm_name m.B.cm_nparams m.B.cm_nregs;
+  Array.iteri
+    (fun i ins -> Printf.bprintf buf "  @%-3d %s\n" i (insn dx ins))
+    m.B.cm_code;
+  Array.iter
+    (fun (s, e, rexc, h) ->
+       Printf.bprintf buf "  try [@%d, @%d) catch -> @%d (exc in %s)\n" s e h (r rexc))
+    m.B.cm_handlers;
+  Buffer.contents buf
+
+let dexfile dx =
+  let buf = Buffer.create 1024 in
+  Array.iter (fun m -> Buffer.add_string buf (method_ dx m)) dx.B.dx_methods;
+  Buffer.contents buf

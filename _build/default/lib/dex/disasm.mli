@@ -1,0 +1,5 @@
+(** Human-readable dumps of bytecode, for debugging and the CLI. *)
+
+val insn : Bytecode.dexfile -> Bytecode.insn -> string
+val method_ : Bytecode.dexfile -> Bytecode.compiled_method -> string
+val dexfile : Bytecode.dexfile -> string

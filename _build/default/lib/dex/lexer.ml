@@ -1,0 +1,107 @@
+type token =
+  | INT of int
+  | FLOAT of float
+  | IDENT of string
+  | KW of string
+  | PUNCT of string
+  | EOF
+
+exception Lex_error of string * int
+
+let keywords =
+  [ "class"; "extends"; "static"; "int"; "float"; "bool"; "void";
+    "if"; "else"; "while"; "for"; "return"; "new"; "true"; "false";
+    "null"; "this"; "throw"; "try"; "catch"; "break"; "continue" ]
+
+let is_keyword s = List.mem s keywords
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+(* Two-character punctuation must be matched before single characters. *)
+let punct2 = [ "<="; ">="; "=="; "!="; "&&"; "||"; "<<"; ">>" ]
+let punct1 = "+-*/%<>=!&|^(){}[];,."
+
+let tokenize src =
+  let n = String.length src in
+  let toks = ref [] in
+  let line = ref 1 in
+  let i = ref 0 in
+  let peek k = if !i + k < n then Some src.[!i + k] else None in
+  let emit t = toks := (t, !line) :: !toks in
+  while !i < n do
+    let c = src.[!i] in
+    if c = '\n' then begin incr line; incr i end
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = '/' && peek 1 = Some '/' then begin
+      while !i < n && src.[!i] <> '\n' do incr i done
+    end
+    else if c = '/' && peek 1 = Some '*' then begin
+      i := !i + 2;
+      let closed = ref false in
+      while not !closed do
+        if !i + 1 >= n then raise (Lex_error ("unterminated comment", !line));
+        if src.[!i] = '\n' then incr line;
+        if src.[!i] = '*' && src.[!i + 1] = '/' then begin
+          closed := true;
+          i := !i + 2
+        end
+        else incr i
+      done
+    end
+    else if is_digit c then begin
+      let start = !i in
+      while !i < n && is_digit src.[!i] do incr i done;
+      let is_float =
+        !i < n && src.[!i] = '.' && !i + 1 < n && is_digit src.[!i + 1]
+      in
+      if is_float then begin
+        incr i;
+        while !i < n && is_digit src.[!i] do incr i done;
+        if !i < n && (src.[!i] = 'e' || src.[!i] = 'E') then begin
+          incr i;
+          if !i < n && (src.[!i] = '+' || src.[!i] = '-') then incr i;
+          while !i < n && is_digit src.[!i] do incr i done
+        end;
+        emit (FLOAT (float_of_string (String.sub src start (!i - start))))
+      end
+      else if !i < n && (src.[!i] = 'e' || src.[!i] = 'E') then begin
+        incr i;
+        if !i < n && (src.[!i] = '+' || src.[!i] = '-') then incr i;
+        while !i < n && is_digit src.[!i] do incr i done;
+        emit (FLOAT (float_of_string (String.sub src start (!i - start))))
+      end
+      else emit (INT (int_of_string (String.sub src start (!i - start))))
+    end
+    else if is_ident_start c then begin
+      let start = !i in
+      while !i < n && is_ident_char src.[!i] do incr i done;
+      let s = String.sub src start (!i - start) in
+      emit (if is_keyword s then KW s else IDENT s)
+    end
+    else begin
+      let two =
+        if !i + 1 < n then Some (String.sub src !i 2) else None
+      in
+      match two with
+      | Some p when List.mem p punct2 ->
+        emit (PUNCT p);
+        i := !i + 2
+      | _ ->
+        if String.contains punct1 c then begin
+          emit (PUNCT (String.make 1 c));
+          incr i
+        end
+        else raise (Lex_error (Printf.sprintf "unexpected character %C" c, !line))
+    end
+  done;
+  List.rev ((EOF, !line) :: !toks)
+
+let string_of_token = function
+  | INT k -> string_of_int k
+  | FLOAT f -> string_of_float f
+  | IDENT s -> s
+  | KW s -> s
+  | PUNCT s -> s
+  | EOF -> "<eof>"

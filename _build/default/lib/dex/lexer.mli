@@ -1,0 +1,17 @@
+(** Hand-written lexer for MiniDex source text. *)
+
+type token =
+  | INT of int
+  | FLOAT of float
+  | IDENT of string
+  | KW of string         (** reserved word *)
+  | PUNCT of string      (** operator or delimiter, e.g. ["<="], ["{"] *)
+  | EOF
+
+exception Lex_error of string * int  (** message, line number *)
+
+val tokenize : string -> (token * int) list
+(** [tokenize src] returns the token stream with line numbers.
+    @raise Lex_error on malformed input. *)
+
+val string_of_token : token -> string

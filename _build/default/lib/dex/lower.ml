@@ -1,0 +1,580 @@
+open Typecheck
+module B = Bytecode
+
+exception Lower_error of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Lower_error s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Global layout: class ids, vtable slots, static slots, method ids    *)
+(* ------------------------------------------------------------------ *)
+
+type layout = {
+  prog : tprogram;
+  class_id : (string, int) Hashtbl.t;
+  (* per class: method name -> vtable slot (inherited slots included) *)
+  vslots : (string, (string * int) list) Hashtbl.t;
+  field_off : (string, (string * int) list) Hashtbl.t;
+  static_slot : (string, int) Hashtbl.t;        (* "Class.field" -> slot *)
+  method_id : (string, int) Hashtbl.t;          (* "Class.method" -> id *)
+  mutable nstatics : int;
+}
+
+let class_of lay name =
+  match List.find_opt (fun c -> c.tc_name = name) lay.prog with
+  | Some c -> c
+  | None -> err "unknown class %s" name
+
+let rec build_vslots lay name =
+  match Hashtbl.find_opt lay.vslots name with
+  | Some s -> s
+  | None ->
+    let c = class_of lay name in
+    let inherited =
+      match c.tc_super with Some s -> build_vslots lay s | None -> []
+    in
+    let next = ref (List.length inherited) in
+    let own =
+      List.filter_map
+        (fun m ->
+           if m.tm_static then None
+           else if List.mem_assoc m.tm_name inherited then None
+           else begin
+             let slot = !next in
+             incr next;
+             Some (m.tm_name, slot)
+           end)
+        c.tc_methods
+    in
+    let slots = inherited @ own in
+    Hashtbl.add lay.vslots name slots;
+    slots
+
+let build_layout (prog : tprogram) : layout =
+  let lay = {
+    prog;
+    class_id = Hashtbl.create 16;
+    vslots = Hashtbl.create 16;
+    field_off = Hashtbl.create 16;
+    static_slot = Hashtbl.create 16;
+    method_id = Hashtbl.create 64;
+    nstatics = 0;
+  } in
+  List.iteri (fun i c -> Hashtbl.add lay.class_id c.tc_name i) prog;
+  List.iter
+    (fun c ->
+       ignore (build_vslots lay c.tc_name);
+       Hashtbl.add lay.field_off c.tc_name
+         (List.mapi (fun i (f, _) -> (f, i)) c.tc_instance_fields);
+       List.iter
+         (fun (f, _, _) ->
+            Hashtbl.add lay.static_slot (c.tc_name ^ "." ^ f) lay.nstatics;
+            lay.nstatics <- lay.nstatics + 1)
+         c.tc_static_fields)
+    prog;
+  let mid = ref 0 in
+  List.iter
+    (fun c ->
+       List.iter
+         (fun m ->
+            Hashtbl.add lay.method_id (c.tc_name ^ "." ^ m.tm_name) !mid;
+            incr mid)
+         c.tc_methods)
+    prog;
+  lay
+
+(* Static-field slot, searching the superclass chain for the owner. *)
+let rec static_slot lay cls fname =
+  match Hashtbl.find_opt lay.static_slot (cls ^ "." ^ fname) with
+  | Some s -> s
+  | None ->
+    (match (class_of lay cls).tc_super with
+     | Some s -> static_slot lay s fname
+     | None -> err "no static slot %s.%s" cls fname)
+
+let rec field_offset lay cls fname =
+  match List.assoc_opt fname (Hashtbl.find lay.field_off cls) with
+  | Some off -> off
+  | None ->
+    (match (class_of lay cls).tc_super with
+     | Some s -> field_offset lay s fname
+     | None -> err "no field offset %s.%s" cls fname)
+
+let vslot lay cls mname =
+  match List.assoc_opt mname (build_vslots lay cls) with
+  | Some s -> s
+  | None -> err "no vtable slot for %s.%s" cls mname
+
+(* Method id for a statically-resolved target (searching ancestors). *)
+let rec resolve_method_id lay cls mname =
+  match Hashtbl.find_opt lay.method_id (cls ^ "." ^ mname) with
+  | Some id -> id
+  | None ->
+    (match (class_of lay cls).tc_super with
+     | Some s -> resolve_method_id lay s mname
+     | None -> err "no method id for %s.%s" cls mname)
+
+let elem_kind_of_typ : Ast.typ -> B.elem_kind = function
+  | Ast.Tint -> B.Kint
+  | Ast.Tfloat -> B.Kfloat
+  | Ast.Tbool -> B.Kbool
+  | Ast.Tobj _ | Ast.Tarray _ -> B.Kref
+  | Ast.Tvoid -> err "void array element"
+
+(* ------------------------------------------------------------------ *)
+(* Per-method emission                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Instructions are emitted with symbolic labels, resolved in a second
+   pass.  [Pinsn] wraps final instructions whose operands are complete. *)
+type pre =
+  | Pinsn of B.insn
+  | Plabel of int
+  | Pif of B.cond * B.reg * B.reg * int     (* label *)
+  | Pifz of B.cond * B.reg * int
+  | Pgoto of int
+  | Ptry_start of int                       (* try id *)
+  | Ptry_end of int
+
+type emitter = {
+  lay : layout;
+  cur_class : string;
+  mutable buf : pre list;                   (* reversed *)
+  mutable next_reg : int;
+  mutable next_label : int;
+  mutable env : (string * B.reg) list;
+  mutable loop_stack : (int * int) list;    (* (break label, continue label) *)
+  mutable tries : (int * B.reg * int) list; (* try id, exc reg, handler label *)
+  mutable next_try : int;
+  mutable has_try : bool;
+}
+
+let emit em p = em.buf <- p :: em.buf
+let fresh_reg em = let r = em.next_reg in em.next_reg <- r + 1; r
+let fresh_label em = let l = em.next_label in em.next_label <- l + 1; l
+
+let cond_of_binop : Ast.binop -> B.cond option = function
+  | Ast.Lt -> Some B.Clt | Ast.Le -> Some B.Cle
+  | Ast.Gt -> Some B.Cgt | Ast.Ge -> Some B.Cge
+  | Ast.Eq -> Some B.Ceq | Ast.Ne -> Some B.Cne
+  | Ast.Add | Ast.Sub | Ast.Mul | Ast.Div | Ast.Rem | Ast.Band | Ast.Bor
+  | Ast.Bxor | Ast.Shl | Ast.Shr | Ast.Land | Ast.Lor -> None
+
+let rec lower_expr em (e : texpr) : B.reg =
+  match e.e with
+  | Tint_lit k -> let r = fresh_reg em in emit em (Pinsn (B.Const (r, B.Cint k))); r
+  | Tfloat_lit f -> let r = fresh_reg em in emit em (Pinsn (B.Const (r, B.Cfloat f))); r
+  | Tbool_lit b -> let r = fresh_reg em in emit em (Pinsn (B.Const (r, B.Cbool b))); r
+  | Tnull -> let r = fresh_reg em in emit em (Pinsn (B.Const (r, B.Cnull))); r
+  | Tlocal name ->
+    (match List.assoc_opt name em.env with
+     | Some r -> r
+     | None -> err "lower: unbound local %s" name)
+  | Tthis -> 0
+  | Tbinop ((Ast.Land | Ast.Lor), _, _) -> lower_bool_expr em e
+  | Tbinop (op, a, b) ->
+    let ra = lower_expr em a in
+    let rb = lower_expr em b in
+    let r = fresh_reg em in
+    emit em (Pinsn (B.Binop (op, r, ra, rb)));
+    r
+  | Tunop (op, a) ->
+    let ra = lower_expr em a in
+    let r = fresh_reg em in
+    emit em (Pinsn (B.Unop (op, r, ra)));
+    r
+  | Tcast (Ast.Tfloat, a) ->
+    let ra = lower_expr em a in
+    let r = fresh_reg em in
+    emit em (Pinsn (B.IntToFloat (r, ra)));
+    r
+  | Tcast (Ast.Tint, a) ->
+    let ra = lower_expr em a in
+    let r = fresh_reg em in
+    emit em (Pinsn (B.FloatToInt (r, ra)));
+    r
+  | Tcast (_, _) -> err "lower: unsupported cast"
+  | Tstatic_call (cls, name, args) ->
+    let rargs = List.map (lower_expr em) args in
+    let mid = resolve_method_id em.lay cls name in
+    let ret = if e.t = Ast.Tvoid then None else Some (fresh_reg em) in
+    emit em (Pinsn (B.InvokeStatic (ret, mid, rargs)));
+    (match ret with Some r -> r | None -> 0)
+  | Tvirtual_call (recv, name, args) ->
+    let rrecv = lower_expr em recv in
+    let rargs = List.map (lower_expr em) args in
+    let cls =
+      match recv.t with
+      | Ast.Tobj c -> c
+      | _ -> err "virtual call on non-object"
+    in
+    let slot = vslot em.lay cls name in
+    let ret = if e.t = Ast.Tvoid then None else Some (fresh_reg em) in
+    emit em (Pinsn (B.InvokeVirtual (ret, slot, rrecv :: rargs)));
+    (match ret with Some r -> r | None -> 0)
+  | Tnative_call (n, args) ->
+    let rargs = List.map (lower_expr em) args in
+    let ret = if e.t = Ast.Tvoid then None else Some (fresh_reg em) in
+    emit em (Pinsn (B.InvokeNative (ret, n, rargs)));
+    (match ret with Some r -> r | None -> 0)
+  | Tnew (cls, args) ->
+    let cid =
+      match Hashtbl.find_opt em.lay.class_id cls with
+      | Some i -> i
+      | None -> err "new of unknown class %s" cls
+    in
+    let robj = fresh_reg em in
+    emit em (Pinsn (B.NewObj (robj, cid)));
+    if args <> [] || Typecheck.method_sig em.lay.prog cls "init" <> None then begin
+      match Typecheck.method_sig em.lay.prog cls "init" with
+      | Some (false, _, _) ->
+        let rargs = List.map (lower_expr em) args in
+        let slot = vslot em.lay cls "init" in
+        emit em (Pinsn (B.InvokeVirtual (None, slot, robj :: rargs)))
+      | Some (true, _, _) -> err "static constructor in %s" cls
+      | None -> ()
+    end;
+    robj
+  | Tnew_array (elem, len) ->
+    let rlen = lower_expr em len in
+    let r = fresh_reg em in
+    emit em (Pinsn (B.NewArr (r, elem_kind_of_typ elem, rlen)));
+    r
+  | Tindex (arr, idx) ->
+    let ra = lower_expr em arr in
+    let ri = lower_expr em idx in
+    let r = fresh_reg em in
+    emit em (Pinsn (B.ALoad (elem_kind_of_typ e.t, r, ra, ri)));
+    r
+  | Tfield (obj, fname) ->
+    let robj = lower_expr em obj in
+    let cls = match obj.t with Ast.Tobj c -> c | _ -> err "field on non-object" in
+    let off = field_offset em.lay cls fname in
+    let r = fresh_reg em in
+    emit em (Pinsn (B.IGet (elem_kind_of_typ e.t, r, robj, off)));
+    r
+  | Tstatic_field (cls, fname) ->
+    let slot = static_slot em.lay cls fname in
+    let r = fresh_reg em in
+    emit em (Pinsn (B.SGet (elem_kind_of_typ e.t, r, slot)));
+    r
+  | Tlen arr ->
+    let ra = lower_expr em arr in
+    let r = fresh_reg em in
+    emit em (Pinsn (B.ArrLen (r, ra)));
+    r
+
+(* Lower a boolean expression used as a value (&& and || short-circuit). *)
+and lower_bool_expr em (e : texpr) : B.reg =
+  let r = fresh_reg em in
+  let l_true = fresh_label em in
+  let l_false = fresh_label em in
+  let l_end = fresh_label em in
+  lower_cond em e ~if_true:l_true ~if_false:l_false;
+  emit em (Plabel l_true);
+  emit em (Pinsn (B.Const (r, B.Cbool true)));
+  emit em (Pgoto l_end);
+  emit em (Plabel l_false);
+  emit em (Pinsn (B.Const (r, B.Cbool false)));
+  emit em (Plabel l_end);
+  r
+
+(* Lower a condition into control flow, fusing integer comparisons into
+   compare-and-branch instructions as dex does. *)
+and lower_cond em (e : texpr) ~if_true ~if_false =
+  match e.e with
+  | Tbool_lit true -> emit em (Pgoto if_true)
+  | Tbool_lit false -> emit em (Pgoto if_false)
+  | Tunop (Ast.Not, inner) -> lower_cond em inner ~if_true:if_false ~if_false:if_true
+  | Tbinop (Ast.Land, a, b) ->
+    let l_mid = fresh_label em in
+    lower_cond em a ~if_true:l_mid ~if_false;
+    emit em (Plabel l_mid);
+    lower_cond em b ~if_true ~if_false
+  | Tbinop (Ast.Lor, a, b) ->
+    let l_mid = fresh_label em in
+    lower_cond em a ~if_true ~if_false:l_mid;
+    emit em (Plabel l_mid);
+    lower_cond em b ~if_true ~if_false
+  | Tbinop (op, a, b) when cond_of_binop op <> None ->
+    let c = Option.get (cond_of_binop op) in
+    let ra = lower_expr em a in
+    let rb = lower_expr em b in
+    emit em (Pif (c, ra, rb, if_true));
+    emit em (Pgoto if_false)
+  | Tint_lit _ | Tfloat_lit _ | Tnull | Tlocal _ | Tthis | Tbinop _ | Tunop _
+  | Tstatic_call _ | Tvirtual_call _ | Tnative_call _ | Tnew _ | Tnew_array _
+  | Tindex _ | Tfield _ | Tstatic_field _ | Tlen _ | Tcast _ ->
+    let r = lower_expr em e in
+    emit em (Pifz (B.Cne, r, if_true));
+    emit em (Pgoto if_false)
+
+let lower_lvalue_store em (lv : tlvalue) (rsrc : B.reg) (t : Ast.typ) =
+  match lv with
+  | TLlocal name ->
+    (match List.assoc_opt name em.env with
+     | Some r -> emit em (Pinsn (B.Move (r, rsrc)))
+     | None -> err "lower: unbound local %s" name)
+  | TLindex (arr, idx) ->
+    let ra = lower_expr em arr in
+    let ri = lower_expr em idx in
+    emit em (Pinsn (B.AStore (elem_kind_of_typ t, ra, ri, rsrc)))
+  | TLfield (obj, fname) ->
+    let robj = lower_expr em obj in
+    let cls = match obj.t with Ast.Tobj c -> c | _ -> err "field on non-object" in
+    emit em (Pinsn (B.IPut (elem_kind_of_typ t, robj, rsrc, field_offset em.lay cls fname)))
+  | TLstatic (cls, fname) ->
+    emit em (Pinsn (B.SPut (elem_kind_of_typ t, static_slot em.lay cls fname, rsrc)))
+
+let rec lower_stmts em stmts = List.iter (lower_stmt em) stmts
+
+and lower_block em stmts =
+  let saved = em.env in
+  lower_stmts em stmts;
+  em.env <- saved
+
+and lower_stmt em = function
+  | TSdecl (t, name, init) ->
+    let r = fresh_reg em in
+    (match init with
+     | Some e ->
+       let rv = lower_expr em e in
+       emit em (Pinsn (B.Move (r, rv)))
+     | None ->
+       let default =
+         match t with
+         | Ast.Tint -> B.Cint 0
+         | Ast.Tfloat -> B.Cfloat 0.0
+         | Ast.Tbool -> B.Cbool false
+         | Ast.Tarray _ | Ast.Tobj _ -> B.Cnull
+         | Ast.Tvoid -> err "void local"
+       in
+       emit em (Pinsn (B.Const (r, default))));
+    em.env <- (name, r) :: em.env
+  | TSassign (lv, rhs) ->
+    let t = rhs.t in
+    let r = lower_expr em rhs in
+    lower_lvalue_store em lv r t
+  | TSif (cond, th, el) ->
+    let l_then = fresh_label em in
+    let l_else = fresh_label em in
+    let l_end = fresh_label em in
+    lower_cond em cond ~if_true:l_then ~if_false:l_else;
+    emit em (Plabel l_then);
+    lower_block em th;
+    emit em (Pgoto l_end);
+    emit em (Plabel l_else);
+    lower_block em el;
+    emit em (Plabel l_end)
+  | TSwhile (cond, body) ->
+    let l_head = fresh_label em in
+    let l_body = fresh_label em in
+    let l_end = fresh_label em in
+    emit em (Plabel l_head);
+    lower_cond em cond ~if_true:l_body ~if_false:l_end;
+    emit em (Plabel l_body);
+    em.loop_stack <- (l_end, l_head) :: em.loop_stack;
+    lower_block em body;
+    em.loop_stack <- List.tl em.loop_stack;
+    emit em (Pgoto l_head);
+    emit em (Plabel l_end)
+  | TSreturn None -> emit em (Pinsn (B.Ret None))
+  | TSreturn (Some e) ->
+    let r = lower_expr em e in
+    emit em (Pinsn (B.Ret (Some r)))
+  | TSexpr e -> ignore (lower_expr em e)
+  | TSthrow e ->
+    let r = lower_expr em e in
+    emit em (Pinsn (B.Throw r))
+  | TStry (body, name, handler) ->
+    em.has_try <- true;
+    let try_id = em.next_try in
+    em.next_try <- try_id + 1;
+    let rexc = fresh_reg em in
+    let l_handler = fresh_label em in
+    let l_end = fresh_label em in
+    em.tries <- (try_id, rexc, l_handler) :: em.tries;
+    emit em (Ptry_start try_id);
+    lower_block em body;
+    emit em (Ptry_end try_id);
+    emit em (Pgoto l_end);
+    emit em (Plabel l_handler);
+    let saved = em.env in
+    em.env <- (name, rexc) :: em.env;
+    lower_stmts em handler;
+    em.env <- saved;
+    emit em (Plabel l_end)
+  | TSbreak ->
+    (match em.loop_stack with
+     | (l_break, _) :: _ -> emit em (Pgoto l_break)
+     | [] -> err "break outside loop")
+  | TScontinue ->
+    (match em.loop_stack with
+     | (_, l_cont) :: _ -> emit em (Pgoto l_cont)
+     | [] -> err "continue outside loop")
+
+(* Resolve labels to instruction indices and build handler ranges. *)
+let assemble em : B.insn array * (int * int * B.reg * int) array =
+  let pres = List.rev em.buf in
+  let label_pos = Hashtbl.create 64 in
+  let try_start = Hashtbl.create 8 in
+  let try_end = Hashtbl.create 8 in
+  let pc = ref 0 in
+  List.iter
+    (fun p ->
+       match p with
+       | Plabel l -> Hashtbl.replace label_pos l !pc
+       | Ptry_start id -> Hashtbl.replace try_start id !pc
+       | Ptry_end id -> Hashtbl.replace try_end id !pc
+       | Pinsn _ | Pif _ | Pifz _ | Pgoto _ -> incr pc)
+    pres;
+  let resolve l =
+    match Hashtbl.find_opt label_pos l with
+    | Some p -> p
+    | None -> err "unresolved label %d" l
+  in
+  let code =
+    List.filter_map
+      (fun p ->
+         match p with
+         | Plabel _ | Ptry_start _ | Ptry_end _ -> None
+         | Pinsn i -> Some i
+         | Pif (c, a, b, l) -> Some (B.If (c, a, b, resolve l))
+         | Pifz (c, a, l) -> Some (B.Ifz (c, a, resolve l))
+         | Pgoto l -> Some (B.Goto (resolve l)))
+      pres
+  in
+  let handlers =
+    List.rev_map
+      (fun (id, rexc, l_handler) ->
+         (Hashtbl.find try_start id, Hashtbl.find try_end id, rexc,
+          resolve l_handler))
+      em.tries
+  in
+  (Array.of_list code, Array.of_list handlers)
+
+let lower_method lay cid (c : tclass) mid (m : tmethod) : B.compiled_method =
+  let nparams = List.length m.tm_params + if m.tm_static then 0 else 1 in
+  let em = {
+    lay;
+    cur_class = c.tc_name;
+    buf = [];
+    next_reg = nparams;
+    next_label = 0;
+    env = [];
+    loop_stack = [];
+    tries = [];
+    next_try = 0;
+    has_try = false;
+  } in
+  ignore em.cur_class;
+  let param_base = if m.tm_static then 0 else 1 in
+  em.env <-
+    List.mapi (fun i (_, name) -> (name, param_base + i)) m.tm_params;
+  lower_stmts em m.tm_body;
+  (* implicit return for fall-through *)
+  (match m.tm_ret with
+   | Ast.Tvoid -> emit em (Pinsn (B.Ret None))
+   | Ast.Tint | Ast.Tbool ->
+     let r = fresh_reg em in
+     emit em (Pinsn (B.Const (r, B.Cint 0)));
+     emit em (Pinsn (B.Ret (Some r)))
+   | Ast.Tfloat ->
+     let r = fresh_reg em in
+     emit em (Pinsn (B.Const (r, B.Cfloat 0.0)));
+     emit em (Pinsn (B.Ret (Some r)))
+   | Ast.Tarray _ | Ast.Tobj _ ->
+     let r = fresh_reg em in
+     emit em (Pinsn (B.Const (r, B.Cnull)));
+     emit em (Pinsn (B.Ret (Some r))));
+  let code, handlers = assemble em in
+  let param_kinds =
+    let own = List.map (fun (t, _) -> elem_kind_of_typ t) m.tm_params in
+    Array.of_list (if m.tm_static then own else B.Kref :: own)
+  in
+  { B.cm_id = mid;
+    cm_class = cid;
+    cm_class_name = c.tc_name;
+    cm_name = m.tm_name;
+    cm_static = m.tm_static;
+    cm_nparams = nparams;
+    cm_param_kinds = param_kinds;
+    cm_nregs = em.next_reg;
+    cm_code = code;
+    cm_ret = m.tm_ret;
+    cm_has_try = em.has_try;
+    cm_handlers = handlers }
+
+let lower (prog : tprogram) : B.dexfile =
+  let lay = build_layout prog in
+  let classes =
+    List.map
+      (fun c ->
+         let cid = Hashtbl.find lay.class_id c.tc_name in
+         let slots = build_vslots lay c.tc_name in
+         let nslots = List.length slots in
+         let vtable = Array.make nslots (-1) in
+         let names = Array.make nslots "" in
+         List.iter
+           (fun (name, slot) ->
+              vtable.(slot) <- resolve_method_id lay c.tc_name name;
+              names.(slot) <- name)
+           slots;
+         { B.ci_id = cid;
+           ci_name = c.tc_name;
+           ci_super =
+             Option.map (fun s -> Hashtbl.find lay.class_id s) c.tc_super;
+           ci_nfields = List.length c.tc_instance_fields;
+           ci_field_offset = Hashtbl.find lay.field_off c.tc_name;
+           ci_vtable = vtable;
+           ci_vslot_names = names })
+      prog
+  in
+  let methods =
+    List.concat_map
+      (fun c ->
+         let cid = Hashtbl.find lay.class_id c.tc_name in
+         List.map
+           (fun m ->
+              let mid = Hashtbl.find lay.method_id (c.tc_name ^ "." ^ m.tm_name) in
+              lower_method lay cid c mid m)
+           c.tc_methods)
+      prog
+  in
+  let methods = List.sort (fun a b -> compare a.B.cm_id b.B.cm_id) methods in
+  let static_inits =
+    List.concat_map
+      (fun c ->
+         List.map
+           (fun (f, _, const) ->
+              { B.si_slot = Hashtbl.find lay.static_slot (c.tc_name ^ "." ^ f);
+                si_value = const })
+           c.tc_static_fields)
+      prog
+  in
+  let static_names = Hashtbl.fold (fun k v acc -> (k, v) :: acc) lay.static_slot [] in
+  let main =
+    match Hashtbl.find_opt lay.method_id "Main.main" with
+    | Some id -> id
+    | None -> err "program has no Main.main"
+  in
+  { B.dx_classes = Array.of_list classes;
+    dx_methods = Array.of_list methods;
+    dx_nstatics = lay.nstatics;
+    dx_static_names = static_names;
+    dx_static_inits = static_inits;
+    dx_main = main }
+
+let compile src = lower (Typecheck.check (Parser.parse_program src))
+
+let vtable_slot dx cls mname =
+  match B.find_class dx cls with
+  | None -> None
+  | Some ci ->
+    let n = Array.length ci.B.ci_vslot_names in
+    let rec loop i =
+      if i >= n then None
+      else if ci.B.ci_vslot_names.(i) = mname then Some i
+      else loop (i + 1)
+    in
+    loop 0

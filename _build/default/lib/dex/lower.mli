@@ -1,0 +1,19 @@
+(** Lowering of a type-checked MiniDex program to register bytecode.
+
+    Assigns class ids, instance-field layouts, vtable slots and static-field
+    slots, then compiles each method body to a {!Bytecode.compiled_method}.
+    The resulting {!Bytecode.dexfile} is what the interpreter executes and
+    what the HGraph builder consumes. *)
+
+exception Lower_error of string
+
+val lower : Typecheck.tprogram -> Bytecode.dexfile
+(** @raise Lower_error if the program has no [Main.main] static method. *)
+
+val compile : string -> Bytecode.dexfile
+(** [compile src] = parse, type-check and lower a source string.
+    @raise Parser.Parse_error, Typecheck.Type_error or Lower_error. *)
+
+val vtable_slot : Bytecode.dexfile -> string -> string -> int option
+(** [vtable_slot dx cls method] returns the vtable slot used for a virtual
+    call on static receiver type [cls]. *)

@@ -1,0 +1,390 @@
+open Ast
+
+exception Parse_error of string * int
+
+type state = { toks : (Lexer.token * int) array; mutable pos : int }
+
+let peek st = fst st.toks.(st.pos)
+let line st = snd st.toks.(st.pos)
+let advance st = st.pos <- st.pos + 1
+
+let fail st msg =
+  raise (Parse_error (Printf.sprintf "%s (got %s)" msg
+                        (Lexer.string_of_token (peek st)), line st))
+
+let eat_punct st p =
+  match peek st with
+  | Lexer.PUNCT q when q = p -> advance st
+  | _ -> fail st (Printf.sprintf "expected %S" p)
+
+let eat_kw st k =
+  match peek st with
+  | Lexer.KW q when q = k -> advance st
+  | _ -> fail st (Printf.sprintf "expected keyword %S" k)
+
+let try_punct st p =
+  match peek st with
+  | Lexer.PUNCT q when q = p -> advance st; true
+  | _ -> false
+
+let try_kw st k =
+  match peek st with
+  | Lexer.KW q when q = k -> advance st; true
+  | _ -> false
+
+let ident st =
+  match peek st with
+  | Lexer.IDENT s -> advance st; s
+  | _ -> fail st "expected identifier"
+
+(* Types: base type followed by zero or more [] suffixes. *)
+let rec parse_type st =
+  let base =
+    if try_kw st "int" then Tint
+    else if try_kw st "float" then Tfloat
+    else if try_kw st "bool" then Tbool
+    else if try_kw st "void" then Tvoid
+    else
+      match peek st with
+      | Lexer.IDENT s -> advance st; Tobj s
+      | _ -> fail st "expected type"
+  in
+  array_suffix st base
+
+and array_suffix st t =
+  if try_punct st "[" then begin
+    eat_punct st "]";
+    array_suffix st (Tarray t)
+  end
+  else t
+
+(* A type can only start a declaration when followed by an identifier; this
+   disambiguates [Foo x = ...;] from the expression statement [Foo.bar();]. *)
+let looks_like_decl st =
+  match peek st with
+  | Lexer.KW ("int" | "float" | "bool") -> true
+  | Lexer.IDENT _ ->
+    (* IDENT then (IDENT | "[" "]" ... IDENT) *)
+    let rec after_brackets k =
+      match fst st.toks.(k), fst st.toks.(k + 1) with
+      | Lexer.PUNCT "[", Lexer.PUNCT "]" -> after_brackets (k + 2)
+      | Lexer.IDENT _, _ -> true
+      | _ -> false
+    in
+    after_brackets (st.pos + 1)
+  | _ -> false
+
+let rec parse_args st =
+  if try_punct st ")" then []
+  else begin
+    let rec loop acc =
+      let e = parse_expression st in
+      if try_punct st "," then loop (e :: acc)
+      else begin
+        eat_punct st ")";
+        List.rev (e :: acc)
+      end
+    in
+    loop []
+  end
+
+(* Postfix chain: calls, field access, indexing, .length. *)
+and parse_postfix st e =
+  if try_punct st "." then begin
+    let name = ident st in
+    if try_punct st "(" then
+      parse_postfix st (Evirtual_call (e, name, parse_args st))
+    else if name = "length" then parse_postfix st (Elen e)
+    else parse_postfix st (Efield (e, name))
+  end
+  else if try_punct st "[" then begin
+    let idx = parse_expression st in
+    eat_punct st "]";
+    parse_postfix st (Eindex (e, idx))
+  end
+  else e
+
+and parse_primary st =
+  match peek st with
+  | Lexer.INT k -> advance st; parse_postfix st (Eint k)
+  | Lexer.FLOAT f -> advance st; parse_postfix st (Efloat f)
+  | Lexer.KW "true" -> advance st; Ebool true
+  | Lexer.KW "false" -> advance st; Ebool false
+  | Lexer.KW "null" -> advance st; Enull
+  | Lexer.KW "this" -> advance st; parse_postfix st Ethis
+  | Lexer.KW "new" ->
+    advance st;
+    let t =
+      if try_kw st "int" then Tint
+      else if try_kw st "float" then Tfloat
+      else if try_kw st "bool" then Tbool
+      else Tobj (ident st)
+    in
+    if try_punct st "[" then begin
+      let len = parse_expression st in
+      eat_punct st "]";
+      (* multi-dim suffixes like new int[n][] are not supported *)
+      let rec elem_type t =
+        if try_punct st "[" then begin
+          eat_punct st "]";
+          elem_type (Tarray t)
+        end
+        else t
+      in
+      let t = elem_type t in
+      parse_postfix st (Enew_array (t, len))
+    end
+    else begin
+      match t with
+      | Tobj cname ->
+        eat_punct st "(";
+        parse_postfix st (Enew (cname, parse_args st))
+      | Tint | Tfloat | Tbool | Tvoid | Tarray _ ->
+        fail st "new on a non-class type requires [size]"
+    end
+  | Lexer.PUNCT "(" ->
+    advance st;
+    (* Either a cast "(int) e" / "(float) e" or a parenthesised expression. *)
+    (match peek st with
+     | Lexer.KW ("int" | "float" as tname) ->
+       advance st;
+       eat_punct st ")";
+       let e = parse_unary st in
+       Ecast ((if tname = "int" then Tint else Tfloat), e)
+     | _ ->
+       let e = parse_expression st in
+       eat_punct st ")";
+       parse_postfix st e)
+  | Lexer.IDENT name ->
+    advance st;
+    if try_punct st "(" then
+      (* Unqualified call: a call on the current class, resolved later. *)
+      parse_postfix st (Estatic_call ("", name, parse_args st))
+    else if try_punct st "." then begin
+      let member = ident st in
+      if try_punct st "(" then
+        parse_postfix st (Estatic_call (name, member, parse_args st))
+      else if member = "length" then parse_postfix st (Elen (Evar name))
+      else
+        (* Could be instance field of a local, or a static field of a class;
+           the type checker resolves the ambiguity. *)
+        parse_postfix st (Efield (Evar name, member))
+    end
+    else if try_punct st "[" then begin
+      let idx = parse_expression st in
+      eat_punct st "]";
+      parse_postfix st (Eindex (Evar name, idx))
+    end
+    else Evar name
+  | _ -> fail st "expected expression"
+
+and parse_unary st =
+  if try_punct st "-" then Eunop (Neg, parse_unary st)
+  else if try_punct st "!" then Eunop (Not, parse_unary st)
+  else parse_primary st
+
+(* Precedence climbing. *)
+and binop_of_punct = function
+  | "*" -> Some (Mul, 10) | "/" -> Some (Div, 10) | "%" -> Some (Rem, 10)
+  | "+" -> Some (Add, 9) | "-" -> Some (Sub, 9)
+  | "<<" -> Some (Shl, 8) | ">>" -> Some (Shr, 8)
+  | "<" -> Some (Lt, 7) | "<=" -> Some (Le, 7)
+  | ">" -> Some (Gt, 7) | ">=" -> Some (Ge, 7)
+  | "==" -> Some (Eq, 6) | "!=" -> Some (Ne, 6)
+  | "&" -> Some (Band, 5)
+  | "^" -> Some (Bxor, 4)
+  | "|" -> Some (Bor, 3)
+  | "&&" -> Some (Land, 2)
+  | "||" -> Some (Lor, 1)
+  | _ -> None
+
+and parse_binary st min_prec =
+  let lhs = parse_unary st in
+  let rec loop lhs =
+    match peek st with
+    | Lexer.PUNCT p ->
+      (match binop_of_punct p with
+       | Some (op, prec) when prec >= min_prec ->
+         advance st;
+         let rhs = parse_binary st (prec + 1) in
+         loop (Ebinop (op, lhs, rhs))
+       | _ -> lhs)
+    | _ -> lhs
+  in
+  loop lhs
+
+and parse_expression st = parse_binary st 1
+
+let lvalue_of_expr st = function
+  | Evar v -> Lvar v
+  | Eindex (a, i) -> Lindex (a, i)
+  | Efield (o, f) -> Lfield (o, f)
+  | Estatic_field (c, f) -> Lstatic (c, f)
+  | _ -> fail st "invalid assignment target"
+
+let rec parse_stmt st =
+  match peek st with
+  | Lexer.PUNCT "{" ->
+    advance st;
+    Sblock (parse_stmts_until st "}")
+  | Lexer.KW "if" ->
+    advance st;
+    eat_punct st "(";
+    let cond = parse_expression st in
+    eat_punct st ")";
+    let then_b = parse_branch st in
+    let else_b = if try_kw st "else" then parse_branch st else [] in
+    Sif (cond, then_b, else_b)
+  | Lexer.KW "while" ->
+    advance st;
+    eat_punct st "(";
+    let cond = parse_expression st in
+    eat_punct st ")";
+    Swhile (cond, parse_branch st)
+  | Lexer.KW "for" ->
+    advance st;
+    eat_punct st "(";
+    let init =
+      if try_punct st ";" then None
+      else begin
+        let s = parse_simple_stmt st in
+        eat_punct st ";";
+        Some s
+      end
+    in
+    let cond =
+      if try_punct st ";" then Ebool true
+      else begin
+        let e = parse_expression st in
+        eat_punct st ";";
+        e
+      end
+    in
+    let step =
+      if try_punct st ")" then None
+      else begin
+        let s = parse_simple_stmt st in
+        eat_punct st ")";
+        Some s
+      end
+    in
+    Sfor (init, cond, step, parse_branch st)
+  | Lexer.KW "return" ->
+    advance st;
+    if try_punct st ";" then Sreturn None
+    else begin
+      let e = parse_expression st in
+      eat_punct st ";";
+      Sreturn (Some e)
+    end
+  | Lexer.KW "throw" ->
+    advance st;
+    let e = parse_expression st in
+    eat_punct st ";";
+    Sthrow e
+  | Lexer.KW "break" -> advance st; eat_punct st ";"; Sbreak
+  | Lexer.KW "continue" -> advance st; eat_punct st ";"; Scontinue
+  | Lexer.KW "try" ->
+    advance st;
+    eat_punct st "{";
+    let body = parse_stmts_until st "}" in
+    eat_kw st "catch";
+    eat_punct st "(";
+    eat_kw st "int";
+    let name = ident st in
+    eat_punct st ")";
+    eat_punct st "{";
+    let handler = parse_stmts_until st "}" in
+    Stry (body, name, handler)
+  | _ ->
+    let s = parse_simple_stmt st in
+    eat_punct st ";";
+    s
+
+and parse_branch st =
+  if try_punct st "{" then parse_stmts_until st "}" else [ parse_stmt st ]
+
+(* Declaration, assignment or expression statement (no trailing ';'). *)
+and parse_simple_stmt st =
+  if looks_like_decl st then begin
+    let t = parse_type st in
+    let name = ident st in
+    let init = if try_punct st "=" then Some (parse_expression st) else None in
+    Sdecl (t, name, init)
+  end
+  else begin
+    let e = parse_expression st in
+    if try_punct st "=" then begin
+      let rhs = parse_expression st in
+      Sassign (lvalue_of_expr st e, rhs)
+    end
+    else Sexpr e
+  end
+
+and parse_stmts_until st closer =
+  let rec loop acc =
+    if try_punct st closer then List.rev acc else loop (parse_stmt st :: acc)
+  in
+  loop []
+
+let parse_member st =
+  let is_static = try_kw st "static" in
+  let t = parse_type st in
+  let name = ident st in
+  if try_punct st "(" then begin
+    let params =
+      if try_punct st ")" then []
+      else begin
+        let rec loop acc =
+          let pt = parse_type st in
+          let pn = ident st in
+          if try_punct st "," then loop ((pt, pn) :: acc)
+          else begin
+            eat_punct st ")";
+            List.rev ((pt, pn) :: acc)
+          end
+        in
+        loop []
+      end
+    in
+    eat_punct st "{";
+    let body = parse_stmts_until st "}" in
+    `Method { m_name = name; m_static = is_static; m_ret = t;
+              m_params = params; m_body = body }
+  end
+  else begin
+    let init = if try_punct st "=" then Some (parse_expression st) else None in
+    eat_punct st ";";
+    `Field { f_name = name; f_typ = t; f_static = is_static; f_init = init }
+  end
+
+let parse_class st =
+  eat_kw st "class";
+  let name = ident st in
+  let super = if try_kw st "extends" then Some (ident st) else None in
+  eat_punct st "{";
+  let rec loop fields methods =
+    if try_punct st "}" then (List.rev fields, List.rev methods)
+    else
+      match parse_member st with
+      | `Field f -> loop (f :: fields) methods
+      | `Method m -> loop fields (m :: methods)
+  in
+  let fields, methods = loop [] [] in
+  { c_name = name; c_super = super; c_fields = fields; c_methods = methods }
+
+let parse_program src =
+  let st = { toks = Array.of_list (Lexer.tokenize src); pos = 0 } in
+  let rec loop acc =
+    match peek st with
+    | Lexer.EOF -> List.rev acc
+    | _ -> loop (parse_class st :: acc)
+  in
+  loop []
+
+let parse_expr src =
+  let st = { toks = Array.of_list (Lexer.tokenize src); pos = 0 } in
+  let e = parse_expression st in
+  match peek st with
+  | Lexer.EOF -> e
+  | _ -> fail st "trailing tokens after expression"

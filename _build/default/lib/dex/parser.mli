@@ -1,0 +1,10 @@
+(** Recursive-descent parser for MiniDex. *)
+
+exception Parse_error of string * int  (** message, line number *)
+
+val parse_program : string -> Ast.program
+(** Parse a full source file (a list of class definitions).
+    @raise Parse_error or {!Lexer.Lex_error} on malformed input. *)
+
+val parse_expr : string -> Ast.expr
+(** Parse a single expression; used by tests. *)

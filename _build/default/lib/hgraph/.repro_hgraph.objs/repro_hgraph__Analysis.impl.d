@@ -1,0 +1,1 @@
+lib/hgraph/analysis.ml: Hashtbl Hir Int List Option Repro_util Set

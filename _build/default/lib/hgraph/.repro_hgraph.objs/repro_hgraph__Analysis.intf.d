@@ -1,0 +1,1 @@
+lib/hgraph/analysis.mli: Hashtbl Hir Repro_util Set

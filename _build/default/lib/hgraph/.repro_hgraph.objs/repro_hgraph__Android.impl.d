@@ -1,0 +1,1 @@
+lib/hgraph/android.ml: Build Stdlib Transforms

@@ -1,0 +1,1 @@
+lib/hgraph/android.mli: Hir Repro_dex

@@ -1,0 +1,1 @@
+lib/hgraph/build.ml: Array Hashtbl Hir List Option Repro_dex Repro_util

@@ -1,0 +1,1 @@
+lib/hgraph/build.mli: Hir Repro_dex

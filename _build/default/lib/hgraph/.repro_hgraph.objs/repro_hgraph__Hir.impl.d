@@ -1,0 +1,1 @@
+lib/hgraph/hir.ml: Buffer Hashtbl List Option Printf Repro_dex Repro_util String

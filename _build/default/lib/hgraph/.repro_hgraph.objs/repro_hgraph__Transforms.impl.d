@@ -1,0 +1,1 @@
+lib/hgraph/transforms.ml: Analysis Float Hashtbl Hir List Option Repro_dex Repro_util

@@ -1,0 +1,1 @@
+lib/hgraph/transforms.mli: Hir

@@ -1,0 +1,21 @@
+(** Dataflow analyses over the IR, shared by the Android pipeline and the
+    LLVM-style pass library. *)
+
+module ISet : Set.S with type elt = int
+
+val liveness : Hir.func -> Repro_util.Cfg.t -> (int, ISet.t) Hashtbl.t
+(** Live-out register set per block (backward may analysis). *)
+
+val live_before :
+  ISet.t -> Hir.instr list -> Hir.term -> ISet.t list
+(** Given a block's live-out set, the live set *before* each instruction, in
+    instruction order (same length as the instruction list). *)
+
+val defs_of_block : Hir.block -> ISet.t
+val uses_of_block : Hir.block -> ISet.t
+
+val def_count : Hir.func -> (int, int) Hashtbl.t
+(** Number of static definitions of each register over the whole function. *)
+
+val block_freq : Hir.func -> Repro_util.Cfg.t -> (int, float) Hashtbl.t
+(** Static execution-frequency estimate: 10^loop-depth. *)

@@ -1,0 +1,49 @@
+let art_optimization_names = [
+  "bounds_check_elimination";
+  "cha_guard_optimization";
+  "code_sinking";
+  "constant_folding";
+  "constructor_fence_redundancy_elimination";
+  "dead_code_elimination";
+  "global_value_numbering";
+  "induction_variable_analysis";
+  "inliner";
+  "instruction_simplifier";
+  "intrinsics_recognition";
+  "licm";
+  "load_store_analysis";
+  "load_store_elimination";
+  "loop_optimization";
+  "scheduling";
+  "select_generator";
+  "side_effects_analysis";
+]
+
+let inline_threshold = 18
+
+let pipeline ~get_func f =
+  let ( |> ) = Stdlib.( |> ) in
+  f
+  |> Transforms.simplify_cfg
+  |> Transforms.const_fold
+  |> Transforms.simplify
+  |> Transforms.copy_prop
+  |> Transforms.dce
+  |> Transforms.inline_calls ~get_func ~threshold:inline_threshold ~max_depth:2
+  |> Transforms.const_fold
+  |> Transforms.simplify
+  |> Transforms.copy_prop
+  |> Transforms.cse_local
+  |> Transforms.load_store_elim
+  |> Transforms.licm
+  |> Transforms.dce
+  |> Transforms.simplify_cfg
+  |> Transforms.predict_static
+
+(* Callee resolver that never fails: uncompilable callees stay as calls. *)
+let rec compile_method dx mid = pipeline ~get_func:(builder dx) (Build.func dx mid)
+
+and builder dx mid =
+  match Build.func dx mid with
+  | f -> Some f
+  | exception Build.Uncompilable _ -> None

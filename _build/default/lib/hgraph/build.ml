@@ -1,0 +1,148 @@
+module B = Repro_dex.Bytecode
+
+exception Uncompilable of string
+
+let max_registers = 256
+let max_code_length = 4000
+
+let check_compilable (m : B.compiled_method) =
+  if m.B.cm_has_try then
+    raise (Uncompilable "try/catch handlers are not supported by the backend");
+  if m.B.cm_nregs > max_registers then
+    raise (Uncompilable "too many registers");
+  if Array.length m.B.cm_code > max_code_length then
+    raise (Uncompilable "method body too large")
+
+let compilable dx mid =
+  match check_compilable dx.B.dx_methods.(mid) with
+  | () -> true
+  | exception Uncompilable _ -> false
+
+(* Leaders: entry, branch targets, and instructions following a terminator. *)
+let leaders (code : B.insn array) =
+  let n = Array.length code in
+  let lead = Array.make n false in
+  lead.(0) <- true;
+  Array.iteri
+    (fun pc insn ->
+       let mark t = if t < n then lead.(t) <- true in
+       match insn with
+       | B.If (_, _, _, t) | B.Ifz (_, _, t) ->
+         mark t;
+         mark (pc + 1)
+       | B.Goto t ->
+         mark t;
+         mark (pc + 1)
+       | B.Ret _ | B.Throw _ -> mark (pc + 1)
+       | B.Const _ | B.Move _ | B.Binop _ | B.Unop _ | B.IntToFloat _
+       | B.FloatToInt _ | B.NewObj _ | B.NewArr _ | B.ALoad _ | B.AStore _
+       | B.ArrLen _ | B.IGet _ | B.IPut _ | B.SGet _ | B.SPut _
+       | B.InvokeStatic _ | B.InvokeVirtual _ | B.InvokeNative _ -> ())
+    code;
+  lead
+
+let instr_of_bytecode ~mid ~pc (insn : B.insn) : Hir.instr =
+  match insn with
+  | B.Const (d, c) -> Hir.Const (d, c)
+  | B.Move (d, s) -> Hir.Move (d, s)
+  | B.Binop (op, d, a, b) -> Hir.Binop (op, d, a, b)
+  | B.Unop (op, d, a) -> Hir.Unop (op, d, a)
+  | B.IntToFloat (d, a) -> Hir.I2f (d, a)
+  | B.FloatToInt (d, a) -> Hir.F2i (d, a)
+  | B.NewObj (d, c) -> Hir.NewObj (d, c)
+  | B.NewArr (d, k, n) -> Hir.NewArr (d, k, n)
+  | B.ALoad (k, d, a, i) -> Hir.ALoadC (k, d, a, i)
+  | B.AStore (k, a, i, s) -> Hir.AStoreC (k, a, i, s)
+  | B.ArrLen (d, a) -> Hir.ArrLenC (d, a)
+  | B.IGet (k, d, o, f) -> Hir.IGetC (k, d, o, f)
+  | B.IPut (k, o, s, f) -> Hir.IPutC (k, o, s, f)
+  | B.SGet (k, d, slot) -> Hir.SGet (k, d, slot)
+  | B.SPut (k, slot, s) -> Hir.SPut (k, slot, s)
+  | B.InvokeStatic (ret, mid, args) -> Hir.CallStatic (ret, mid, args)
+  | B.InvokeVirtual (ret, slot, args) -> Hir.CallVirtual (ret, slot, args, (mid, pc))
+  | B.InvokeNative (ret, n, args) -> Hir.CallNative (ret, n, args, Hir.Jni)
+  | B.If _ | B.Ifz _ | B.Goto _ | B.Ret _ | B.Throw _ ->
+    invalid_arg "Build.instr_of_bytecode: terminator"
+
+let func (dx : B.dexfile) mid : Hir.func =
+  let m = dx.B.dx_methods.(mid) in
+  check_compilable m;
+  let code = m.B.cm_code in
+  let n = Array.length code in
+  let lead = leaders code in
+  (* Block id of each leader pc. *)
+  let bid_of_pc = Hashtbl.create 16 in
+  let next = ref 0 in
+  for pc = 0 to n - 1 do
+    if lead.(pc) then begin
+      Hashtbl.replace bid_of_pc pc !next;
+      incr next
+    end
+  done;
+  let blocks = Hashtbl.create 16 in
+  let f = {
+    Hir.f_mid = mid;
+    f_name = B.method_full_name m;
+    f_nparams = m.B.cm_nparams;
+    f_nregs = m.B.cm_nregs;
+    f_blocks = blocks;
+    f_entry = 0;
+    f_next_bid = !next;
+    f_pressure = None;
+  } in
+  let target pc =
+    match Hashtbl.find_opt bid_of_pc pc with
+    | Some b -> b
+    | None -> invalid_arg "Build.func: branch into middle of block"
+  in
+  let pc = ref 0 in
+  while !pc < n do
+    let start = !pc in
+    let bid = target start in
+    let insns = ref [] in
+    let term = ref None in
+    let continue_ = ref true in
+    while !continue_ do
+      let cur = !pc in
+      (match code.(cur) with
+       | B.If (c, a, b, t) ->
+         term := Some (Hir.If (c, a, Some b, target t, target (cur + 1), Hir.Predict_none));
+         continue_ := false
+       | B.Ifz (c, a, t) ->
+         term := Some (Hir.If (c, a, None, target t, target (cur + 1), Hir.Predict_none));
+         continue_ := false
+       | B.Goto t ->
+         term := Some (Hir.Goto (target t));
+         continue_ := false
+       | B.Ret r ->
+         term := Some (Hir.Ret r);
+         continue_ := false
+       | B.Throw r ->
+         term := Some (Hir.ThrowT r);
+         continue_ := false
+       | other -> insns := instr_of_bytecode ~mid ~pc:cur other :: !insns);
+      incr pc;
+      if !continue_ && (!pc >= n || lead.(!pc)) then begin
+        (* fall through into the next leader *)
+        term := Some (Hir.Goto (target !pc));
+        continue_ := false
+      end
+    done;
+    Hashtbl.replace blocks bid
+      { Hir.insns = List.rev !insns; term = Option.get !term }
+  done;
+  (* A suspend check ("check call", paper §3.5) at the top of every
+     back-edge source block: one check per loop iteration.  Loop
+     restructuring passes duplicate these blocks, which is exactly what the
+     custom GC-check optimization later cleans up. *)
+  let g = Hir.cfg f in
+  let latches =
+    List.concat_map (fun l -> l.Repro_util.Cfg.back_edges) (Repro_util.Cfg.loops g)
+    |> List.sort_uniq compare
+  in
+  List.iter
+    (fun bid ->
+       let b = Hir.block f bid in
+       b.Hir.insns <- Hir.SuspendCheck :: b.Hir.insns)
+    latches;
+  f

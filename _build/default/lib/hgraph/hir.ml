@@ -1,0 +1,384 @@
+(* The compiler IR: a CFG of basic blocks over unbounded virtual registers.
+
+   The same datatype hosts two dialects, mirroring the paper's two IRs:
+
+   - the *composite* dialect is what the HGraph builder produces from dex
+     bytecode: array/field accesses carry their null/bounds checks
+     implicitly and Div/Rem check for zero, exactly as the Android compiler
+     sees them.  The conservative Android optimizations (lib/hgraph/android)
+     work at this level.
+
+   - the *decomposed* dialect is what the HGraph-to-LLVM translation
+     (lib/lir/translate) produces: checks become explicit Guard*
+     instructions and accesses become raw loads/stores.  The LLVM-style
+     optimization space (lib/lir/passes) works at this level, where guards
+     can be moved, de-duplicated or (unsoundly) dropped. *)
+
+module B = Repro_dex.Bytecode
+module Ast = Repro_dex.Ast
+
+type reg = int
+type bid = int
+
+type hint = Predict_taken | Predict_not_taken | Predict_none
+
+type native_mode = Jni | Intrinsic
+
+type site = int * int
+
+type instr =
+  | Const of reg * B.const
+  | Move of reg * reg
+  | Binop of Ast.binop * reg * reg * reg   (* composite: Div/Rem zero-checked *)
+  | Fma of reg * reg * reg * reg
+  (* d = a*b + c with a single rounding; produced only by fast-math
+     contraction, hence value-changing vs the separate mul+add *)
+  | Select of reg * reg * reg * reg
+  (* d = cond ? a : b, where cond holds a bool; branch-free conditional
+     move, produced by if-conversion *)
+  | Unop of Ast.unop * reg * reg
+  | I2f of reg * reg
+  | F2i of reg * reg
+  | NewObj of reg * int
+  | NewArr of reg * B.elem_kind * reg
+  (* composite dialect: implicit checks *)
+  | ALoadC of B.elem_kind * reg * reg * reg       (* dst, arr, idx *)
+  | AStoreC of B.elem_kind * reg * reg * reg      (* arr, idx, src *)
+  | ArrLenC of reg * reg
+  | IGetC of B.elem_kind * reg * reg * int        (* dst, obj, off *)
+  | IPutC of B.elem_kind * reg * reg * int        (* obj, src, off *)
+  (* decomposed dialect: explicit guards, raw accesses *)
+  | GuardNull of reg
+  | GuardBounds of reg * reg                      (* idx, len *)
+  | GuardDivZero of reg
+  | LoadElem of B.elem_kind * reg * reg * reg
+  | StoreElem of B.elem_kind * reg * reg * reg
+  | LoadLen of reg * reg
+  | LoadField of B.elem_kind * reg * reg * int
+  | StoreField of B.elem_kind * reg * reg * int
+  | LoadClass of reg * reg                        (* dst = class id of obj *)
+  (* both dialects *)
+  | SGet of B.elem_kind * reg * int
+  | SPut of B.elem_kind * int * reg
+  | CallStatic of reg option * int * reg list
+  | CallVirtual of reg option * int * reg list * site
+  (* vtable slot; receiver first; site = (defining method id, bytecode pc),
+     the key used by dispatch-type profiles for devirtualization *)
+  | CallNative of reg option * B.native * reg list * native_mode
+  | SuspendCheck
+
+type term =
+  | Goto of bid
+  | If of B.cond * reg * reg option * bid * bid * hint
+  (* [None] second operand compares against the typed zero *)
+  | Ret of reg option
+  | ThrowT of reg
+
+type block = {
+  mutable insns : instr list;
+  mutable term : term;
+}
+
+type func = {
+  f_mid : int;
+  f_name : string;
+  f_nparams : int;
+  mutable f_nregs : int;
+  f_blocks : (bid, block) Hashtbl.t;
+  mutable f_entry : bid;
+  mutable f_next_bid : bid;
+  mutable f_pressure : int option;
+  (* cached register-pressure estimate (max live across block boundaries),
+     filled in by the executor on first run; invalidated by [copy] *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Construction helpers                                                *)
+(* ------------------------------------------------------------------ *)
+
+let fresh_reg f =
+  let r = f.f_nregs in
+  f.f_nregs <- r + 1;
+  r
+
+let add_block f insns term =
+  let bid = f.f_next_bid in
+  f.f_next_bid <- bid + 1;
+  Hashtbl.replace f.f_blocks bid { insns; term };
+  bid
+
+let block f bid =
+  match Hashtbl.find_opt f.f_blocks bid with
+  | Some b -> b
+  | None -> invalid_arg (Printf.sprintf "Hir.block: no block %d in %s" bid f.f_name)
+
+let succs_of_term = function
+  | Goto b -> [ b ]
+  | If (_, _, _, t, e, _) -> [ t; e ]
+  | Ret _ | ThrowT _ -> []
+
+let cfg f =
+  Repro_util.Cfg.analyze ~entry:f.f_entry
+    ~succs:(fun bid -> succs_of_term (block f bid).term)
+
+(* ------------------------------------------------------------------ *)
+(* Instruction properties                                              *)
+(* ------------------------------------------------------------------ *)
+
+let def_of = function
+  | Const (d, _) | Move (d, _) | Binop (_, d, _, _) | Fma (d, _, _, _)
+  | Select (d, _, _, _) | Unop (_, d, _)
+  | I2f (d, _) | F2i (d, _) | NewObj (d, _) | NewArr (d, _, _)
+  | ALoadC (_, d, _, _) | ArrLenC (d, _) | IGetC (_, d, _, _)
+  | LoadElem (_, d, _, _) | LoadLen (d, _) | LoadField (_, d, _, _)
+  | LoadClass (d, _) | SGet (_, d, _) -> Some d
+  | CallStatic (ret, _, _) | CallVirtual (ret, _, _, _)
+  | CallNative (ret, _, _, _) -> ret
+  | AStoreC _ | IPutC _ | GuardNull _ | GuardBounds _ | GuardDivZero _
+  | StoreElem _ | StoreField _ | SPut _ | SuspendCheck -> None
+
+let uses_of = function
+  | Const _ | SuspendCheck -> []
+  | Move (_, s) | Unop (_, _, s) | I2f (_, s) | F2i (_, s) | NewArr (_, _, s)
+  | ArrLenC (_, s) | IGetC (_, _, s, _) | LoadLen (_, s)
+  | LoadField (_, _, s, _) | LoadClass (_, s) | GuardNull s | GuardDivZero s
+  | SPut (_, _, s) -> [ s ]
+  | Binop (_, _, a, b) | ALoadC (_, _, a, b) | GuardBounds (a, b)
+  | LoadElem (_, _, a, b) -> [ a; b ]
+  | Fma (_, a, b, c) | Select (_, a, b, c) -> [ a; b; c ]
+  | AStoreC (_, a, b, c) | StoreElem (_, a, b, c) -> [ a; b; c ]
+  | IPutC (_, o, s, _) | StoreField (_, o, s, _) -> [ o; s ]
+  | NewObj _ | SGet _ -> []
+  | CallStatic (_, _, args) -> args
+  | CallVirtual (_, _, args, _) -> args
+  | CallNative (_, _, args, _) -> args
+
+let uses_of_term = function
+  | Goto _ -> []
+  | If (_, a, Some b, _, _, _) -> [ a; b ]
+  | If (_, a, None, _, _, _) -> [ a ]
+  | Ret (Some r) -> [ r ]
+  | Ret None -> []
+  | ThrowT r -> [ r ]
+
+(* Pure = no side effect, no exception, no memory dependence: safe to
+   remove if dead and to reuse under value numbering. *)
+let is_pure = function
+  | Const _ | Move _ | Unop _ | I2f _ | F2i _ -> true
+  | Binop ((Ast.Div | Ast.Rem), _, _, _) -> false  (* composite zero check *)
+  | Binop _ | Fma _ | Select _ -> true
+  | LoadLen _ | LoadClass _ -> true
+  (* array length and class id are immutable once allocated, but the raw
+     loads still require a valid pointer; treat as pure for CSE yet keep
+     them ordered after their guard via the guard's own effect. *)
+  | NewObj _ | NewArr _ | ALoadC _ | AStoreC _ | ArrLenC _ | IGetC _ | IPutC _
+  | GuardNull _ | GuardBounds _ | GuardDivZero _ | LoadElem _ | StoreElem _
+  | LoadField _ | StoreField _ | SGet _ | SPut _ | CallStatic _ | CallVirtual _
+  | CallNative _ | SuspendCheck -> false
+
+(* Does executing this instruction potentially raise or have effects beyond
+   writing its destination register?  (Memory reads are handled separately.) *)
+let has_side_effect i = not (is_pure i)
+
+(* May this instruction write to memory or transfer control (invalidating
+   memory-dependent facts)? *)
+let clobbers_memory = function
+  | AStoreC _ | IPutC _ | StoreElem _ | StoreField _ | SPut _
+  | CallStatic _ | CallVirtual _ | CallNative (_, _, _, Jni) -> true
+  | CallNative (_, _, _, Intrinsic) -> false   (* intrinsics are pure math *)
+  | Const _ | Move _ | Binop _ | Fma _ | Select _ | Unop _ | I2f _ | F2i _
+  | NewObj _ | NewArr _ | ALoadC _ | ArrLenC _ | IGetC _ | GuardNull _
+  | GuardBounds _ | GuardDivZero _ | LoadElem _ | LoadLen _ | LoadField _
+  | LoadClass _ | SGet _ | SuspendCheck -> false
+
+let reads_memory = function
+  | ALoadC _ | ArrLenC _ | IGetC _ | LoadElem _ | LoadLen _ | LoadField _
+  | LoadClass _ | SGet _ -> true
+  | Const _ | Move _ | Binop _ | Fma _ | Select _ | Unop _ | I2f _ | F2i _
+  | NewObj _ | NewArr _ | AStoreC _ | IPutC _ | GuardNull _ | GuardBounds _
+  | GuardDivZero _ | StoreElem _ | StoreField _ | SPut _ | CallStatic _
+  | CallVirtual _ | CallNative _ | SuspendCheck -> false
+
+let rename_instr subst i =
+  let s r = match subst r with Some r' -> r' | None -> r in
+  let so = Option.map (fun r -> match subst r with Some r' -> r' | None -> r) in
+  match i with
+  | Const (d, c) -> Const (s d, c)
+  | Move (d, a) -> Move (s d, s a)
+  | Binop (op, d, a, b) -> Binop (op, s d, s a, s b)
+  | Fma (d, a, b, c) -> Fma (s d, s a, s b, s c)
+  | Select (d, c, a, b) -> Select (s d, s c, s a, s b)
+  | Unop (op, d, a) -> Unop (op, s d, s a)
+  | I2f (d, a) -> I2f (s d, s a)
+  | F2i (d, a) -> F2i (s d, s a)
+  | NewObj (d, c) -> NewObj (s d, c)
+  | NewArr (d, k, n) -> NewArr (s d, k, s n)
+  | ALoadC (k, d, a, i) -> ALoadC (k, s d, s a, s i)
+  | AStoreC (k, a, i, v) -> AStoreC (k, s a, s i, s v)
+  | ArrLenC (d, a) -> ArrLenC (s d, s a)
+  | IGetC (k, d, o, f) -> IGetC (k, s d, s o, f)
+  | IPutC (k, o, v, f) -> IPutC (k, s o, s v, f)
+  | GuardNull r -> GuardNull (s r)
+  | GuardBounds (i, l) -> GuardBounds (s i, s l)
+  | GuardDivZero r -> GuardDivZero (s r)
+  | LoadElem (k, d, a, i) -> LoadElem (k, s d, s a, s i)
+  | StoreElem (k, a, i, v) -> StoreElem (k, s a, s i, s v)
+  | LoadLen (d, a) -> LoadLen (s d, s a)
+  | LoadField (k, d, o, f) -> LoadField (k, s d, s o, f)
+  | StoreField (k, o, v, f) -> StoreField (k, s o, s v, f)
+  | LoadClass (d, o) -> LoadClass (s d, s o)
+  | SGet (k, d, slot) -> SGet (k, s d, slot)
+  | SPut (k, slot, v) -> SPut (k, slot, s v)
+  | CallStatic (ret, mid, args) -> CallStatic (so ret, mid, List.map s args)
+  | CallVirtual (ret, slot, args, site) ->
+    CallVirtual (so ret, slot, List.map s args, site)
+  | CallNative (ret, n, args, m) -> CallNative (so ret, n, List.map s args, m)
+  | SuspendCheck -> SuspendCheck
+
+(* Replace only the destination register, leaving operands untouched. *)
+let rename_def d' i =
+  match i with
+  | Const (_, c) -> Const (d', c)
+  | Move (_, s) -> Move (d', s)
+  | Binop (op, _, a, b) -> Binop (op, d', a, b)
+  | Fma (_, a, b, c) -> Fma (d', a, b, c)
+  | Select (_, c, a, b) -> Select (d', c, a, b)
+  | Unop (op, _, a) -> Unop (op, d', a)
+  | I2f (_, a) -> I2f (d', a)
+  | F2i (_, a) -> F2i (d', a)
+  | NewObj (_, c) -> NewObj (d', c)
+  | NewArr (_, k, n) -> NewArr (d', k, n)
+  | ALoadC (k, _, a, i) -> ALoadC (k, d', a, i)
+  | ArrLenC (_, a) -> ArrLenC (d', a)
+  | IGetC (k, _, o, f) -> IGetC (k, d', o, f)
+  | LoadElem (k, _, a, i) -> LoadElem (k, d', a, i)
+  | LoadLen (_, a) -> LoadLen (d', a)
+  | LoadField (k, _, o, f) -> LoadField (k, d', o, f)
+  | LoadClass (_, o) -> LoadClass (d', o)
+  | SGet (k, _, slot) -> SGet (k, d', slot)
+  | CallStatic (Some _, mid, args) -> CallStatic (Some d', mid, args)
+  | CallVirtual (Some _, slot, args, site) -> CallVirtual (Some d', slot, args, site)
+  | CallNative (Some _, n, args, m) -> CallNative (Some d', n, args, m)
+  | CallStatic (None, _, _) | CallVirtual (None, _, _, _)
+  | CallNative (None, _, _, _)
+  | AStoreC _ | IPutC _ | GuardNull _ | GuardBounds _ | GuardDivZero _
+  | StoreElem _ | StoreField _ | SPut _ | SuspendCheck -> i
+
+let rename_term subst t =
+  let s r = match subst r with Some r' -> r' | None -> r in
+  match t with
+  | Goto b -> Goto b
+  | If (c, a, b, bt, be, h) -> If (c, s a, Option.map s b, bt, be, h)
+  | Ret r -> Ret (Option.map s r)
+  | ThrowT r -> ThrowT (s r)
+
+let retarget_term ~from ~to_ t =
+  match t with
+  | Goto b -> Goto (if b = from then to_ else b)
+  | If (c, a, b, bt, be, h) ->
+    If (c, a, b, (if bt = from then to_ else bt), (if be = from then to_ else be), h)
+  | Ret _ | ThrowT _ -> t
+
+let size f =
+  Hashtbl.fold (fun _ b acc -> acc + List.length b.insns + 1) f.f_blocks 0
+
+let copy f =
+  let blocks = Hashtbl.create (Hashtbl.length f.f_blocks) in
+  Hashtbl.iter
+    (fun bid b -> Hashtbl.replace blocks bid { insns = b.insns; term = b.term })
+    f.f_blocks;
+  { f with f_blocks = blocks; f_pressure = None }
+
+let iter_blocks f g = Hashtbl.iter (fun bid b -> g bid b) f.f_blocks
+
+(* ------------------------------------------------------------------ *)
+(* Printing                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let string_of_const = function
+  | B.Cint k -> string_of_int k
+  | B.Cfloat x -> Printf.sprintf "%g" x
+  | B.Cbool b -> string_of_bool b
+  | B.Cnull -> "null"
+
+let string_of_cond = function
+  | B.Ceq -> "eq" | B.Cne -> "ne" | B.Clt -> "lt"
+  | B.Cle -> "le" | B.Cgt -> "gt" | B.Cge -> "ge"
+
+let r k = "%" ^ string_of_int k
+let rs l = String.concat ", " (List.map r l)
+let retpfx = function Some d -> r d ^ " = " | None -> ""
+
+let string_of_instr = function
+  | Const (d, c) -> Printf.sprintf "%s = const %s" (r d) (string_of_const c)
+  | Move (d, a) -> Printf.sprintf "%s = %s" (r d) (r a)
+  | Binop (op, d, a, b) ->
+    Printf.sprintf "%s = %s %s %s" (r d) (r a) (Ast.string_of_binop op) (r b)
+  | Fma (d, a, b, c) ->
+    Printf.sprintf "%s = fma %s * %s + %s" (r d) (r a) (r b) (r c)
+  | Select (d, c, a, b) ->
+    Printf.sprintf "%s = select %s ? %s : %s" (r d) (r c) (r a) (r b)
+  | Unop (Ast.Neg, d, a) -> Printf.sprintf "%s = neg %s" (r d) (r a)
+  | Unop (Ast.Not, d, a) -> Printf.sprintf "%s = not %s" (r d) (r a)
+  | I2f (d, a) -> Printf.sprintf "%s = i2f %s" (r d) (r a)
+  | F2i (d, a) -> Printf.sprintf "%s = f2i %s" (r d) (r a)
+  | NewObj (d, c) -> Printf.sprintf "%s = new obj#%d" (r d) c
+  | NewArr (d, _, n) -> Printf.sprintf "%s = newarr [%s]" (r d) (r n)
+  | ALoadC (_, d, a, i) -> Printf.sprintf "%s = aload! %s[%s]" (r d) (r a) (r i)
+  | AStoreC (_, a, i, v) -> Printf.sprintf "astore! %s[%s] = %s" (r a) (r i) (r v)
+  | ArrLenC (d, a) -> Printf.sprintf "%s = len! %s" (r d) (r a)
+  | IGetC (_, d, o, f) -> Printf.sprintf "%s = iget! %s.f%d" (r d) (r o) f
+  | IPutC (_, o, v, f) -> Printf.sprintf "iput! %s.f%d = %s" (r o) f (r v)
+  | GuardNull a -> Printf.sprintf "guard.null %s" (r a)
+  | GuardBounds (i, l) -> Printf.sprintf "guard.bounds %s < %s" (r i) (r l)
+  | GuardDivZero a -> Printf.sprintf "guard.nz %s" (r a)
+  | LoadElem (_, d, a, i) -> Printf.sprintf "%s = elem %s[%s]" (r d) (r a) (r i)
+  | StoreElem (_, a, i, v) -> Printf.sprintf "elem %s[%s] = %s" (r a) (r i) (r v)
+  | LoadLen (d, a) -> Printf.sprintf "%s = len %s" (r d) (r a)
+  | LoadField (_, d, o, f) -> Printf.sprintf "%s = field %s.f%d" (r d) (r o) f
+  | StoreField (_, o, v, f) -> Printf.sprintf "field %s.f%d = %s" (r o) f (r v)
+  | LoadClass (d, o) -> Printf.sprintf "%s = classof %s" (r d) (r o)
+  | SGet (_, d, slot) -> Printf.sprintf "%s = sget s%d" (r d) slot
+  | SPut (_, slot, v) -> Printf.sprintf "sput s%d = %s" slot (r v)
+  | CallStatic (ret, mid, args) ->
+    Printf.sprintf "%scall m%d(%s)" (retpfx ret) mid (rs args)
+  | CallVirtual (ret, slot, args, (smid, spc)) ->
+    Printf.sprintf "%scallv slot%d(%s) @%d:%d" (retpfx ret) slot (rs args) smid spc
+  | CallNative (ret, n, args, mode) ->
+    Printf.sprintf "%s%s %s(%s)" (retpfx ret)
+      (match mode with Jni -> "calljni" | Intrinsic -> "intrinsic")
+      (B.native_name n) (rs args)
+  | SuspendCheck -> "suspend_check"
+
+let string_of_hint = function
+  | Predict_taken -> " [taken]"
+  | Predict_not_taken -> " [not-taken]"
+  | Predict_none -> ""
+
+let string_of_term = function
+  | Goto b -> Printf.sprintf "goto b%d" b
+  | If (c, a, Some b, bt, be, h) ->
+    Printf.sprintf "if.%s %s, %s -> b%d else b%d%s" (string_of_cond c) (r a)
+      (r b) bt be (string_of_hint h)
+  | If (c, a, None, bt, be, h) ->
+    Printf.sprintf "if.%sz %s -> b%d else b%d%s" (string_of_cond c) (r a) bt be
+      (string_of_hint h)
+  | Ret (Some a) -> Printf.sprintf "ret %s" (r a)
+  | Ret None -> "ret"
+  | ThrowT a -> Printf.sprintf "throw %s" (r a)
+
+let to_string f =
+  let buf = Buffer.create 512 in
+  Printf.bprintf buf "func %s (mid=%d, params=%d, regs=%d, entry=b%d)\n"
+    f.f_name f.f_mid f.f_nparams f.f_nregs f.f_entry;
+  let bids =
+    Hashtbl.fold (fun bid _ acc -> bid :: acc) f.f_blocks [] |> List.sort compare
+  in
+  List.iter
+    (fun bid ->
+       let b = block f bid in
+       Printf.bprintf buf "b%d:\n" bid;
+       List.iter (fun i -> Printf.bprintf buf "  %s\n" (string_of_instr i)) b.insns;
+       Printf.bprintf buf "  %s\n" (string_of_term b.term))
+    bids;
+  Buffer.contents buf

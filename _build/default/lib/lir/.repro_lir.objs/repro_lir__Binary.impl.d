@@ -1,0 +1,1 @@
+lib/lir/binary.ml: Hashtbl List Repro_hgraph

@@ -1,0 +1,1 @@
+lib/lir/binary.mli: Hashtbl Repro_hgraph

@@ -1,0 +1,1 @@
+lib/lir/compile.ml: Binary List Passes Repro_dex Repro_hgraph Translate

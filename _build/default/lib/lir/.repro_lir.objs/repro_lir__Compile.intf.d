@@ -1,0 +1,1 @@
+lib/lir/compile.mli: Binary Passes Repro_dex Repro_hgraph

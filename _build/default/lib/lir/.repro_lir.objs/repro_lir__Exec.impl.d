@@ -1,0 +1,1 @@
+lib/lir/exec.ml: Array Binary Float Hashtbl Int64 List Option Repro_dex Repro_hgraph Repro_os Repro_vm

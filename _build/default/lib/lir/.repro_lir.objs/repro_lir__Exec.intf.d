@@ -1,0 +1,1 @@
+lib/lir/exec.mli: Binary Repro_hgraph Repro_vm

@@ -1,0 +1,1 @@
+lib/lir/passes.ml: Array Float Hashtbl List Option Printf Repro_dex Repro_hgraph Repro_util Translate

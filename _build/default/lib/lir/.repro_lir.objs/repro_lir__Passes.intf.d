@@ -1,0 +1,1 @@
+lib/lir/passes.mli: Repro_dex Repro_hgraph

@@ -1,0 +1,1 @@
+lib/lir/pipelines.ml: Compile String

@@ -1,0 +1,1 @@
+lib/lir/translate.ml: Array List Repro_dex Repro_hgraph

@@ -1,0 +1,1 @@
+lib/lir/translate.mli: Repro_dex Repro_hgraph

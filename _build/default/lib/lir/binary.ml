@@ -1,0 +1,17 @@
+module Hir = Repro_hgraph.Hir
+
+type t = {
+  funcs : (int, Hir.func) Hashtbl.t;
+  mutable size : int;
+}
+
+let create fs =
+  let funcs = Hashtbl.create 16 in
+  List.iter (fun f -> Hashtbl.replace funcs f.Hir.f_mid f) fs;
+  { funcs; size = List.fold_left (fun acc f -> acc + Hir.size f) 0 fs }
+
+let find t mid = Hashtbl.find_opt t.funcs mid
+let mids t = Hashtbl.fold (fun mid _ acc -> mid :: acc) t.funcs [] |> List.sort compare
+
+let recompute_size t =
+  t.size <- Hashtbl.fold (fun _ f acc -> acc + Hir.size f) t.funcs 0

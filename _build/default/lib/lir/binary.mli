@@ -1,0 +1,12 @@
+(** A compiled binary: the set of optimized method graphs installed for an
+    application, plus its code size (the GA's tiebreaker). *)
+
+type t = {
+  funcs : (int, Repro_hgraph.Hir.func) Hashtbl.t;  (** method id -> code *)
+  mutable size : int;                               (** total instructions *)
+}
+
+val create : Repro_hgraph.Hir.func list -> t
+val find : t -> int -> Repro_hgraph.Hir.func option
+val mids : t -> int list
+val recompute_size : t -> unit

@@ -1,0 +1,66 @@
+module B = Repro_dex.Bytecode
+module Hir = Repro_hgraph.Hir
+module Build = Repro_hgraph.Build
+module Android = Repro_hgraph.Android
+
+exception Compile_error of string
+exception Compile_timeout
+
+type spec = (string * int array) list
+
+let size_limit = 20_000
+let work_limit = 600_000
+
+(* The LLVM path uses the work-in-progress (naive) translation. *)
+let translated_unopt dx mid =
+  match Build.func dx mid with
+  | f -> Some (Translate.func ~naive:true dx f)
+  | exception Build.Uncompilable _ -> None
+
+let pass_env ?profile dx =
+  { Passes.dx; get_func = translated_unopt dx; profile }
+
+let android_binary dx mids =
+  let funcs =
+    List.filter_map
+      (fun mid ->
+         match Android.compile_method dx mid with
+         | f -> Some (Translate.func dx f)
+         | exception Build.Uncompilable _ -> None)
+      mids
+  in
+  Binary.create funcs
+
+let llvm_binary ?profile dx spec mids =
+  let env = pass_env ?profile dx in
+  let resolved =
+    List.map
+      (fun (name, args) ->
+         match Passes.find name with
+         | pass -> (pass, args)
+         | exception Not_found -> raise (Compile_error ("unknown pass " ^ name)))
+      spec
+  in
+  let work = ref 0 in
+  let compile_one mid =
+    match translated_unopt dx mid with
+    | None -> None
+    | Some f0 ->
+      let f =
+        List.fold_left
+          (fun f (pass, args) ->
+             let f =
+               match Passes.run env pass args f with
+               | f -> f
+               | exception Passes.Bad_param msg -> raise (Compile_error msg)
+             in
+             let size = Hir.size f in
+             work := !work + size;
+             if size > size_limit then raise Compile_timeout;
+             if !work > work_limit then raise Compile_timeout;
+             f)
+          f0 resolved
+      in
+      Some f
+  in
+  Binary.create (List.filter_map compile_one mids)

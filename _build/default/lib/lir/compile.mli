@@ -1,0 +1,36 @@
+(** End-to-end compilation driver: bytecode -> HGraph -> translate ->
+    (pass sequence) -> binary.
+
+    Mirrors the paper's `opt`/`llc` invocation: a sequence of named passes
+    with integer parameters is applied to every compilable method of the
+    region.  Compile failures are first-class outcomes, matching Figure 1's
+    taxonomy: invalid parameters raise {!Compile_error}; code-size or
+    pass-work explosion raises {!Compile_timeout}. *)
+
+exception Compile_error of string
+exception Compile_timeout
+
+type spec = (string * int array) list
+(** Pass sequence: (catalog name, parameter values). *)
+
+val size_limit : int
+(** Per-function instruction ceiling; beyond it the compile times out. *)
+
+val work_limit : int
+(** Total instructions processed across passes before timing out. *)
+
+val android_binary : Repro_dex.Bytecode.dexfile -> int list -> Binary.t
+(** Baseline: the Android pipeline per method, then translation.  Methods
+    that are uncompilable are silently skipped (they stay interpreted). *)
+
+val llvm_binary :
+  ?profile:(Repro_hgraph.Hir.site -> (int * int) list) ->
+  Repro_dex.Bytecode.dexfile -> spec -> int list -> Binary.t
+(** The LLVM-backend path: build HGraph, translate to the decomposed
+    dialect, then apply the pass sequence to every (compilable) method.
+    @raise Compile_error on unknown passes or invalid parameters.
+    @raise Compile_timeout when budgets are exceeded. *)
+
+val pass_env :
+  ?profile:(Repro_hgraph.Hir.site -> (int * int) list) ->
+  Repro_dex.Bytecode.dexfile -> Passes.env

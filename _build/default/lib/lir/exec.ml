@@ -1,0 +1,262 @@
+module B = Repro_dex.Bytecode
+module Ast = Repro_dex.Ast
+module Hir = Repro_hgraph.Hir
+module Mem = Repro_os.Mem
+module Ctx = Repro_vm.Exec_ctx
+module Value = Repro_vm.Value
+module Cost = Repro_vm.Cost
+module Interp = Repro_vm.Interp
+module Jni = Repro_vm.Jni
+open Repro_vm.Value
+
+exception Segfault of string
+
+(* Instruction-cache pressure: functions much larger than the hot-code
+   budget pay extra on every control transfer.  This is what makes blind
+   unrolling/inlining a loss and gives the optimization space its
+   characteristic non-monotonicity. *)
+let icache_budget = 400
+let icache_divisor = 150
+
+(* Register pressure: values live across block boundaries beyond the
+   physical register file spill; the reload cost is charged per control
+   transfer.  Aggressive inlining and unrolling raise this. *)
+let physical_registers = 24
+let spill_divisor = 3
+
+let pressure_of (f : Hir.func) =
+  match f.Hir.f_pressure with
+  | Some p -> p
+  | None ->
+    let g = Hir.cfg f in
+    let live_out = Repro_hgraph.Analysis.liveness f g in
+    let p =
+      Hashtbl.fold
+        (fun _ live acc -> max acc (Repro_hgraph.Analysis.ISet.cardinal live))
+        live_out 0
+    in
+    f.Hir.f_pressure <- Some p;
+    p
+
+let binop_cost (c : Cost.model) op (a : Value.t) =
+  let is_float = match a with Vfloat _ -> true | Vint _ | Vbool _ | Vref _ -> false in
+  match op with
+  | Ast.Add | Ast.Sub -> if is_float then c.Cost.float_alu else c.Cost.int_alu
+  | Ast.Mul -> if is_float then c.Cost.float_mul else c.Cost.int_mul
+  | Ast.Div | Ast.Rem -> if is_float then c.Cost.float_div else c.Cost.int_div
+  | Ast.Band | Ast.Bor | Ast.Bxor | Ast.Shl | Ast.Shr -> c.Cost.int_alu
+  | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge | Ast.Eq | Ast.Ne ->
+    if is_float then c.Cost.float_alu else c.Cost.int_alu
+  | Ast.Land | Ast.Lor -> c.Cost.int_alu
+
+(* ARM-style division: no trap, x/0 = 0 and x%0 = x. *)
+let eval_binop_arm op a b =
+  match op, b with
+  | Ast.Div, Vint 0 -> Vint 0
+  | Ast.Rem, Vint 0 -> a
+  | _ -> Interp.eval_binop op a b
+
+let zero_like = function
+  | Vint _ -> Vint 0
+  | Vfloat _ -> Vfloat 0.0
+  | Vbool _ -> Vbool false
+  | Vref _ -> Vref 0
+
+let run_func (ctx : Ctx.t) (f : Hir.func) args =
+  let c = ctx.Ctx.cost in
+  let mem = ctx.Ctx.mem in
+  let regs = Array.make (max f.Hir.f_nregs 1) (Vint 0) in
+  List.iteri (fun i v -> regs.(i) <- v) args;
+  let fetch_penalty =
+    max 0 ((Hir.size f - icache_budget) / icache_divisor)
+    + max 0 ((pressure_of f - physical_registers) / spill_divisor)
+  in
+  let charge n = Ctx.charge ctx n in
+  let read addr =
+    match Mem.read_word mem addr with
+    | w -> w
+    | exception Invalid_argument msg -> raise (Segfault msg)
+  in
+  let write addr v =
+    match Mem.write_word mem addr v with
+    | () -> ()
+    | exception Invalid_argument msg -> raise (Segfault msg)
+  in
+  let as_ref v =
+    match v with
+    | Vref a -> a
+    | Vint a -> a     (* guard-free code can feed integers as addresses *)
+    | Vfloat _ | Vbool _ -> raise (Segfault "non-pointer value dereferenced")
+  in
+  let exec_instr i =
+    match i with
+    | Hir.Const (d, const) ->
+      charge c.Cost.const;
+      regs.(d) <-
+        (match const with
+         | B.Cint k -> Vint k
+         | B.Cfloat x -> Vfloat x
+         | B.Cbool b -> Vbool b
+         | B.Cnull -> Value.null)
+    | Hir.Move (d, s) ->
+      charge c.Cost.move;
+      regs.(d) <- regs.(s)
+    | Hir.Binop (op, d, a, b) ->
+      charge (binop_cost c op regs.(a));
+      regs.(d) <- eval_binop_arm op regs.(a) regs.(b)
+    | Hir.Fma (d, a, b, cc) ->
+      charge c.Cost.float_mul;
+      regs.(d) <-
+        Vfloat
+          (Float.fma (Value.to_float regs.(a)) (Value.to_float regs.(b))
+             (Value.to_float regs.(cc)))
+    | Hir.Select (d, cnd, a, b) ->
+      charge c.Cost.int_alu;
+      regs.(d) <- (if Value.is_truthy regs.(cnd) then regs.(a) else regs.(b))
+    | Hir.Unop (Ast.Neg, d, a) ->
+      (match regs.(a) with
+       | Vint x ->
+         charge c.Cost.int_alu;
+         regs.(d) <- Vint (-x)
+       | Vfloat x ->
+         charge c.Cost.float_alu;
+         regs.(d) <- Vfloat (-.x)
+       | Vbool _ | Vref _ -> raise (Segfault "neg of non-number"))
+    | Hir.Unop (Ast.Not, d, a) ->
+      charge c.Cost.int_alu;
+      regs.(d) <- Vbool (not (Value.to_bool regs.(a)))
+    | Hir.I2f (d, a) ->
+      charge c.Cost.float_conv;
+      regs.(d) <- Vfloat (float_of_int (Value.to_int regs.(a)))
+    | Hir.F2i (d, a) ->
+      charge c.Cost.float_conv;
+      regs.(d) <- Vint (int_of_float (Value.to_float regs.(a)))
+    | Hir.NewObj (d, cid) -> regs.(d) <- Vref (Ctx.alloc_object ctx cid)
+    | Hir.NewArr (d, _, len) ->
+      regs.(d) <- Vref (Ctx.alloc_array ctx (Value.to_int regs.(len)))
+    | Hir.GuardNull r ->
+      charge c.Cost.null_check;
+      if as_ref regs.(r) = 0 then raise (Ctx.App_exception Ctx.exc_null_pointer)
+    | Hir.GuardBounds (i, l) ->
+      charge c.Cost.bounds_check;
+      let idx = Value.to_int regs.(i) and len = Value.to_int regs.(l) in
+      if idx < 0 || idx >= len then
+        raise (Ctx.App_exception Ctx.exc_out_of_bounds)
+    | Hir.GuardDivZero r ->
+      charge c.Cost.null_check;
+      (match regs.(r) with
+       | Vint 0 -> raise (Ctx.App_exception Ctx.exc_div_by_zero)
+       | _ -> ())
+    | Hir.LoadElem (k, d, a, i) ->
+      charge c.Cost.load;
+      let addr = Ctx.elem_addr (as_ref regs.(a)) (Value.to_int regs.(i)) in
+      regs.(d) <- Value.of_word k (read addr)
+    | Hir.StoreElem (_, a, i, v) ->
+      charge c.Cost.store;
+      let addr = Ctx.elem_addr (as_ref regs.(a)) (Value.to_int regs.(i)) in
+      write addr (Value.to_word regs.(v))
+    | Hir.LoadLen (d, a) ->
+      charge c.Cost.load;
+      regs.(d) <- Vint (Int64.to_int (read (as_ref regs.(a))))
+    | Hir.LoadField (k, d, o, off) ->
+      charge c.Cost.load;
+      regs.(d) <- Value.of_word k (read (Ctx.field_addr (as_ref regs.(o)) off))
+    | Hir.StoreField (_, o, v, off) ->
+      charge c.Cost.store;
+      write (Ctx.field_addr (as_ref regs.(o)) off) (Value.to_word regs.(v))
+    | Hir.LoadClass (d, o) ->
+      charge c.Cost.load;
+      regs.(d) <- Vint (Int64.to_int (read (as_ref regs.(o))))
+    | Hir.SGet (k, d, slot) ->
+      charge c.Cost.load;
+      regs.(d) <- Value.of_word k (read (Ctx.static_addr ctx slot))
+    | Hir.SPut (_, slot, v) ->
+      charge c.Cost.store;
+      write (Ctx.static_addr ctx slot) (Value.to_word regs.(v))
+    | Hir.CallStatic (ret, mid, argregs) ->
+      charge c.Cost.call_overhead;
+      let cargs = List.map (fun r -> regs.(r)) argregs in
+      (match ret, Ctx.invoke ctx mid cargs with
+       | Some d, Some v -> regs.(d) <- v
+       | Some _, None | None, (Some _ | None) -> ())
+    | Hir.CallVirtual (ret, slot, argregs, _site) ->
+      charge (c.Cost.call_overhead + c.Cost.virtual_extra + c.Cost.load);
+      let cargs = List.map (fun r -> regs.(r)) argregs in
+      let recv =
+        match argregs with
+        | r :: _ -> as_ref regs.(r)
+        | [] -> raise (Segfault "virtual call without receiver")
+      in
+      let cid = Int64.to_int (read recv) in
+      if cid < 0 || cid >= Array.length ctx.Ctx.dx.B.dx_classes then
+        raise (Segfault "corrupt object header in virtual dispatch");
+      let vtable = ctx.Ctx.dx.B.dx_classes.(cid).B.ci_vtable in
+      if slot < 0 || slot >= Array.length vtable then
+        raise (Segfault "vtable slot out of range");
+      (match ret, Ctx.invoke ctx vtable.(slot) cargs with
+       | Some d, Some v -> regs.(d) <- v
+       | Some _, None | None, (Some _ | None) -> ())
+    | Hir.CallNative (ret, n, argregs, mode) ->
+      let cargs = List.map (fun r -> regs.(r)) argregs in
+      let result =
+        match mode with
+        | Hir.Jni -> Jni.call ctx n cargs
+        | Hir.Intrinsic -> Jni.call ~as_native:false ctx n cargs
+      in
+      (match ret, result with
+       | Some d, Some v -> regs.(d) <- v
+       | Some _, None | None, (Some _ | None) -> ())
+    | Hir.SuspendCheck -> Ctx.safepoint ctx
+    | Hir.ALoadC _ | Hir.AStoreC _ | Hir.ArrLenC _ | Hir.IGetC _ | Hir.IPutC _ ->
+      failwith "Exec: composite instruction reached the executor \
+                (method was not translated)"
+  in
+  let branch_cost hint taken =
+    charge (c.Cost.branch + fetch_penalty);
+    match hint, taken with
+    | Hir.Predict_taken, true | Hir.Predict_not_taken, false -> ()
+    | Hir.Predict_taken, false | Hir.Predict_not_taken, true ->
+      charge c.Cost.branch_miss
+    | Hir.Predict_none, _ -> charge (c.Cost.branch_miss / 2)
+  in
+  let result = ref None in
+  let running = ref true in
+  let bid = ref f.Hir.f_entry in
+  (* Type confusion in guard-stripped code surfaces as Invalid_argument from
+     the value accessors; on hardware that is a wild access, i.e. a crash. *)
+  let exec_instr i =
+    try exec_instr i with Invalid_argument msg -> raise (Segfault msg)
+  in
+  while !running do
+    let b = Hir.block f !bid in
+    List.iter exec_instr b.Hir.insns;
+    (match b.Hir.term with
+     | Hir.Goto t ->
+       charge (c.Cost.branch + fetch_penalty);
+       bid := t
+     | Hir.If (cond, a, rhs, bt, be, hint) ->
+       let vb =
+         match rhs with
+         | Some rb -> regs.(rb)
+         | None -> zero_like regs.(a)
+       in
+       let taken = Interp.eval_cond cond regs.(a) vb in
+       branch_cost hint taken;
+       bid := if taken then bt else be
+     | Hir.Ret r ->
+       charge c.Cost.int_alu;
+       result := Option.map (fun r -> regs.(r)) r;
+       running := false
+     | Hir.ThrowT r ->
+       charge c.Cost.throw_cost;
+       raise (Ctx.App_exception (Value.to_int regs.(r))))
+  done;
+  !result
+
+let dispatcher binary =
+  fun ctx mid args ->
+    match Binary.find binary mid with
+    | Some f -> run_func ctx f args
+    | None -> Interp.interpret ctx mid args
+
+let install ctx binary = Ctx.set_dispatch ctx (dispatcher binary)

@@ -1,0 +1,29 @@
+(** The LIR executor: runs decomposed-dialect graphs under the cycle cost
+    model — the "hardware" the compiled binaries execute on.
+
+    Unlike the interpreter, it performs no implicit checks: safety comes
+    only from the Guard* instructions present in the code.  If an unsound
+    optimization removed a guard the raw access proceeds, yielding either a
+    silently wrong value (a mapped but wrong address) or a {!Segfault}
+    (unmapped address) — the two runtime failure modes of Figure 1.
+
+    Integer division follows ARM semantics: [x / 0 = 0] (no trap); the Java
+    exception is produced by [GuardDivZero]. *)
+
+exception Segfault of string
+
+val run_func :
+  Repro_vm.Exec_ctx.t -> Repro_hgraph.Hir.func ->
+  Repro_vm.Value.t list -> Repro_vm.Value.t option
+(** Execute one compiled method; callees are routed through
+    {!Repro_vm.Exec_ctx.invoke}.
+    @raise Segfault, Repro_vm.Exec_ctx.App_exception, Timeout. *)
+
+val dispatcher :
+  Binary.t ->
+  (Repro_vm.Exec_ctx.t -> int -> Repro_vm.Value.t list -> Repro_vm.Value.t option)
+(** A dispatch function executing methods present in the binary as compiled
+    code and everything else through the interpreter — the mixed-mode
+    runtime of a real Android process. *)
+
+val install : Repro_vm.Exec_ctx.t -> Binary.t -> unit

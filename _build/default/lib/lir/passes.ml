@@ -1,0 +1,1101 @@
+module B = Repro_dex.Bytecode
+module Ast = Repro_dex.Ast
+module Hir = Repro_hgraph.Hir
+module T = Repro_hgraph.Transforms
+module Cfg = Repro_util.Cfg
+open Hir
+
+type env = {
+  dx : B.dexfile;
+  get_func : int -> Hir.func option;
+  profile : (Hir.site -> (int * int) list) option;
+}
+
+type param = { pname : string; pmin : int; pmax : int; pdefault : int }
+
+type t = {
+  name : string;
+  params : param list;
+  safe : bool;
+  descr : string;
+  apply : env -> int array -> Hir.func -> Hir.func;
+}
+
+exception Bad_param of string
+
+(* ------------------------------------------------------------------ *)
+(* Helpers                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let all_bids f =
+  Hashtbl.fold (fun bid _ acc -> bid :: acc) f.f_blocks [] |> List.sort compare
+
+(* Unique defining instruction of a register, if it has exactly one def. *)
+let single_def f =
+  let defs : (int, Hir.instr option) Hashtbl.t = Hashtbl.create 32 in
+  Hir.iter_blocks f (fun _ b ->
+      List.iter
+        (fun i ->
+           match Hir.def_of i with
+           | Some d ->
+             if Hashtbl.mem defs d then Hashtbl.replace defs d None
+             else Hashtbl.replace defs d (Some i)
+           | None -> ())
+        b.insns);
+  fun r -> Option.join (Hashtbl.find_opt defs r)
+
+let rec const_of_reg sdef r =
+  match sdef r with
+  | Some (Const (_, c)) -> Some c
+  | Some (Move (_, s)) -> const_of_reg sdef s
+  | _ -> None
+
+(* Clone a set of blocks with a bid mapping; register names are reused on
+   purpose: the dialect is not SSA, so copies share the caller's registers
+   and values flow through sequentially. *)
+let clone_blocks f body =
+  let mapping = Hashtbl.create 8 in
+  List.iter
+    (fun bid ->
+       let nb = f.f_next_bid in
+       f.f_next_bid <- nb + 1;
+       Hashtbl.replace mapping bid nb)
+    body;
+  List.iter
+    (fun bid ->
+       let b = Hir.block f bid in
+       let remap t =
+         match Hashtbl.find_opt mapping t with Some t' -> t' | None -> t
+       in
+       let term =
+         match b.term with
+         | Goto t -> Goto (remap t)
+         | If (c, a, o, bt, be, h) -> If (c, a, o, remap bt, remap be, h)
+         | (Ret _ | ThrowT _) as t -> t
+       in
+       Hashtbl.replace f.f_blocks (Hashtbl.find mapping bid)
+         { insns = b.insns; term })
+    body;
+  mapping
+
+let retarget_in_blocks f bids ~from ~to_ =
+  List.iter
+    (fun bid ->
+       let b = Hir.block f bid in
+       b.term <- Hir.retarget_term ~from ~to_ b.term)
+    bids
+
+(* Innermost loops: loops containing no other loop's header. *)
+let innermost_loops loops =
+  List.filter
+    (fun l ->
+       not
+         (List.exists
+            (fun l' ->
+               l'.Cfg.header <> l.Cfg.header
+               && List.mem l'.Cfg.header l.Cfg.body)
+            loops))
+    loops
+
+let loop_size f l =
+  List.fold_left
+    (fun acc bid -> acc + List.length (Hir.block f bid).insns + 1)
+    0 l.Cfg.body
+
+(* ------------------------------------------------------------------ *)
+(* Loop restructuring                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Unroll by chaining [k] copies of the whole loop (header test included):
+   back edges of copy j enter copy j+1's header; the last copy returns to
+   the original header.  Correct for any trip count.  Suspend checks in the
+   latch blocks are duplicated into every copy — the behaviour the custom
+   GC-check pass cleans up (paper §3.5). *)
+let unroll ?(outer = false) ~factor ~size_limit f =
+  let f = Hir.copy f in
+  let g = Hir.cfg f in
+  let loops =
+    if outer then Cfg.loops g else innermost_loops (Cfg.loops g)
+  in
+  List.iter
+    (fun l ->
+       if loop_size f l <= size_limit then begin
+         let header = l.Cfg.header in
+         let copies =
+           Array.init (factor - 1) (fun _ -> clone_blocks f l.Cfg.body)
+         in
+         let header_of_copy j = Hashtbl.find copies.(j) header in
+         (* original back edges -> first copy *)
+         retarget_in_blocks f l.Cfg.back_edges ~from:header ~to_:(header_of_copy 0);
+         (* copy j back edges -> copy j+1 (or original header for the last) *)
+         Array.iteri
+           (fun j mapping ->
+              let latches =
+                List.map (fun bid -> Hashtbl.find mapping bid) l.Cfg.back_edges
+              in
+              let next =
+                if j + 1 < Array.length copies then header_of_copy (j + 1)
+                else header
+              in
+              retarget_in_blocks f latches ~from:(header_of_copy j) ~to_:next)
+           copies
+       end)
+    loops;
+  f
+
+(* Peel one iteration: entry edges run through a copy of the loop first. *)
+let peel ~size_limit f =
+  let f = Hir.copy f in
+  let g = Hir.cfg f in
+  let loops = innermost_loops (Cfg.loops g) in
+  List.iter
+    (fun l ->
+       if loop_size f l <= size_limit then begin
+         let header = l.Cfg.header in
+         let mapping = clone_blocks f l.Cfg.body in
+         let copy_header = Hashtbl.find mapping header in
+         (* copy's back edges continue into the original loop *)
+         let copy_latches =
+           List.map (fun bid -> Hashtbl.find mapping bid) l.Cfg.back_edges
+         in
+         retarget_in_blocks f copy_latches ~from:copy_header ~to_:header;
+         (* outside entries enter the copy *)
+         List.iter
+           (fun bid ->
+              if not (List.mem bid l.Cfg.body) then begin
+                let b = Hir.block f bid in
+                b.term <- Hir.retarget_term ~from:header ~to_:copy_header b.term
+              end)
+           (Cfg.preds g header);
+         if f.f_entry = header then f.f_entry <- copy_header
+       end)
+    loops;
+  f
+
+(* Loop unswitching: an [If] on loop-invariant operands selects between two
+   specialized copies of the loop. *)
+let unswitch ~size_limit f =
+  let f = Hir.copy f in
+  let g = Hir.cfg f in
+  let loops = innermost_loops (Cfg.loops g) in
+  List.iter
+    (fun l ->
+       if loop_size f l <= size_limit then begin
+         let header = l.Cfg.header in
+         let defined_in_loop = Hashtbl.create 16 in
+         List.iter
+           (fun bid ->
+              List.iter
+                (fun i ->
+                   match Hir.def_of i with
+                   | Some d -> Hashtbl.replace defined_in_loop d ()
+                   | None -> ())
+                (Hir.block f bid).insns)
+           l.Cfg.body;
+         let invariant r = not (Hashtbl.mem defined_in_loop r) in
+         (* candidate: a non-header block in the loop with an invariant If
+            whose both targets stay inside the loop *)
+         let candidate =
+           List.find_opt
+             (fun bid ->
+                bid <> header
+                &&
+                match (Hir.block f bid).term with
+                | If (_, a, rhs, bt, be, _) ->
+                  invariant a
+                  && (match rhs with Some b -> invariant b | None -> true)
+                  && List.mem bt l.Cfg.body && List.mem be l.Cfg.body
+                | Goto _ | Ret _ | ThrowT _ -> false)
+             l.Cfg.body
+         in
+         match candidate with
+         | None -> ()
+         | Some x ->
+           (match (Hir.block f x).term with
+            | If (c, a, rhs, bt, be, _) ->
+              let mapping = clone_blocks f l.Cfg.body in
+              let copy_header = Hashtbl.find mapping header in
+              (* original loop: condition assumed true *)
+              (Hir.block f x).term <- Goto bt;
+              (* copy: condition assumed false *)
+              let x' = Hashtbl.find mapping x in
+              (Hir.block f x').term <- Goto (Hashtbl.find mapping be);
+              (* dispatch block in front of the loop *)
+              let dispatch =
+                Hir.add_block f []
+                  (If (c, a, rhs, header, copy_header, Predict_none))
+              in
+              let outside =
+                List.filter (fun bid -> not (List.mem bid l.Cfg.body))
+                  (Cfg.preds g header)
+              in
+              List.iter
+                (fun bid ->
+                   let b = Hir.block f bid in
+                   b.term <- Hir.retarget_term ~from:header ~to_:dispatch b.term)
+                outside;
+              if f.f_entry = header then f.f_entry <- dispatch
+            | Goto _ | Ret _ | ThrowT _ -> ())
+       end)
+    loops;
+  f
+
+(* ------------------------------------------------------------------ *)
+(* If-conversion: small diamonds / half-diamonds become branch-free     *)
+(* conditional moves                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let binop_of_cond = function
+  | B.Ceq -> Ast.Eq | B.Cne -> Ast.Ne | B.Clt -> Ast.Lt
+  | B.Cle -> Ast.Le | B.Cgt -> Ast.Gt | B.Cge -> Ast.Ge
+
+(* A "trivial arm": an empty or single-pure-def block ending in Goto. *)
+let arm_of f g bid =
+  match Hashtbl.find_opt f.f_blocks bid with
+  | Some { insns; term = Goto join } when List.length (Cfg.preds g bid) = 1 ->
+    (match insns with
+     | [] -> Some (None, join)
+     | [ (Move (d, _) as i) ] | [ (Const (d, _) as i) ] -> Some (Some (d, i), join)
+     | _ -> None)
+  | _ -> None
+
+let if_convert f =
+  let f = Hir.copy f in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    let g = Hir.cfg f in
+    List.iter
+      (fun bid ->
+         if not !changed then
+           match Hashtbl.find_opt f.f_blocks bid with
+           | Some b ->
+             (match b.term with
+              | If (cond, x, Some y, bt, be, _) when bt <> be ->
+                (match arm_of f g bt, arm_of f g be with
+                 (* full diamond: both arms assign the same register *)
+                 | Some (Some (d1, i1), j1), Some (Some (d2, i2), j2)
+                   when d1 = d2 && j1 = j2 ->
+                   let t = Hir.fresh_reg f in
+                   let a = Hir.fresh_reg f in
+                   let c = Hir.fresh_reg f in
+                   b.insns <-
+                     b.insns
+                     @ [ Binop (binop_of_cond cond, c, x, y);
+                         Hir.rename_def a i1; Hir.rename_def t i2;
+                         Select (d1, c, a, t) ];
+                   b.term <- Goto j1;
+                   Hashtbl.remove f.f_blocks bt;
+                   Hashtbl.remove f.f_blocks be;
+                   changed := true
+                 (* diamond with one empty arm *)
+                 | Some (Some (d1, i1), j1), Some (None, j2)
+                   when j1 = j2 ->
+                   let a = Hir.fresh_reg f in
+                   let c = Hir.fresh_reg f in
+                   b.insns <-
+                     b.insns
+                     @ [ Binop (binop_of_cond cond, c, x, y);
+                         Hir.rename_def a i1; Select (d1, c, a, d1) ];
+                   b.term <- Goto j1;
+                   Hashtbl.remove f.f_blocks bt;
+                   Hashtbl.remove f.f_blocks be;
+                   changed := true
+                 | Some (None, j1), Some (Some (d2, i2), j2)
+                   when j1 = j2 ->
+                   let a = Hir.fresh_reg f in
+                   let c = Hir.fresh_reg f in
+                   b.insns <-
+                     b.insns
+                     @ [ Binop (binop_of_cond cond, c, x, y);
+                         Hir.rename_def a i2; Select (d2, c, d2, a) ];
+                   b.term <- Goto j1;
+                   Hashtbl.remove f.f_blocks bt;
+                   Hashtbl.remove f.f_blocks be;
+                   changed := true
+                 (* half diamond: then-arm assigns, else falls through *)
+                 | Some (Some (d1, i1), j1), None when j1 = be ->
+                   let a = Hir.fresh_reg f in
+                   let c = Hir.fresh_reg f in
+                   b.insns <-
+                     b.insns
+                     @ [ Binop (binop_of_cond cond, c, x, y);
+                         Hir.rename_def a i1; Select (d1, c, a, d1) ];
+                   b.term <- Goto be;
+                   Hashtbl.remove f.f_blocks bt;
+                   changed := true
+                 | None, Some (Some (d2, i2), j2) when j2 = bt ->
+                   let a = Hir.fresh_reg f in
+                   let c = Hir.fresh_reg f in
+                   b.insns <-
+                     b.insns
+                     @ [ Binop (binop_of_cond cond, c, x, y);
+                         Hir.rename_def a i2; Select (d2, c, d2, a) ];
+                   b.term <- Goto bt;
+                   Hashtbl.remove f.f_blocks be;
+                   changed := true
+                 | _ -> ())
+              | _ -> ())
+           | None -> ())
+      (Cfg.nodes g)
+  done;
+  f
+
+(* ------------------------------------------------------------------ *)
+(* Code sinking: move a pure single-def computation into the unique     *)
+(* successor that uses it (off the paths that don't)                    *)
+(* ------------------------------------------------------------------ *)
+
+let sink f =
+  let f = Hir.copy f in
+  let g = Hir.cfg f in
+  let uses_in_block b r =
+    List.exists (fun i -> List.mem r (Hir.uses_of i)) b.insns
+    || List.mem r (Hir.uses_of_term b.term)
+  in
+  List.iter
+    (fun bid ->
+       match Hashtbl.find_opt f.f_blocks bid with
+       | None -> ()
+       | Some b ->
+         (match b.term with
+          | If (_, _, _, bt, be, _) when bt <> be ->
+            (* operands must not be redefined between the instruction and
+               the end of the block *)
+            let redefined_after i r =
+              let rec scan seen = function
+                | [] -> false
+                | i' :: rest ->
+                  if seen then
+                    (Hir.def_of i' = Some r) || scan seen rest
+                  else scan (i' == i) rest
+              in
+              scan false b.insns
+            in
+            let sinkable, kept =
+              List.partition
+                (fun i ->
+                   Hir.is_pure i
+                   && (match i with Move _ -> false | _ -> true)
+                   && List.for_all
+                        (fun r -> not (redefined_after i r))
+                        (Hir.uses_of i)
+                   &&
+                   (match Hir.def_of i with
+                    | Some d ->
+                      (* used in exactly one successor, defined once, not
+                         used later in this block or its terminator, not
+                         live anywhere else (approximated by: the other
+                         successor and its reachable blocks never read d
+                         before writing it — we use the cheap safe check
+                         that d appears in no other block at all) *)
+                      let appears_elsewhere =
+                        List.exists
+                          (fun obid ->
+                             obid <> bid && obid <> bt
+                             &&
+                             match Hashtbl.find_opt f.f_blocks obid with
+                             | Some ob ->
+                               uses_in_block ob d
+                               || List.exists
+                                    (fun i' -> Hir.def_of i' = Some d)
+                                    ob.insns
+                             | None -> false)
+                          (Cfg.nodes g)
+                      in
+                      let used_after_here =
+                        uses_in_block { b with insns = [] } d
+                      in
+                      let bt_block = Hashtbl.find_opt f.f_blocks bt in
+                      (not appears_elsewhere) && (not used_after_here)
+                      && List.length (Cfg.preds g bt) = 1
+                      && (match bt_block with
+                          | Some btb -> uses_in_block btb d
+                          | None -> false)
+                      && not
+                           (List.exists
+                              (fun i' ->
+                                 i' != i && List.mem d (Hir.uses_of i'))
+                              b.insns)
+                    | None -> false))
+                b.insns
+            in
+            ignore be;
+            (match sinkable with
+             | [] -> ()
+             | moved ->
+               b.insns <- kept;
+               let btb = Hir.block f bt in
+               btb.insns <- moved @ btb.insns)
+          | _ -> ()))
+    (Cfg.nodes g);
+  f
+
+(* ------------------------------------------------------------------ *)
+(* Custom Android-specific passes (paper §3.5)                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Remove duplicated GC suspend checks: every cycle in a reducible CFG goes
+   through some back edge, so keeping the checks in back-edge source blocks
+   (one per block) is enough. *)
+let gc_check_elim f =
+  let f = Hir.copy f in
+  let g = Hir.cfg f in
+  let latches =
+    List.concat_map (fun l -> l.Cfg.back_edges) (Cfg.loops g)
+    |> List.sort_uniq compare
+  in
+  Hir.iter_blocks f (fun bid b ->
+      if List.mem bid latches then begin
+        (* keep only the first check in a latch *)
+        let seen = ref false in
+        b.insns <-
+          List.filter
+            (fun i ->
+               match i with
+               | SuspendCheck ->
+                 if !seen then false
+                 else begin
+                   seen := true;
+                   true
+                 end
+               | _ -> true)
+            b.insns
+      end
+      else b.insns <- List.filter (fun i -> i <> SuspendCheck) b.insns);
+  f
+
+let jni_to_intrinsic f =
+  let f = Hir.copy f in
+  Hir.iter_blocks f (fun _ b ->
+      b.insns <-
+        List.map
+          (fun i ->
+             match i with
+             | CallNative (ret, n, args, Jni) when B.native_has_intrinsic n ->
+               CallNative (ret, n, args, Intrinsic)
+             | _ -> i)
+          b.insns);
+  f
+
+(* ------------------------------------------------------------------ *)
+(* Guard elimination                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Block-local de-duplication of guards, keyed on single-assignment facts
+   within the block (a guard stays valid until its register is redefined).
+   Also removes null guards on registers freshly defined by an allocation
+   in the same block. *)
+let guard_dedupe f =
+  let f = Hir.copy f in
+  Hir.iter_blocks f (fun _ b ->
+      let nonnull = Hashtbl.create 8 in
+      let bounds_ok = Hashtbl.create 8 in
+      let nonzero = Hashtbl.create 8 in
+      let kill d =
+        Hashtbl.remove nonnull d;
+        Hashtbl.remove nonzero d;
+        let stale =
+          Hashtbl.fold
+            (fun ((i, l) as k) () acc -> if i = d || l = d then k :: acc else acc)
+            bounds_ok []
+        in
+        List.iter (Hashtbl.remove bounds_ok) stale
+      in
+      b.insns <-
+        List.filter
+          (fun i ->
+             let keep =
+               match i with
+               | GuardNull r ->
+                 if Hashtbl.mem nonnull r then false
+                 else begin
+                   Hashtbl.replace nonnull r ();
+                   true
+                 end
+               | GuardBounds (idx, len) ->
+                 if Hashtbl.mem bounds_ok (idx, len) then false
+                 else begin
+                   Hashtbl.replace bounds_ok (idx, len) ();
+                   true
+                 end
+               | GuardDivZero r ->
+                 if Hashtbl.mem nonzero r then false
+                 else begin
+                   Hashtbl.replace nonzero r ();
+                   true
+                 end
+               | _ -> true
+             in
+             (match Hir.def_of i with
+              | Some d ->
+                kill d;
+                (match i with
+                 | NewObj (d, _) | NewArr (d, _, _) -> Hashtbl.replace nonnull d ()
+                 | _ -> ())
+              | None -> ());
+             keep)
+          b.insns);
+  f
+
+(* Sound bounds-check elimination for the canonical counted loop:
+   i starts at a non-negative constant, is increased by one positive
+   constant step per iteration, and the loop condition is [i < len(a)].
+   Guards [GuardBounds (i, L)] with L a length of the same array die. *)
+let bce f =
+  let f = Hir.copy f in
+  let g = Hir.cfg f in
+  let sdef = single_def f in
+  let arr_of_len r =
+    match sdef r with
+    | Some (LoadLen (_, a)) -> Some a
+    | _ -> None
+  in
+  List.iter
+    (fun l ->
+       let header = l.Cfg.header in
+       let body = l.Cfg.body in
+       let hb = Hir.block f header in
+       match hb.term with
+       | If (B.Clt, i, Some lim, bt, be, _)
+         when List.mem bt body && not (List.mem be body) ->
+         let defined_in_loop r =
+           List.exists
+             (fun bid ->
+                List.exists
+                  (fun ins -> Hir.def_of ins = Some r)
+                  (Hir.block f bid).insns)
+             body
+         in
+         (* [lim] itself may be re-loaded in the header each iteration; what
+            matters is that it is a length of an array register that never
+            changes inside the loop (lengths are immutable). *)
+         let array_of_lim = arr_of_len lim in
+         if
+           array_of_lim <> None
+           && not (defined_in_loop (Option.get array_of_lim))
+         then begin
+           (* collect defs of i inside the loop *)
+           let defs_of_i =
+             List.concat_map
+               (fun bid ->
+                  List.filter
+                    (fun ins -> Hir.def_of ins = Some i)
+                    (Hir.block f bid).insns)
+               body
+           in
+           let positive_const r =
+             match const_of_reg sdef r with
+             | Some (B.Cint k) -> k > 0
+             | _ -> false
+           in
+           let increment_ok =
+             match defs_of_i with
+             | [ Binop (Ast.Add, _, a, b) ] ->
+               (a = i && positive_const b) || (b = i && positive_const a)
+             | [ Move (_, t) ] ->
+               (match sdef t with
+                | Some (Binop (Ast.Add, _, a, b)) ->
+                  (a = i && positive_const b) || (b = i && positive_const a)
+                | _ -> false)
+             | _ -> false
+           in
+           (* all defs of i outside the loop must be non-negative consts *)
+           let init_ok = ref true in
+           Hir.iter_blocks f (fun bid blk ->
+               if not (List.mem bid body) then
+                 List.iter
+                   (fun ins ->
+                      if Hir.def_of ins = Some i then
+                        match ins with
+                        | Const (_, B.Cint k) when k >= 0 -> ()
+                        | Move (_, s)
+                          when (match const_of_reg sdef s with
+                              | Some (B.Cint k) -> k >= 0
+                              | _ -> false) -> ()
+                        | _ -> init_ok := false)
+                   blk.insns);
+           if increment_ok && !init_ok then
+             (* only blocks strictly inside the guarded region: every
+                non-header body block runs with i < lim established *)
+             List.iter
+               (fun bid ->
+                  if bid <> header then begin
+                    let blk = Hir.block f bid in
+                    blk.insns <-
+                      List.filter
+                        (fun ins ->
+                           match ins with
+                           | GuardBounds (idx, len) when idx = i ->
+                             not
+                               (len = lim
+                                || (arr_of_len len <> None
+                                    && arr_of_len len = array_of_lim))
+                           | _ -> true)
+                        blk.insns
+                  end)
+               body
+         end
+       | _ -> ())
+    (Cfg.loops g);
+  f
+
+(* ------------------------------------------------------------------ *)
+(* Guard hoisting (paper §7 future work: removing checks that need not  *)
+(* run every iteration).                                                *)
+(*                                                                      *)
+(* A guard sitting in a loop's header block executes on every           *)
+(* iteration, including the first; if its operands are loop-invariant   *)
+(* its outcome is the same every time, so a single execution in the     *)
+(* preheader is equivalent — including the thrown exception, which      *)
+(* would have fired on iteration one anyway (the header runs at least   *)
+(* once whenever the loop is entered).                                  *)
+(* ------------------------------------------------------------------ *)
+
+let guard_hoist f =
+  let f = Hir.copy f in
+  let loops = Cfg.loops (Hir.cfg f) in
+  List.iter
+    (fun l ->
+       let header = l.Cfg.header in
+       let body = l.Cfg.body in
+       let defined_in_loop = Hashtbl.create 16 in
+       List.iter
+         (fun bid ->
+            match Hashtbl.find_opt f.f_blocks bid with
+            | Some b ->
+              List.iter
+                (fun i ->
+                   match Hir.def_of i with
+                   | Some d -> Hashtbl.replace defined_in_loop d ()
+                   | None -> ())
+                b.insns
+            | None -> ())
+         body;
+       let invariant r = not (Hashtbl.mem defined_in_loop r) in
+       match Hashtbl.find_opt f.f_blocks header with
+       | None -> ()
+       | Some hb ->
+         (* only guards in the header's effect-free prefix may move: past
+            the first side effect (or non-hoistable guard) an exception
+            would be reordered with observable behaviour *)
+         let hoisted = ref [] in
+         let stopped = ref false in
+         hb.insns <-
+           List.filter
+             (fun i ->
+                if !stopped then true
+                else begin
+                  let hoistable =
+                    match i with
+                    | GuardNull r | GuardDivZero r -> invariant r
+                    | GuardBounds (a, b) -> invariant a && invariant b
+                    | _ -> false
+                  in
+                  if hoistable then begin
+                    hoisted := i :: !hoisted;
+                    false
+                  end
+                  else begin
+                    (match i with
+                     | SuspendCheck -> ()  (* no observable effect *)
+                     | _ -> if not (Hir.is_pure i) then stopped := true);
+                    true
+                  end
+                end)
+             hb.insns;
+         if !hoisted <> [] then begin
+           let g = Hir.cfg f in
+           let pre = Hir.add_block f (List.rev !hoisted) (Goto header) in
+           List.iter
+             (fun bid ->
+                if (not (List.mem bid body)) && bid <> pre then
+                  match Hashtbl.find_opt f.f_blocks bid with
+                  | Some b ->
+                    b.term <- Hir.retarget_term ~from:header ~to_:pre b.term
+                  | None -> ())
+             (Cfg.nodes g);
+           if f.f_entry = header then f.f_entry <- pre
+         end)
+    loops;
+  f
+
+(* ------------------------------------------------------------------ *)
+(* Profile-guided speculative devirtualization (paper §3.4)            *)
+(* ------------------------------------------------------------------ *)
+
+let devirt env ~threshold_pct f =
+  match env.profile with
+  | None -> f
+  | Some profile ->
+    let f = Hir.copy f in
+    let continue_ = ref true in
+    while !continue_ do
+      continue_ := false;
+      let found = ref None in
+      List.iter
+        (fun bid ->
+           if !found = None then begin
+             let b = Hir.block f bid in
+             let rec split pre = function
+               | [] -> ()
+               | (CallVirtual (ret, slot, args, site) as call) :: post ->
+                 let hist = profile site in
+                 let total = List.fold_left (fun a (_, n) -> a + n) 0 hist in
+                 (match hist with
+                  | (cid, n) :: _
+                    when total > 0 && n * 100 >= threshold_pct * total ->
+                    let vtable = env.dx.B.dx_classes.(cid).B.ci_vtable in
+                    if slot < Array.length vtable then
+                      found :=
+                        Some (bid, List.rev pre, (ret, slot, args, site, cid,
+                                                  vtable.(slot)), post)
+                  | _ -> ());
+                 if !found = None then split (call :: pre) post
+               | i :: post -> split (i :: pre) post
+             in
+             split [] b.insns
+           end)
+        (all_bids f);
+      match !found with
+      | None -> ()
+      | Some (bid, pre, (ret, slot, args, site, cid, target), post) ->
+        continue_ := true;
+        let b = Hir.block f bid in
+        let recv = List.hd args in
+        let t_class = Hir.fresh_reg f in
+        let t_cid = Hir.fresh_reg f in
+        let join = Hir.add_block f post b.term in
+        let fast =
+          Hir.add_block f [ CallStatic (ret, target, args) ] (Goto join)
+        in
+        let slow =
+          Hir.add_block f
+            [ CallVirtual (ret, slot, args, (fst site, -snd site - 1)) ]
+            (Goto join)
+        in
+        b.insns <- pre @ [ LoadClass (t_class, recv); Const (t_cid, B.Cint cid) ];
+        b.term <- If (B.Ceq, t_class, Some t_cid, fast, slow, Predict_taken)
+    done;
+    f
+
+(* ------------------------------------------------------------------ *)
+(* Unsafe passes                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let strip_guards ~null ~bounds f =
+  let f = Hir.copy f in
+  Hir.iter_blocks f (fun _ b ->
+      b.insns <-
+        List.filter
+          (fun i ->
+             match i with
+             | GuardNull _ -> not null
+             | GuardBounds _ -> not bounds
+             | _ -> true)
+          b.insns);
+  f
+
+(* Fast-math, two value-changing rewrites:
+   - reciprocal: x /. c  ->  x *. (1 /. c) (last-ulp changes for most c);
+   - FMA contraction: mul feeding an add/sub fuses into a single-rounding
+     multiply-add, the classic -ffast-math/-ffp-contract effect.
+   Bit-exact replay verification rejects binaries whose results moved. *)
+let fast_math ~recip ~contract env f =
+  let f = Hir.copy f in
+  let sdef = single_def f in
+  (* chase single-def move chains so the pattern survives the naive
+     translation's redundant copies *)
+  let rec sdef_through_moves r =
+    match sdef r with
+    | Some (Move (_, s)) -> sdef_through_moves s
+    | d -> d
+  in
+  let kinds = Translate.infer_kinds env.dx f in
+  let is_float r = r < Array.length kinds && kinds.(r) = B.Kfloat in
+  Hir.iter_blocks f (fun _ b ->
+      b.insns <-
+        List.concat_map
+          (fun i ->
+             match i with
+             | Binop (Ast.Div, d, a, den) when recip ->
+               (match const_of_reg sdef den with
+                | Some (B.Cfloat cst) when Float.is_finite cst && cst <> 0.0 ->
+                  let r = Hir.fresh_reg f in
+                  [ Const (r, B.Cfloat (1.0 /. cst)); Binop (Ast.Mul, d, a, r) ]
+                | _ -> [ i ])
+             | Binop (Ast.Add, d, x, y) when contract && is_float d ->
+               (match sdef_through_moves x, sdef_through_moves y with
+                | Some (Binop (Ast.Mul, _, a, b)), _ when is_float x ->
+                  [ Fma (d, a, b, y) ]
+                | _, Some (Binop (Ast.Mul, _, a, b)) when is_float y ->
+                  [ Fma (d, a, b, x) ]
+                | _ -> [ i ])
+             | Binop (Ast.Sub, d, x, y) when contract && is_float d ->
+               (match sdef_through_moves y with
+                | Some (Binop (Ast.Mul, _, a, b)) when is_float y ->
+                  (* x - a*b = (-a)*b + x *)
+                  let na = Hir.fresh_reg f in
+                  [ Unop (Ast.Neg, na, a); Fma (d, na, b, x) ]
+                | _ -> [ i ])
+             | _ -> [ i ])
+          b.insns);
+  f
+
+(* Unsafe strength reduction: x / 2^k -> x >> k.  Wrong for negative x
+   (rounds toward -inf instead of toward zero). *)
+let unsafe_div_sr f =
+  let f = Hir.copy f in
+  let sdef = single_def f in
+  Hir.iter_blocks f (fun _ b ->
+      b.insns <-
+        List.concat_map
+          (fun i ->
+             match i with
+             | Binop (Ast.Div, d, a, den) ->
+               (match const_of_reg sdef den with
+                | Some (B.Cint k) when k > 1 && k land (k - 1) = 0 ->
+                  let sh =
+                    int_of_float (Float.round (log (float_of_int k) /. log 2.))
+                  in
+                  let r = Hir.fresh_reg f in
+                  [ Const (r, B.Cint sh); Binop (Ast.Shr, d, a, r) ]
+                | _ -> [ i ])
+             | _ -> [ i ])
+          b.insns);
+  f
+
+(* Alias-blind store-to-load forwarding: forwards across stores to other
+   (possibly aliasing) locations of the same shape. *)
+let unsafe_lsf f =
+  let f = Hir.copy f in
+  Hir.iter_blocks f (fun _ b ->
+      (* location -> forwarding register (no invalidation on alias stores) *)
+      let fields = Hashtbl.create 8 in
+      let elems = Hashtbl.create 8 in
+      let redefined = Hashtbl.create 8 in
+      let ok r = not (Hashtbl.mem redefined r) in
+      b.insns <-
+        List.map
+          (fun i ->
+             let out =
+               match i with
+               | StoreField (_, o, v, off) when ok o && ok v ->
+                 Hashtbl.replace fields (o, off) v;
+                 i
+               | StoreElem (_, a, idx, v) when ok a && ok idx && ok v ->
+                 Hashtbl.replace elems (a, idx) v;
+                 i
+               | LoadField (_, d, o, off) when ok o ->
+                 (match Hashtbl.find_opt fields (o, off) with
+                  | Some v when ok v -> Move (d, v)
+                  | _ -> i)
+               | LoadElem (_, d, a, idx) when ok a && ok idx ->
+                 (match Hashtbl.find_opt elems (a, idx) with
+                  | Some v when ok v -> Move (d, v)
+                  | _ -> i)
+               | _ -> i
+             in
+             (match Hir.def_of out with
+              | Some d -> Hashtbl.replace redefined d ()
+              | None -> ());
+             out)
+          b.insns);
+  f
+
+(* Alias- and guard-blind LICM: hoists loads with invariant operands out of
+   loops even across stores and without their guards. *)
+let unsafe_licm f =
+  let f = Hir.copy f in
+  let loops = Cfg.loops (Hir.cfg f) in
+  List.iter
+    (fun l ->
+       let header = l.Cfg.header in
+       let body = l.Cfg.body in
+       let defined = Hashtbl.create 16 in
+       List.iter
+         (fun bid ->
+            List.iter
+              (fun i ->
+                 match Hir.def_of i with
+                 | Some d -> Hashtbl.replace defined d ()
+                 | None -> ())
+              (Hir.block f bid).insns)
+         body;
+       let invariant r = not (Hashtbl.mem defined r) in
+       let hoisted = ref [] in
+       List.iter
+         (fun bid ->
+            let b = Hir.block f bid in
+            b.insns <-
+              List.filter
+                (fun i ->
+                   let can =
+                     match i with
+                     | LoadField _ | LoadElem _ | LoadLen _ | SGet _ ->
+                       List.for_all invariant (Hir.uses_of i)
+                     | _ -> false
+                   in
+                   if can then begin
+                     hoisted := i :: !hoisted;
+                     false
+                   end
+                   else true)
+                b.insns)
+         body;
+       if !hoisted <> [] then begin
+         let g = Hir.cfg f in
+         let pre = Hir.add_block f (List.rev !hoisted) (Goto header) in
+         List.iter
+           (fun bid ->
+              if (not (List.mem bid body)) && bid <> pre then
+                let b = Hir.block f bid in
+                b.term <- Hir.retarget_term ~from:header ~to_:pre b.term)
+           (Cfg.nodes g);
+         if f.f_entry = header then f.f_entry <- pre
+       end)
+    loops;
+  f
+
+(* Integer reassociation: (x + c1) + c2 -> x + (c1 + c2); safe modulo 2^63
+   wrap-around, which is the machine semantics. *)
+let reassoc f =
+  let f = Hir.copy f in
+  let sdef = single_def f in
+  Hir.iter_blocks f (fun _ b ->
+      b.insns <-
+        List.concat_map
+          (fun i ->
+             match i with
+             | Binop (Ast.Add, d, a, c2reg) ->
+               (match const_of_reg sdef c2reg, sdef a with
+                | Some (B.Cint c2), Some (Binop (Ast.Add, _, x, c1reg)) ->
+                  (match const_of_reg sdef c1reg with
+                   | Some (B.Cint c1) ->
+                     let r = Hir.fresh_reg f in
+                     [ Const (r, B.Cint (c1 + c2)); Binop (Ast.Add, d, x, r) ]
+                   | _ -> [ i ])
+                | _ -> [ i ])
+             | _ -> [ i ])
+          b.insns);
+  f
+
+(* ------------------------------------------------------------------ *)
+(* Catalog                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let p name pmin pmax pdefault = { pname = name; pmin; pmax; pdefault }
+
+let simple name ~safe descr g =
+  { name; params = []; safe; descr; apply = (fun _ _ f -> g f) }
+
+let catalog = [
+  simple "simplifycfg" ~safe:true
+    "remove unreachable blocks, thread gotos, merge straight-line blocks"
+    T.simplify_cfg;
+  simple "constfold" ~safe:true "constant folding incl. branch folding"
+    T.const_fold;
+  simple "instsimplify" ~safe:true "algebraic identities, mul-to-shift"
+    T.simplify;
+  simple "copyprop" ~safe:true "block-local copy propagation" T.copy_prop;
+  simple "dce" ~safe:true "dead code and unreachable block elimination" T.dce;
+  simple "gvn" ~safe:true "value numbering incl. redundant load elimination"
+    T.cse_local;
+  simple "lse" ~safe:true "store-to-load forwarding" T.load_store_elim;
+  simple "licm" ~safe:true "loop-invariant code motion (pure ops)" T.licm;
+  simple "reassociate" ~safe:true "integer add-chain reassociation" reassoc;
+  simple "branch-predict" ~safe:true "static prediction: back edges taken"
+    T.predict_static;
+  simple "guard-dedupe" ~safe:true "remove duplicate null/bounds/zero guards"
+    guard_dedupe;
+  simple "bce" ~safe:true "bounds-check elimination for counted loops" bce;
+  simple "guard-hoist" ~safe:true
+    "hoist loop-invariant guards from loop headers into the preheader"
+    guard_hoist;
+  simple "if-convert" ~safe:true
+    "turn small diamonds into branch-free conditional moves (select)"
+    if_convert;
+  simple "sink" ~safe:true
+    "move pure computations into the branch that uses them" sink;
+  simple "gc-check-elim" ~safe:true
+    "custom pass: deduplicate GC suspend checks after loop restructuring"
+    gc_check_elim;
+  simple "jni-to-intrinsic" ~safe:true
+    "custom pass: replace JNI math calls with inlined intrinsics"
+    jni_to_intrinsic;
+  { name = "inline";
+    params = [ p "threshold" 0 400 50 ];
+    safe = true;
+    descr = "inline static calls up to a size threshold";
+    apply =
+      (fun env ps f ->
+         T.inline_calls ~get_func:env.get_func ~threshold:ps.(0) ~max_depth:3 f);
+  };
+  { name = "unroll";
+    params = [ p "factor" 2 16 4; p "size-limit" 4 4000 48; p "outer" 0 1 0 ];
+    safe = true;
+    descr = "unroll loops by chaining full copies (outer=1 unrolls nests)";
+    apply =
+      (fun _ ps f ->
+         unroll ~outer:(ps.(2) = 1) ~factor:ps.(0) ~size_limit:ps.(1) f);
+  };
+  { name = "loop-peel";
+    params = [ p "size-limit" 4 200 48 ];
+    safe = true;
+    descr = "peel the first iteration of innermost loops";
+    apply = (fun _ ps f -> peel ~size_limit:ps.(0) f);
+  };
+  { name = "loop-unswitch";
+    params = [ p "size-limit" 4 200 60 ];
+    safe = true;
+    descr = "duplicate loops over invariant conditions";
+    apply = (fun _ ps f -> unswitch ~size_limit:ps.(0) f);
+  };
+  { name = "devirtualize";
+    params = [ p "threshold-pct" 50 100 90 ];
+    safe = true;
+    descr = "speculative devirtualization from replay dispatch profiles";
+    apply = (fun env ps f -> devirt env ~threshold_pct:ps.(0) f);
+  };
+  (* unsafe corner of the space *)
+  { name = "fast-math";
+    params = [ p "recip" 0 1 1; p "contract" 0 1 1 ];
+    safe = false;
+    descr =
+      "value-changing float rewrites: reciprocal division, FMA contraction";
+    apply =
+      (fun env ps f ->
+         fast_math ~recip:(ps.(0) = 1) ~contract:(ps.(1) = 1) env f);
+  };
+  simple "unsafe-bce" ~safe:false "drop every bounds guard without proof"
+    (strip_guards ~null:false ~bounds:true);
+  simple "unsafe-null-elim" ~safe:false "drop every null guard without proof"
+    (strip_guards ~null:true ~bounds:false);
+  simple "unsafe-div-lower" ~safe:false
+    "integer division by 2^k becomes arithmetic shift (wrong for negatives)"
+    unsafe_div_sr;
+  simple "unsafe-lsf" ~safe:false "alias-blind store-to-load forwarding"
+    unsafe_lsf;
+  simple "unsafe-licm" ~safe:false "alias- and guard-blind load hoisting"
+    unsafe_licm;
+]
+
+let find name = List.find (fun pass -> pass.name = name) catalog
+
+let run env pass args f =
+  let expected = List.length pass.params in
+  if Array.length args <> expected then
+    raise
+      (Bad_param
+         (Printf.sprintf "%s expects %d parameters, got %d" pass.name expected
+            (Array.length args)));
+  List.iteri
+    (fun idx pr ->
+       let v = args.(idx) in
+       if v < pr.pmin || v > pr.pmax then
+         raise
+           (Bad_param
+              (Printf.sprintf "%s: %s=%d outside [%d, %d]" pass.name pr.pname v
+                 pr.pmin pr.pmax)))
+    pass.params;
+  pass.apply env args f

@@ -1,0 +1,45 @@
+(** The LLVM-style optimization pass catalog — the search space of the
+    genetic algorithm (paper §3.6).
+
+    Passes operate on decomposed-dialect graphs (after {!Translate.func}).
+    Each catalog entry declares integer parameters with valid ranges;
+    applying a pass with an out-of-range parameter raises {!Bad_param},
+    which the driver reports as a compile error (the real toolchain rejects
+    invalid flag combinations the same way).
+
+    The catalog deliberately contains *unsafe* passes ([safe = false]):
+    value-changing float rewrites, guard removal without proof, alias-blind
+    motion.  They reproduce the behaviour of Figure 1: randomly composed
+    sequences sometimes produce binaries that crash, hang or silently
+    compute wrong results, which only the replay-based verification map can
+    filter out. *)
+
+module Hir = Repro_hgraph.Hir
+
+type env = {
+  dx : Repro_dex.Bytecode.dexfile;
+  get_func : int -> Hir.func option;
+  (** decomposed, unoptimized callee bodies for the inliner *)
+  profile : (Hir.site -> (int * int) list) option;
+  (** dispatch-type histogram per call site (class id, count), descending;
+      collected by interpreted replay (§3.4) *)
+}
+
+type param = { pname : string; pmin : int; pmax : int; pdefault : int }
+
+type t = {
+  name : string;
+  params : param list;
+  safe : bool;
+  descr : string;
+  apply : env -> int array -> Hir.func -> Hir.func;
+}
+
+exception Bad_param of string
+
+val catalog : t list
+val find : string -> t
+(** @raise Not_found *)
+
+val run : env -> t -> int array -> Hir.func -> Hir.func
+(** Validate parameters then apply.  @raise Bad_param. *)

@@ -1,0 +1,31 @@
+let pass name = (name, [||])
+
+let o0 : Compile.spec = []
+
+let o1 : Compile.spec =
+  [ pass "simplifycfg"; pass "constfold"; pass "instsimplify"; pass "copyprop";
+    pass "gvn"; pass "dce"; pass "guard-dedupe"; pass "branch-predict" ]
+
+let o2 : Compile.spec =
+  [ pass "simplifycfg"; pass "constfold"; pass "instsimplify"; pass "copyprop";
+    ("inline", [| 60; |]); pass "constfold"; pass "instsimplify";
+    pass "copyprop"; pass "gvn"; pass "lse"; pass "licm"; pass "guard-dedupe";
+    pass "bce"; pass "reassociate"; pass "dce"; pass "simplifycfg";
+    pass "branch-predict" ]
+
+let o3 : Compile.spec =
+  [ pass "simplifycfg"; pass "constfold"; pass "instsimplify"; pass "copyprop";
+    ("inline", [| 120 |]); pass "constfold"; pass "instsimplify";
+    pass "copyprop"; pass "gvn"; pass "lse"; pass "licm"; pass "guard-dedupe";
+    pass "bce"; pass "reassociate";
+    ("unroll", [| 4; 64; 0 |]);
+    pass "constfold"; pass "copyprop"; pass "gvn"; pass "lse";
+    pass "guard-dedupe"; pass "dce"; pass "simplifycfg"; pass "branch-predict" ]
+
+let of_name name =
+  match String.lowercase_ascii name with
+  | "o0" -> Some o0
+  | "o1" -> Some o1
+  | "o2" -> Some o2
+  | "o3" -> Some o3
+  | _ -> None

@@ -1,0 +1,14 @@
+(** Canned optimization levels, standing in for LLVM's -O presets.
+
+    None of them includes the two custom Android-specific passes
+    (gc-check-elim, jni-to-intrinsic) or profile-guided devirtualization:
+    those belong to the replay-driven search, which is how the GA finds
+    headroom above -O3 (paper §5.1). *)
+
+val o0 : Compile.spec
+val o1 : Compile.spec
+val o2 : Compile.spec
+val o3 : Compile.spec
+
+val of_name : string -> Compile.spec option
+(** "O0" | "O1" | "O2" | "O3" (case-insensitive). *)

@@ -1,0 +1,145 @@
+module B = Repro_dex.Bytecode
+module Ast = Repro_dex.Ast
+module Hir = Repro_hgraph.Hir
+open Hir
+
+let kind_of_typ : Ast.typ -> B.elem_kind = function
+  | Ast.Tint -> B.Kint
+  | Ast.Tfloat -> B.Kfloat
+  | Ast.Tbool -> B.Kbool
+  | Ast.Tvoid -> B.Kint
+  | Ast.Tarray _ | Ast.Tobj _ -> B.Kref
+
+let kind_of_const = function
+  | B.Cint _ -> B.Kint
+  | B.Cfloat _ -> B.Kfloat
+  | B.Cbool _ -> B.Kbool
+  | B.Cnull -> B.Kref
+
+let native_ret_kind (n : B.native) : B.elem_kind =
+  match n with
+  | B.Nsqrt | B.Nsin | B.Ncos | B.Nfloor | B.Nexp | B.Nlog | B.Npow
+  | B.Nabs_f | B.Nmin_f | B.Nmax_f -> B.Kfloat
+  | B.Nabs_i | B.Nmin_i | B.Nmax_i | B.Nrand | B.Nclock
+  | B.Nprint_i | B.Nprint_f | B.Ndraw -> B.Kint
+
+(* Registers have a unique kind in code produced by our lowering (each temp
+   and local has one type); a fixpoint handles Move chains across blocks. *)
+let infer_kinds (dx : B.dexfile) (f : Hir.func) : B.elem_kind array =
+  let kinds = Array.make (max f.f_nregs 1) B.Kint in
+  let known = Array.make (max f.f_nregs 1) false in
+  let m = dx.B.dx_methods.(f.f_mid) in
+  Array.iteri
+    (fun i k ->
+       if i < f.f_nregs then begin
+         kinds.(i) <- k;
+         known.(i) <- true
+       end)
+    m.B.cm_param_kinds;
+  let set r k =
+    if r < Array.length kinds && not known.(r) then begin
+      kinds.(r) <- k;
+      known.(r) <- true
+    end
+  in
+  let ret_kind_of_mid mid = kind_of_typ dx.B.dx_methods.(mid).B.cm_ret in
+  let changed = ref true in
+  let pass () =
+    Hir.iter_blocks f (fun _ b ->
+        List.iter
+          (fun i ->
+             match i with
+             | Const (d, c) -> set d (kind_of_const c)
+             | Move (d, s) -> if known.(s) && not known.(d) then begin
+                 set d kinds.(s);
+                 changed := true
+               end
+             | Binop ((Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge | Ast.Eq | Ast.Ne
+                      | Ast.Land | Ast.Lor), d, _, _) -> set d B.Kbool
+             | Binop (_, d, a, b) ->
+               if known.(a) && not known.(d) then begin
+                 set d kinds.(a);
+                 changed := true
+               end
+               else if known.(b) && not known.(d) then begin
+                 set d kinds.(b);
+                 changed := true
+               end
+             | Fma (d, _, _, _) -> set d B.Kfloat
+             | Select (d, _, a, b) ->
+               if known.(a) && not known.(d) then begin
+                 set d kinds.(a);
+                 changed := true
+               end
+               else if known.(b) && not known.(d) then begin
+                 set d kinds.(b);
+                 changed := true
+               end
+             | Unop (Ast.Not, d, _) -> set d B.Kbool
+             | Unop (Ast.Neg, d, a) ->
+               if known.(a) && not known.(d) then begin
+                 set d kinds.(a);
+                 changed := true
+               end
+             | I2f (d, _) -> set d B.Kfloat
+             | F2i (d, _) -> set d B.Kint
+             | NewObj (d, _) | NewArr (d, _, _) -> set d B.Kref
+             | ALoadC (k, d, _, _) | IGetC (k, d, _, _) | SGet (k, d, _)
+             | LoadElem (k, d, _, _) | LoadField (k, d, _, _) -> set d k
+             | ArrLenC (d, _) | LoadLen (d, _) | LoadClass (d, _) -> set d B.Kint
+             | CallStatic (Some d, mid, _) -> set d (ret_kind_of_mid mid)
+             | CallVirtual (Some d, _, _, _) ->
+               (* virtual return kinds are uniform across overrides; leave
+                  unknown destinations as Kint unless a later use refines *)
+               set d B.Kint
+             | CallNative (Some d, n, _, _) -> set d (native_ret_kind n)
+             | CallStatic (None, _, _) | CallVirtual (None, _, _, _)
+             | CallNative (None, _, _, _)
+             | AStoreC _ | IPutC _ | SPut _ | GuardNull _ | GuardBounds _
+             | GuardDivZero _ | StoreElem _ | StoreField _ | SuspendCheck -> ())
+          b.insns)
+  in
+  while !changed do
+    changed := false;
+    pass ()
+  done;
+  kinds
+
+(* Route a defining instruction's result through a fresh register: the
+   redundancy a mature instruction selection would avoid. *)
+let with_redundant_move f i =
+  match Hir.def_of i with
+  | None -> [ i ]
+  | Some d ->
+    let t = Hir.fresh_reg f in
+    [ Hir.rename_def t i; Hir.Move (d, t) ]
+
+let func ?(naive = false) (dx : B.dexfile) (f0 : Hir.func) : Hir.func =
+  let f = Hir.copy f0 in
+  let kinds = infer_kinds dx f in
+  let kind r = if r < Array.length kinds then kinds.(r) else B.Kint in
+  Hir.iter_blocks f (fun _ b ->
+      let expand i =
+        match i with
+        | ALoadC (k, d, a, idx) ->
+          let len = Hir.fresh_reg f in
+          [ GuardNull a; LoadLen (len, a); GuardBounds (idx, len);
+            LoadElem (k, d, a, idx) ]
+        | AStoreC (k, a, idx, v) ->
+          let len = Hir.fresh_reg f in
+          [ GuardNull a; LoadLen (len, a); GuardBounds (idx, len);
+            StoreElem (k, a, idx, v) ]
+        | ArrLenC (d, a) -> [ GuardNull a; LoadLen (d, a) ]
+        | IGetC (k, d, o, off) -> [ GuardNull o; LoadField (k, d, o, off) ]
+        | IPutC (k, o, v, off) -> [ GuardNull o; StoreField (k, o, v, off) ]
+        | Binop ((Ast.Div | Ast.Rem), _, _, den) when kind den = B.Kint ->
+          [ GuardDivZero den; i ]
+        | CallVirtual (_, _, recv :: _, _) -> [ GuardNull recv; i ]
+        | _ -> [ i ]
+      in
+      let expand i =
+        if naive then List.concat_map (with_redundant_move f) (expand i)
+        else expand i
+      in
+      b.insns <- List.concat_map expand b.insns);
+  f

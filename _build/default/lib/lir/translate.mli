@@ -1,0 +1,28 @@
+(** The HGraph-to-LLVM translation (paper §3.5): converts the composite
+    dialect into the decomposed one.
+
+    Every implicitly checked operation becomes explicit guards followed by a
+    raw access; virtual calls get an explicit receiver null guard; integer
+    division gets a zero guard (float division does not trap).  A simple
+    whole-function register-kind inference distinguishes int from float
+    division.  The output is what the LLVM-style pass space operates on. *)
+
+val infer_kinds :
+  Repro_dex.Bytecode.dexfile -> Repro_hgraph.Hir.func ->
+  Repro_dex.Bytecode.elem_kind array
+(** Kind of each virtual register (length [f_nregs]); registers never
+    defined or used default to [Kint]. *)
+
+val func :
+  ?naive:bool ->
+  Repro_dex.Bytecode.dexfile -> Repro_hgraph.Hir.func -> Repro_hgraph.Hir.func
+(** Translate a composite-dialect graph into a decomposed-dialect graph.
+    The input is not mutated.
+
+    With [naive:true] (the LLVM-backend path), the translation is the
+    work-in-progress one the paper describes (§3.5/§7): every produced
+    value goes through an extra register move and every access re-derives
+    its guards.  Cleanup passes (copyprop, dce, gvn, guard-dedupe) recover
+    the lost ground — which is why unoptimized or randomly-optimized
+    LLVM-path binaries are usually slower than the Android compiler's
+    output (Figure 2), while a well-chosen sequence beats it. *)

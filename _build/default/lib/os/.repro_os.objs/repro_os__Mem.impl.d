@@ -1,0 +1,1 @@
+lib/os/mem.ml: Array Hashtbl Int64 List Option Printf

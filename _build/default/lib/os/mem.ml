@@ -1,0 +1,170 @@
+let page_size = 4096
+let words_per_page = page_size / 8
+
+type region_kind = Rheap | Rstatics | Rruntime | Rcode | Rgc_aux | Rstack
+
+type mapping = {
+  map_base : int;
+  map_npages : int;
+  map_kind : region_kind;
+  map_name : string;
+}
+
+type stats = {
+  mutable n_faults : int;
+  mutable n_cow : int;
+  mutable n_reads : int;
+  mutable n_writes : int;
+}
+
+(* A physical frame, shareable between address spaces after fork. *)
+type frame = { data : int64 array; mutable refcount : int }
+
+(* Per-address-space view of a page. *)
+type entry = { mutable frame : frame; mutable protected_ : bool }
+
+type t = {
+  table : (int, entry) Hashtbl.t;       (* page index -> entry *)
+  mutable maps : mapping list;          (* ascending by base *)
+  mutable handler : (int -> unit) option;
+  st : stats;
+}
+
+let create () = {
+  table = Hashtbl.create 1024;
+  maps = [];
+  handler = None;
+  st = { n_faults = 0; n_cow = 0; n_reads = 0; n_writes = 0 };
+}
+
+let page_of_addr addr = addr / page_size
+let addr_of_page page = page * page_size
+
+let overlaps m base npages =
+  let e1 = m.map_base + (m.map_npages * page_size) in
+  let e2 = base + (npages * page_size) in
+  base < e1 && m.map_base < e2
+
+let map t ~base ~npages ~kind ~name =
+  if base mod page_size <> 0 then invalid_arg "Mem.map: unaligned base";
+  if npages <= 0 then invalid_arg "Mem.map: empty mapping";
+  List.iter
+    (fun m ->
+       if overlaps m base npages then
+         invalid_arg (Printf.sprintf "Mem.map: %s overlaps %s" name m.map_name))
+    t.maps;
+  let m = { map_base = base; map_npages = npages; map_kind = kind; map_name = name } in
+  t.maps <- List.sort (fun a b -> compare a.map_base b.map_base) (m :: t.maps)
+
+let mappings t = t.maps
+let stats t = t.st
+
+let reset_stats t =
+  t.st.n_faults <- 0;
+  t.st.n_cow <- 0;
+  t.st.n_reads <- 0;
+  t.st.n_writes <- 0
+
+let mapping_of_page t page =
+  let addr = addr_of_page page in
+  List.find_opt
+    (fun m -> addr >= m.map_base && addr < m.map_base + (m.map_npages * page_size))
+    t.maps
+
+let kind_of_page t page = Option.map (fun m -> m.map_kind) (mapping_of_page t page)
+
+let require_mapped t page op =
+  if mapping_of_page t page = None then
+    invalid_arg
+      (Printf.sprintf "Mem.%s: unmapped address %#x" op (addr_of_page page))
+
+let fresh_frame () = { data = Array.make words_per_page 0L; refcount = 1 }
+
+let entry_of t page op =
+  match Hashtbl.find_opt t.table page with
+  | Some e -> e
+  | None ->
+    require_mapped t page op;
+    let e = { frame = fresh_frame (); protected_ = false } in
+    Hashtbl.add t.table page e;
+    e
+
+(* Take the protection fault, if any: run the handler once, then restore
+   access so the access can proceed (§3.2 step 3). *)
+let check_fault t page (e : entry) =
+  if e.protected_ then begin
+    t.st.n_faults <- t.st.n_faults + 1;
+    e.protected_ <- false;
+    match t.handler with Some h -> h page | None -> ()
+  end
+
+let read_word t addr =
+  let page = page_of_addr addr in
+  let e = entry_of t page "read" in
+  check_fault t page e;
+  t.st.n_reads <- t.st.n_reads + 1;
+  e.frame.data.((addr mod page_size) / 8)
+
+let write_word t addr v =
+  let page = page_of_addr addr in
+  let e = entry_of t page "write" in
+  check_fault t page e;
+  (* Copy-on-Write: un-share the frame before modifying it. *)
+  if e.frame.refcount > 1 then begin
+    let copy = { data = Array.copy e.frame.data; refcount = 1 } in
+    e.frame.refcount <- e.frame.refcount - 1;
+    e.frame <- copy;
+    t.st.n_cow <- t.st.n_cow + 1
+  end;
+  t.st.n_writes <- t.st.n_writes + 1;
+  e.frame.data.((addr mod page_size) / 8) <- v
+
+let read_int t addr = Int64.to_int (read_word t addr)
+let write_int t addr v = write_word t addr (Int64.of_int v)
+let read_float t addr = Int64.float_of_bits (read_word t addr)
+let write_float t addr v = write_word t addr (Int64.bits_of_float v)
+
+let protect t ~page =
+  match Hashtbl.find_opt t.table page with
+  | Some e -> e.protected_ <- true
+  | None -> ()
+
+let unprotect t ~page =
+  match Hashtbl.find_opt t.table page with
+  | Some e -> e.protected_ <- false
+  | None -> ()
+
+let protected t ~page =
+  match Hashtbl.find_opt t.table page with
+  | Some e -> e.protected_
+  | None -> false
+
+let set_fault_handler t h = t.handler <- h
+
+let fork t =
+  let child = create () in
+  child.maps <- t.maps;
+  Hashtbl.iter
+    (fun page e ->
+       e.frame.refcount <- e.frame.refcount + 1;
+       Hashtbl.add child.table page { frame = e.frame; protected_ = false })
+    t.table;
+  child
+
+let install_page t ~page data =
+  if Array.length data <> words_per_page then
+    invalid_arg "Mem.install_page: bad image size";
+  require_mapped t page "install_page";
+  Hashtbl.replace t.table page
+    { frame = { data = Array.copy data; refcount = 1 }; protected_ = false }
+
+let page_data t ~page =
+  Option.map (fun e -> Array.copy e.frame.data) (Hashtbl.find_opt t.table page)
+
+let touched_pages t ~kind =
+  Hashtbl.fold
+    (fun page _ acc -> if kind_of_page t page = Some kind then page :: acc else acc)
+    t.table []
+  |> List.sort compare
+
+let word_count t = Hashtbl.length t.table * words_per_page

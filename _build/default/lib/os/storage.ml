@@ -1,0 +1,8 @@
+type t = { blobs : (string, int) Hashtbl.t }
+
+let create () = { blobs = Hashtbl.create 16 }
+let write t ~label ~bytes = Hashtbl.replace t.blobs label bytes
+let delete t ~label = Hashtbl.remove t.blobs label
+let size t ~label = Hashtbl.find_opt t.blobs label
+let total_bytes t = Hashtbl.fold (fun _ b acc -> acc + b) t.blobs 0
+let labels t = Hashtbl.fold (fun l _ acc -> l :: acc) t.blobs [] |> List.sort compare

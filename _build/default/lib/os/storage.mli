@@ -1,0 +1,15 @@
+(** Device flash storage model: tracks the bytes each capture spools out, so
+    the storage-overhead experiment (Figure 11) can account for
+    program-specific pages vs. boot-common pages stored once per boot. *)
+
+type t
+
+val create : unit -> t
+
+val write : t -> label:string -> bytes:int -> unit
+(** Append a blob.  Writing the same label again replaces it. *)
+
+val delete : t -> label:string -> unit
+val size : t -> label:string -> int option
+val total_bytes : t -> int
+val labels : t -> string list

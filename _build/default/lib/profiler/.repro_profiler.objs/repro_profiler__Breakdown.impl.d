@@ -1,0 +1,1 @@
+lib/profiler/breakdown.ml: Hashtbl List Option Profile Regions Repro_dex Repro_hgraph

@@ -1,0 +1,1 @@
+lib/profiler/breakdown.mli: Profile Repro_dex

@@ -1,0 +1,1 @@
+lib/profiler/profile.ml: Hashtbl List Option Repro_vm

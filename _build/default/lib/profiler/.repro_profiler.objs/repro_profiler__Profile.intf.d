@@ -1,0 +1,1 @@
+lib/profiler/profile.mli: Repro_vm

@@ -1,0 +1,1 @@
+lib/profiler/regions.ml: Array Hashtbl List Profile Repro_dex Repro_hgraph

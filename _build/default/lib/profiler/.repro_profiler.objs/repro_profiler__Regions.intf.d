@@ -1,0 +1,1 @@
+lib/profiler/regions.mli: Profile Repro_dex

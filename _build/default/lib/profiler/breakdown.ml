@@ -1,0 +1,36 @@
+module B = Repro_dex.Bytecode
+module Build = Repro_hgraph.Build
+
+type category = Compiled | Cold | Jni | Unreplayable | Uncompilable
+
+let category_name = function
+  | Compiled -> "Compiled"
+  | Cold -> "Cold"
+  | Jni -> "JNI"
+  | Unreplayable -> "Unreplayable"
+  | Uncompilable -> "Uncompilable"
+
+let all_categories = [ Uncompilable; Unreplayable; Jni; Cold; Compiled ]
+
+let classify dx ~region (mid, native) =
+  if native then Jni
+  else if List.mem mid region then Compiled
+  else if not (Build.compilable dx mid) then Uncompilable
+  else if not (Regions.replayable dx mid) then Unreplayable
+  else Cold
+
+let of_profile dx ~region (profile : Profile.t) =
+  let counts = Hashtbl.create 8 in
+  List.iter
+    (fun sample ->
+       let c = classify dx ~region sample in
+       Hashtbl.replace counts c
+         (1 + Option.value ~default:0 (Hashtbl.find_opt counts c)))
+    profile.Profile.samples;
+  let total = max profile.Profile.total 1 in
+  List.map
+    (fun c ->
+       (c,
+        float_of_int (Option.value ~default:0 (Hashtbl.find_opt counts c))
+        /. float_of_int total))
+    all_categories

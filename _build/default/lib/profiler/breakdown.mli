@@ -1,0 +1,21 @@
+(** Runtime code breakdown (paper Figure 8): how the app's online execution
+    time divides into code we can optimize and code we cannot. *)
+
+type category =
+  | Compiled       (** inside the hot region's compilable set *)
+  | Cold           (** compilable/replayable but outside the hot region *)
+  | Jni            (** time spent in native code *)
+  | Unreplayable   (** methods the capture mechanism refuses *)
+  | Uncompilable   (** methods the Android backend cannot process *)
+
+val category_name : category -> string
+val all_categories : category list
+
+val classify :
+  Repro_dex.Bytecode.dexfile -> region:int list -> int * bool -> category
+(** Classify one profiler sample given the hot region's method set. *)
+
+val of_profile :
+  Repro_dex.Bytecode.dexfile -> region:int list -> Profile.t ->
+  (category * float) list
+(** Fraction of samples per category (all five present, possibly 0). *)

@@ -1,0 +1,28 @@
+module Ctx = Repro_vm.Exec_ctx
+
+type t = {
+  samples : (int * bool) list;
+  total : int;
+}
+
+let of_ctx (ctx : Ctx.t) =
+  let samples =
+    List.rev_map (fun s -> (s.Ctx.s_method, s.Ctx.s_native)) ctx.Ctx.samples
+  in
+  { samples; total = List.length samples }
+
+let exclusive t mid =
+  List.length (List.filter (fun (m, native) -> m = mid && not native) t.samples)
+
+let native_samples t = List.length (List.filter snd t.samples)
+
+let hottest t =
+  let counts = Hashtbl.create 16 in
+  List.iter
+    (fun (m, native) ->
+       if not native then
+         Hashtbl.replace counts m
+           (1 + Option.value ~default:0 (Hashtbl.find_opt counts m)))
+    t.samples;
+  Hashtbl.fold (fun m n acc -> (m, n) :: acc) counts []
+  |> List.sort (fun (_, a) (_, b) -> compare b a)

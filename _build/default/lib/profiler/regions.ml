@@ -1,0 +1,98 @@
+module B = Repro_dex.Bytecode
+module Build = Repro_hgraph.Build
+
+let unreplayable_reason (dx : B.dexfile) mid =
+  let m = dx.B.dx_methods.(mid) in
+  let reason = ref None in
+  let note r = if !reason = None then reason := Some r in
+  if m.B.cm_has_try then note "exception handlers access caller stack frames";
+  Array.iter
+    (fun insn ->
+       match insn with
+       | B.Throw _ -> note "throws exceptions"
+       | B.InvokeNative (_, n, _) ->
+         if B.native_is_io n then note ("performs I/O: " ^ B.native_name n)
+         else if B.native_is_nondet n then
+           note ("non-deterministic: " ^ B.native_name n)
+         else if not (B.native_has_intrinsic n) then
+           note ("blocklisted JNI: " ^ B.native_name n)
+       | B.Const _ | B.Move _ | B.Binop _ | B.Unop _ | B.IntToFloat _
+       | B.FloatToInt _ | B.If _ | B.Ifz _ | B.Goto _ | B.NewObj _
+       | B.NewArr _ | B.ALoad _ | B.AStore _ | B.ArrLen _ | B.IGet _
+       | B.IPut _ | B.SGet _ | B.SPut _ | B.InvokeStatic _
+       | B.InvokeVirtual _ | B.Ret _ -> ())
+    m.B.cm_code;
+  !reason
+
+let replayable dx mid = unreplayable_reason dx mid = None
+
+(* Class-hierarchy over-approximation of virtual targets: every class whose
+   vtable has the slot contributes its implementation. *)
+let callees (dx : B.dexfile) mid =
+  let targets = ref [] in
+  let add t = if not (List.mem t !targets) then targets := t :: !targets in
+  Array.iter
+    (fun insn ->
+       match insn with
+       | B.InvokeStatic (_, target, _) -> add target
+       | B.InvokeVirtual (_, slot, _) ->
+         Array.iter
+           (fun ci ->
+              if slot < Array.length ci.B.ci_vtable then add ci.B.ci_vtable.(slot))
+           dx.B.dx_classes
+       | B.Const _ | B.Move _ | B.Binop _ | B.Unop _ | B.IntToFloat _
+       | B.FloatToInt _ | B.If _ | B.Ifz _ | B.Goto _ | B.NewObj _
+       | B.NewArr _ | B.ALoad _ | B.AStore _ | B.ArrLen _ | B.IGet _
+       | B.IPut _ | B.SGet _ | B.SPut _ | B.InvokeNative _ | B.Ret _
+       | B.Throw _ -> ())
+    dx.B.dx_methods.(mid).B.cm_code;
+  List.rev !targets
+
+let reachable dx root =
+  let seen = Hashtbl.create 16 in
+  let rec go mid =
+    if not (Hashtbl.mem seen mid) then begin
+      Hashtbl.replace seen mid ();
+      List.iter go (callees dx mid)
+    end
+  in
+  go root;
+  Hashtbl.fold (fun mid () acc -> mid :: acc) seen [] |> List.sort compare
+
+let region_replayable dx root =
+  List.for_all (replayable dx) (reachable dx root)
+
+(* Algorithm 1's compilableRegion: explore callees, cut at uncompilable. *)
+let compilable_region dx root =
+  let seen = Hashtbl.create 16 in
+  let rec inner mid =
+    if (not (Hashtbl.mem seen mid)) && Build.compilable dx mid then begin
+      Hashtbl.replace seen mid ();
+      List.iter inner (callees dx mid)
+    end
+  in
+  inner root;
+  Hashtbl.fold (fun mid () acc -> mid :: acc) seen [] |> List.sort compare
+
+let estimate dx profile root =
+  if not (region_replayable dx root) then None
+  else begin
+    let region = compilable_region dx root in
+    Some (List.fold_left (fun acc mid -> acc + Profile.exclusive profile mid) 0 region)
+  end
+
+let hot_region dx profile =
+  let candidates = Profile.hottest profile in
+  let best = ref None in
+  List.iter
+    (fun (mid, _) ->
+       match estimate dx profile mid with
+       | None -> ()
+       | Some score ->
+         (match !best with
+          | Some (_, s) when s >= score -> ()
+          | Some _ | None -> best := Some (mid, score)))
+    candidates;
+  match !best with
+  | Some (mid, score) when score > 0 -> Some mid
+  | Some _ | None -> None

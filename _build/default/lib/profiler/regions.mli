@@ -1,0 +1,35 @@
+(** Hot-region detection (paper §3.1, Algorithm 1).
+
+    A method is *replayable* when its behaviour is fully determined by its
+    memory state: no I/O natives, no non-determinism (clock/PRNG), no JNI
+    without an intrinsic replacement, no exceptions.  A region rooted at a
+    method is replayable when every method transitively reachable from it
+    is.  The *compilable region* is the root plus its transitively
+    compilable callees; the hot region is the candidate maximizing the
+    exclusive profile time summed over its compilable region. *)
+
+val replayable : Repro_dex.Bytecode.dexfile -> int -> bool
+(** One method in isolation. *)
+
+val unreplayable_reason : Repro_dex.Bytecode.dexfile -> int -> string option
+
+val callees : Repro_dex.Bytecode.dexfile -> int -> int list
+(** Possible direct callees: static targets plus every vtable
+    implementation a virtual site could dispatch to (class-hierarchy
+    over-approximation). *)
+
+val reachable : Repro_dex.Bytecode.dexfile -> int -> int list
+(** Transitive closure of {!callees}, including the root. *)
+
+val region_replayable : Repro_dex.Bytecode.dexfile -> int -> bool
+
+val compilable_region : Repro_dex.Bytecode.dexfile -> int -> int list
+(** Algorithm 1's [compilableRegion]: root + transitively compilable
+    callees (exploration cut at uncompilable methods). *)
+
+val estimate : Repro_dex.Bytecode.dexfile -> Profile.t -> int -> int option
+(** Algorithm 1's [estimateRegionRuntime]: [None] for unreplayable
+    regions, otherwise the summed exclusive samples. *)
+
+val hot_region : Repro_dex.Bytecode.dexfile -> Profile.t -> int option
+(** The method with the biggest replayable, compilable region. *)

@@ -1,0 +1,1 @@
+lib/search/ga.ml: Array Genome Hashtbl List Option Repro_util

@@ -1,0 +1,1 @@
+lib/search/ga.mli: Genome Repro_util

@@ -1,0 +1,1 @@
+lib/search/genome.ml: Array List Printf Repro_lir Repro_util String

@@ -1,0 +1,1 @@
+lib/search/genome.mli: Repro_lir Repro_util

@@ -1,0 +1,249 @@
+module Rng = Repro_util.Rng
+module Stats = Repro_util.Stats
+
+type outcome =
+  | Measured of { times : float array; size : int; key : string }
+  | Compile_failed of string
+  | Runtime_crashed of string
+  | Runtime_hung
+  | Wrong_output
+
+type config = {
+  population : int;
+  generations : int;
+  seed_retries : int;
+  genome_mutation_prob : float;
+  gene_mutation_prob : float;
+  tournament_size : int;
+  tournament_p : float;
+  max_identical : int;
+  no_improve_generations : int;
+  elites : int;
+  size_tiebreak_alpha : float;
+}
+
+let default_config = {
+  population = 50;
+  generations = 11;
+  seed_retries = 3;
+  genome_mutation_prob = 0.05;
+  gene_mutation_prob = 0.05;
+  tournament_size = 7;
+  tournament_p = 0.9;
+  max_identical = 100;
+  no_improve_generations = 5;
+  elites = 2;
+  size_tiebreak_alpha = 0.05;
+}
+
+let quick_config = {
+  default_config with
+  population = 14;
+  generations = 6;
+  max_identical = 40;
+  no_improve_generations = 4;
+}
+
+type eval_record = {
+  ev_index : int;
+  ev_generation : int;
+  ev_genome : Genome.t;
+  ev_outcome : outcome;
+  ev_fitness : float option;
+}
+
+type result = {
+  best : (Genome.t * float) option;
+  history : eval_record list;
+  evaluations : int;
+  halted_early : string option;
+}
+
+(* Fitness from measured times: MAD outlier removal then mean (§4). *)
+let fitness_of_times times = Stats.mean (Stats.remove_outliers_mad times)
+
+type individual = {
+  genome : Genome.t;
+  outcome : outcome;
+  fitness : float option;      (* lower is better; None = discarded *)
+}
+
+(* Ranking: measured individuals first by (fitness, size under t-test
+   tiebreak), failures last. *)
+let better cfg a b =
+  match a.outcome, b.outcome with
+  | Measured ma, Measured mb ->
+    let fa = Option.get a.fitness and fb = Option.get b.fitness in
+    let ta = Stats.remove_outliers_mad ma.times in
+    let tb = Stats.remove_outliers_mad mb.times in
+    if Stats.significantly_less ~alpha:cfg.size_tiebreak_alpha ta tb then true
+    else if Stats.significantly_less ~alpha:cfg.size_tiebreak_alpha tb ta then
+      false
+    else if ma.size <> mb.size then ma.size < mb.size
+    else fa <= fb
+  | Measured _, (Compile_failed _ | Runtime_crashed _ | Runtime_hung | Wrong_output) ->
+    true
+  | (Compile_failed _ | Runtime_crashed _ | Runtime_hung | Wrong_output), _ ->
+    false
+
+let sort_population cfg pop =
+  List.sort (fun a b -> if better cfg a b then -1 else 1) pop
+
+let search rng cfg ~evaluate ?baseline_ms ?o3_ms () =
+  let history = ref [] in
+  let eval_index = ref 0 in
+  let identical = ref 0 in
+  let seen_keys = Hashtbl.create 64 in
+  let halted = ref None in
+  let eval generation genome =
+    let outcome = evaluate genome in
+    incr eval_index;
+    (match outcome with
+     | Measured m ->
+       if Hashtbl.mem seen_keys m.key then begin
+         incr identical;
+         if !identical >= cfg.max_identical && !halted = None then
+           halted := Some "identical-binaries limit reached"
+       end
+       else Hashtbl.replace seen_keys m.key ();
+     | Compile_failed _ | Runtime_crashed _ | Runtime_hung | Wrong_output -> ());
+    let fitness =
+      match outcome with
+      | Measured m -> Some (fitness_of_times m.times)
+      | Compile_failed _ | Runtime_crashed _ | Runtime_hung | Wrong_output ->
+        None
+    in
+    history :=
+      { ev_index = !eval_index; ev_generation = generation; ev_genome = genome;
+        ev_outcome = outcome; ev_fitness = fitness }
+      :: !history;
+    { genome; outcome; fitness }
+  in
+  (* First generation: random, biased away from clearly unprofitable seeds
+     by redrawing up to [seed_retries] times (§4), with redundant passes
+     removed to keep genomes short. *)
+  let profitable ind =
+    match ind.fitness, baseline_ms, o3_ms with
+    | Some f, Some base, Some o3 -> f < base || f < o3
+    | Some _, _, _ -> true
+    | None, _, _ -> false
+  in
+  let seed () =
+    let rec try_draw k best =
+      let genome = Genome.dedup_adjacent (Genome.random rng) in
+      let ind = eval 0 genome in
+      if profitable ind || k >= cfg.seed_retries then
+        match best with
+        | Some b when not (better cfg ind b) -> b
+        | Some _ | None -> ind
+      else try_draw (k + 1) (Some (match best with
+          | Some b when better cfg b ind -> b
+          | Some _ | None -> ind))
+    in
+    try_draw 0 None
+  in
+  let population = ref (List.init cfg.population (fun _ -> seed ())) in
+  let best_of pop =
+    match sort_population cfg pop with
+    | best :: _ when best.fitness <> None -> Some best
+    | _ -> None
+  in
+  let global_best = ref (best_of !population) in
+  let stale = ref 0 in
+  let generation = ref 1 in
+  while
+    !generation < cfg.generations
+    && !halted = None
+    && !stale < cfg.no_improve_generations
+  do
+    let sorted = sort_population cfg !population in
+    let measured = List.filter (fun i -> i.fitness <> None) sorted in
+    let pool = if measured = [] then sorted else measured in
+    let pool_arr = Array.of_list pool in
+    let elites_arr =
+      Array.of_list
+        (List.filteri (fun i _ -> i < max cfg.elites 1) pool)
+    in
+    let fittest_arr =
+      Array.of_list
+        (List.filteri (fun i _ -> i <= List.length pool / 2) pool)
+    in
+    (* Tournament selection: best of [tournament_size] with prob p, else a
+       random other candidate. *)
+    let tournament () =
+      let contenders =
+        List.init cfg.tournament_size (fun _ -> Rng.pick rng pool_arr)
+      in
+      let sorted_c = sort_population cfg contenders in
+      match sorted_c with
+      | best :: rest ->
+        if Rng.chance rng cfg.tournament_p || rest = [] then best
+        else Rng.pick_list rng rest
+      | [] -> assert false
+    in
+    (* Three mate-selection pipelines (§3.6). *)
+    let pick_mate () =
+      match Rng.int rng 3 with
+      | 0 -> Rng.pick rng elites_arr
+      | 1 -> Rng.pick rng fittest_arr
+      | _ -> tournament ()
+    in
+    let offspring () =
+      let a = pick_mate () and b = pick_mate () in
+      let child = Genome.crossover rng a.genome b.genome in
+      let child =
+        if Rng.chance rng cfg.genome_mutation_prob then
+          Genome.mutate rng ~gene_prob:cfg.gene_mutation_prob child
+        else child
+      in
+      eval !generation child
+    in
+    let elite_carryover =
+      List.filteri (fun i _ -> i < cfg.elites) sorted
+    in
+    let n_new = cfg.population - List.length elite_carryover in
+    let next = elite_carryover @ List.init n_new (fun _ -> offspring ()) in
+    population := next;
+    (match best_of next, !global_best with
+     | Some b, Some gb when better cfg b gb ->
+       global_best := Some b;
+       stale := 0
+     | Some b, None ->
+       global_best := Some b;
+       stale := 0
+     | _ -> incr stale);
+    incr generation
+  done;
+  { best =
+      Option.map (fun b -> (b.genome, Option.get b.fitness)) !global_best;
+    history = List.rev !history;
+    evaluations = !eval_index;
+    halted_early = !halted }
+
+let hill_climb rng ~evaluate (genome0, fit0) ~rounds =
+  let fitness_of g =
+    match evaluate g with
+    | Measured m -> Some (fitness_of_times m.times)
+    | Compile_failed _ | Runtime_crashed _ | Runtime_hung | Wrong_output ->
+      None
+  in
+  let best = ref (genome0, fit0) in
+  for _ = 1 to rounds do
+    let genome, fit = !best in
+    let neighbors =
+      (* all single-gene deletions *)
+      List.mapi (fun i _ -> List.filteri (fun j _ -> j <> i) genome) genome
+      (* parameter tweaks *)
+      @ List.init 6 (fun _ ->
+          Genome.mutate rng ~gene_prob:0.15 genome)
+    in
+    List.iter
+      (fun candidate ->
+         if List.length candidate >= Genome.min_length then
+           match fitness_of candidate with
+           | Some f when f < snd !best -> best := (candidate, f)
+           | Some _ | None -> ())
+      neighbors;
+    ignore fit
+  done;
+  !best

@@ -1,0 +1,67 @@
+(** The genetic search over the compiler optimization space (paper §3.6,
+    parameters from §4).
+
+    The GA is decoupled from replay: callers supply an evaluator mapping a
+    genome to measured replay times (or a failure outcome).  Fitness is the
+    mean replay time after MAD outlier removal; when two genomes are not
+    significantly different under a two-sided t-test, the smaller binary
+    wins.  Evaluation history is recorded for the Figure 9 evolution
+    plots. *)
+
+type outcome =
+  | Measured of { times : float array; size : int; key : string }
+  (** replay times in ms; [key] identifies the produced binary so the
+      identical-binaries halting rule can fire *)
+  | Compile_failed of string
+  | Runtime_crashed of string
+  | Runtime_hung
+  | Wrong_output
+
+type config = {
+  population : int;          (** 50 *)
+  generations : int;         (** 11: 1 random + 10 evolved *)
+  seed_retries : int;        (** up to 3 redraws of unprofitable seeds *)
+  genome_mutation_prob : float;   (** 0.05 *)
+  gene_mutation_prob : float;     (** 0.05 *)
+  tournament_size : int;     (** 7 *)
+  tournament_p : float;      (** 0.9 *)
+  max_identical : int;       (** halt after 100 identical binaries *)
+  no_improve_generations : int;   (** halt when stuck *)
+  elites : int;
+  size_tiebreak_alpha : float;    (** t-test level for "sufficiently close" *)
+}
+
+val default_config : config
+
+val quick_config : config
+(** Reduced search (fewer genomes/generations) for fast harness runs. *)
+
+type eval_record = {
+  ev_index : int;
+  ev_generation : int;
+  ev_genome : Genome.t;
+  ev_outcome : outcome;
+  ev_fitness : float option;   (** mean filtered replay ms, when measured *)
+}
+
+type result = {
+  best : (Genome.t * float) option;    (** best genome and its fitness *)
+  history : eval_record list;          (** in evaluation order *)
+  evaluations : int;
+  halted_early : string option;
+}
+
+val search :
+  Repro_util.Rng.t -> config ->
+  evaluate:(Genome.t -> outcome) ->
+  ?baseline_ms:float ->
+  ?o3_ms:float ->
+  unit -> result
+(** [baseline_ms]/[o3_ms] enable the first-generation seeding rule: seeds
+    slower than both baselines are redrawn up to [seed_retries] times. *)
+
+val hill_climb :
+  Repro_util.Rng.t -> evaluate:(Genome.t -> outcome) ->
+  Genome.t * float -> rounds:int -> Genome.t * float
+(** Final local search: single-gene deletions and parameter tweaks,
+    accepting improvements. *)

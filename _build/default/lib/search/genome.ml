@@ -1,0 +1,106 @@
+module Rng = Repro_util.Rng
+module Passes = Repro_lir.Passes
+
+type gene = { g_pass : string; g_params : int array }
+
+type t = gene list
+
+let min_length = 2
+let max_length = 40
+
+let catalog = Array.of_list Passes.catalog
+
+let invalid_param_prob = 0.03
+
+let sample_params rng ?(allow_invalid = false) (pass : Passes.t) =
+  Array.of_list
+    (List.map
+       (fun pr ->
+          if allow_invalid && Rng.chance rng invalid_param_prob then
+            (* out-of-range flag value, as a random command line would *)
+            pr.Passes.pmax + 1 + Rng.int rng 10
+          else Rng.int_in rng pr.Passes.pmin pr.Passes.pmax)
+       pass.Passes.params)
+
+let random_gene rng =
+  let pass = Rng.pick rng catalog in
+  { g_pass = pass.Passes.name; g_params = sample_params rng pass }
+
+let random rng =
+  let len = Rng.int_in rng 4 24 in
+  List.init len (fun _ ->
+      let pass = Rng.pick rng catalog in
+      { g_pass = pass.Passes.name;
+        g_params = sample_params rng ~allow_invalid:true pass })
+
+let to_spec t = List.map (fun g -> (g.g_pass, g.g_params)) t
+
+let tweak_param rng gene =
+  match Passes.find gene.g_pass with
+  | exception Not_found -> gene
+  | pass ->
+    if pass.Passes.params = [] then gene
+    else begin
+      let idx = Rng.int rng (List.length pass.Passes.params) in
+      let pr = List.nth pass.Passes.params idx in
+      let params = Array.copy gene.g_params in
+      if idx < Array.length params then
+        params.(idx) <- Rng.int_in rng pr.Passes.pmin pr.Passes.pmax;
+      { gene with g_params = params }
+    end
+
+let mutate rng ~gene_prob t =
+  let mutated =
+    List.concat_map
+      (fun gene ->
+         if not (Rng.chance rng gene_prob) then [ gene ]
+         else
+           match Rng.int rng 4 with
+           | 0 -> []                                     (* disable a pass *)
+           | 1 -> [ tweak_param rng gene ]               (* modify a parameter *)
+           | 2 -> [ random_gene rng ]                    (* replace *)
+           | _ -> [ gene; random_gene rng ])             (* introduce new pass *)
+      t
+  in
+  let rec pad g = if List.length g < min_length then pad (g @ [ random_gene rng ]) else g in
+  let truncated =
+    if List.length mutated > max_length then List.filteri (fun i _ -> i < max_length) mutated
+    else mutated
+  in
+  pad truncated
+
+let crossover rng a b =
+  let ka = Rng.int rng (List.length a + 1) in
+  let kb = Rng.int rng (List.length b + 1) in
+  let prefix = List.filteri (fun i _ -> i < ka) a in
+  let suffix = List.filteri (fun i _ -> i >= kb) b in
+  let child = prefix @ suffix in
+  let child =
+    if List.length child > max_length then
+      List.filteri (fun i _ -> i < max_length) child
+    else child
+  in
+  let rec pad g =
+    if List.length g < min_length then pad (g @ [ random_gene rng ]) else g
+  in
+  pad child
+
+let dedup_adjacent t =
+  let rec go = function
+    | a :: b :: rest when a.g_pass = b.g_pass && a.g_params = b.g_params ->
+      go (b :: rest)
+    | a :: rest -> a :: go rest
+    | [] -> []
+  in
+  go t
+
+let to_string t =
+  String.concat " | "
+    (List.map
+       (fun g ->
+          if Array.length g.g_params = 0 then g.g_pass
+          else
+            Printf.sprintf "%s(%s)" g.g_pass
+              (String.concat ","
+                 (Array.to_list (Array.map string_of_int g.g_params))))
+       t)

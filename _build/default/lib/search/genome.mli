@@ -1,0 +1,35 @@
+(** Genomes encoding compiler optimization decisions (paper §3.6): a
+    variable-length sequence of passes with their parameters and flags. *)
+
+type gene = { g_pass : string; g_params : int array }
+
+type t = gene list
+
+val min_length : int
+val max_length : int
+
+val random : Repro_util.Rng.t -> t
+(** Random genome with uniformly drawn length and parameters.  With a small
+    probability a parameter lands outside its valid range, mirroring the
+    invalid flag combinations a random `opt` command line can contain (the
+    compiler rejects them: a compile-error outcome in Figure 1). *)
+
+val random_gene : Repro_util.Rng.t -> gene
+(** Always-valid single gene. *)
+
+val to_spec : t -> Repro_lir.Compile.spec
+
+val mutate : Repro_util.Rng.t -> gene_prob:float -> t -> t
+(** Per-gene mutation: tweak a parameter, replace a pass, delete, or insert
+    a fresh gene (each gene mutates with probability [gene_prob]).
+    Mutated parameters stay in range. *)
+
+val crossover : Repro_util.Rng.t -> t -> t -> t
+(** Single-point crossover; the result is padded with fresh random genes if
+    it would fall below [min_length]. *)
+
+val dedup_adjacent : t -> t
+(** Remove immediately repeated identical genes (the "remove redundant
+    passes" step applied to the first generation). *)
+
+val to_string : t -> string

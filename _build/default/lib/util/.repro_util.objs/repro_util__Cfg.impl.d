@@ -1,0 +1,1 @@
+lib/util/cfg.ml: Array Hashtbl List Option

@@ -1,0 +1,118 @@
+type t = {
+  entry : int;
+  succs_of : (int, int list) Hashtbl.t;
+  preds_of : (int, int list) Hashtbl.t;
+  rpo : int array;                       (* reverse postorder *)
+  rpo_idx : (int, int) Hashtbl.t;
+  idoms : (int, int) Hashtbl.t;          (* node -> immediate dominator *)
+}
+
+let analyze ~entry ~succs =
+  let succs_of = Hashtbl.create 64 in
+  let preds_of = Hashtbl.create 64 in
+  let postorder = ref [] in
+  let visited = Hashtbl.create 64 in
+  let rec dfs n =
+    if not (Hashtbl.mem visited n) then begin
+      Hashtbl.add visited n ();
+      let ss = succs n in
+      Hashtbl.replace succs_of n ss;
+      List.iter
+        (fun s ->
+           let ps = Option.value ~default:[] (Hashtbl.find_opt preds_of s) in
+           Hashtbl.replace preds_of s (n :: ps);
+           dfs s)
+        ss;
+      postorder := n :: !postorder
+    end
+  in
+  dfs entry;
+  let rpo = Array.of_list !postorder in
+  let rpo_idx = Hashtbl.create 64 in
+  Array.iteri (fun i n -> Hashtbl.replace rpo_idx n i) rpo;
+  (* Cooper-Harvey-Kennedy iterative dominators. *)
+  let idoms = Hashtbl.create 64 in
+  Hashtbl.replace idoms entry entry;
+  let intersect a b =
+    let rec walk a b =
+      if a = b then a
+      else begin
+        let ia = Hashtbl.find rpo_idx a and ib = Hashtbl.find rpo_idx b in
+        if ia > ib then walk (Hashtbl.find idoms a) b else walk a (Hashtbl.find idoms b)
+      end
+    in
+    walk a b
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iter
+      (fun n ->
+         if n <> entry then begin
+           let preds = Option.value ~default:[] (Hashtbl.find_opt preds_of n) in
+           let processed = List.filter (fun p -> Hashtbl.mem idoms p) preds in
+           match processed with
+           | [] -> ()
+           | first :: rest ->
+             let new_idom = List.fold_left intersect first rest in
+             if Hashtbl.find_opt idoms n <> Some new_idom then begin
+               Hashtbl.replace idoms n new_idom;
+               changed := true
+             end
+         end)
+      rpo
+  done;
+  { entry; succs_of; preds_of; rpo; rpo_idx; idoms }
+
+let nodes t = Array.to_list t.rpo
+let preds t n = Option.value ~default:[] (Hashtbl.find_opt t.preds_of n)
+let succs t n = Option.value ~default:[] (Hashtbl.find_opt t.succs_of n)
+
+let rpo_index t n =
+  match Hashtbl.find_opt t.rpo_idx n with
+  | Some i -> i
+  | None -> invalid_arg "Cfg.rpo_index: unreachable node"
+
+let idom t n =
+  if n = t.entry then None
+  else Hashtbl.find_opt t.idoms n
+
+let dominates t a b =
+  let rec walk b = a = b || (b <> t.entry && walk (Hashtbl.find t.idoms b)) in
+  Hashtbl.mem t.rpo_idx b && Hashtbl.mem t.rpo_idx a && walk b
+
+type loop = { header : int; back_edges : int list; body : int list }
+
+let natural_loop t header tails =
+  (* Union of nodes that reach a back-edge source without passing header. *)
+  let body = Hashtbl.create 16 in
+  Hashtbl.replace body header ();
+  let rec pull n =
+    if not (Hashtbl.mem body n) then begin
+      Hashtbl.replace body n ();
+      List.iter pull (preds t n)
+    end
+  in
+  List.iter pull tails;
+  Hashtbl.fold (fun n () acc -> n :: acc) body [] |> List.sort compare
+
+let loops t =
+  let by_header = Hashtbl.create 8 in
+  Array.iter
+    (fun n ->
+       List.iter
+         (fun s ->
+            if dominates t s n then begin
+              let tails = Option.value ~default:[] (Hashtbl.find_opt by_header s) in
+              Hashtbl.replace by_header s (n :: tails)
+            end)
+         (succs t n))
+    t.rpo;
+  Hashtbl.fold
+    (fun header tails acc ->
+       { header; back_edges = tails; body = natural_loop t header tails } :: acc)
+    by_header []
+  |> List.sort (fun a b -> compare (rpo_index t a.header) (rpo_index t b.header))
+
+let loop_depth t n =
+  List.length (List.filter (fun l -> List.mem n l.body) (loops t))

@@ -1,0 +1,44 @@
+(** Statistical methodology from the paper's experimental setup (§4).
+
+    During search each transformation is evaluated 10 times through replay;
+    outliers are removed with the median absolute deviation; the relative
+    merit of two transformation sets is decided with a two-sided t-test; the
+    online-vs-offline study (Figure 3) uses bootstrapped confidence
+    intervals. *)
+
+val mean : float array -> float
+val variance : float array -> float
+(** Unbiased sample variance (division by n-1); 0 for fewer than 2 points. *)
+
+val stddev : float array -> float
+val median : float array -> float
+(** Median of the values; does not modify the input array. *)
+
+val mad : float array -> float
+(** Median absolute deviation around the median. *)
+
+val remove_outliers_mad : ?threshold:float -> float array -> float array
+(** Keep points whose modified z-score [0.6745 * |x - median| / MAD] is at
+    most [threshold] (default 3.5).  If the MAD is zero the input is returned
+    unchanged. *)
+
+val welch_t_test : float array -> float array -> float
+(** [welch_t_test a b] returns the two-sided p-value for the null hypothesis
+    that [a] and [b] have equal means, using Welch's unequal-variance t-test
+    with a normal approximation of the t distribution (adequate for the
+    sample sizes used here). *)
+
+val significantly_less : ?alpha:float -> float array -> float array -> bool
+(** [significantly_less a b] holds when mean [a] < mean [b] and the t-test
+    rejects equality at level [alpha] (default 0.05). *)
+
+type ci = { lo : float; hi : float }
+
+val bootstrap_ci : Rng.t -> ?rounds:int -> confidence:float ->
+  (float array -> float) -> float array -> ci
+(** Percentile bootstrap confidence interval for a statistic. *)
+
+val percentile : float array -> float -> float
+(** [percentile xs p] with [p] in [0, 100]; linear interpolation. *)
+
+val geomean : float array -> float

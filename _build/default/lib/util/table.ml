@@ -1,0 +1,41 @@
+type align = Left | Right
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else begin
+    let fill = String.make (width - n) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+  end
+
+let render ?aligns ~header rows =
+  let ncols = List.length header in
+  let aligns =
+    match aligns with
+    | Some a -> a
+    | None -> List.mapi (fun i _ -> if i = 0 then Left else Right) header
+  in
+  let widths = Array.make ncols 0 in
+  let note_row r =
+    List.iteri (fun i cell ->
+        if i < ncols then widths.(i) <- max widths.(i) (String.length cell)) r
+  in
+  note_row header;
+  List.iter note_row rows;
+  let line r =
+    String.concat "  "
+      (List.mapi (fun i cell ->
+           let a = try List.nth aligns i with _ -> Right in
+           pad a widths.(i) cell)
+         r)
+  in
+  let sep =
+    String.concat "  " (Array.to_list (Array.map (fun w -> String.make w '-') widths))
+  in
+  String.concat "\n" (line header :: sep :: List.map line rows)
+
+let print ?aligns ~header rows = print_endline (render ?aligns ~header rows)
+
+let fmt_f ?(decimals = 2) x = Printf.sprintf "%.*f" decimals x
+let fmt_speedup x = Printf.sprintf "%.2fx" x
+let fmt_pct x = Printf.sprintf "%.0f%%" (100.0 *. x)

@@ -1,0 +1,18 @@
+(** Minimal fixed-width text tables for the benchmark harness output. *)
+
+type align = Left | Right
+
+val render : ?aligns:align list -> header:string list -> string list list -> string
+(** [render ~header rows] lays the rows out in aligned columns.  [aligns]
+    defaults to left for the first column and right for the rest. *)
+
+val print : ?aligns:align list -> header:string list -> string list list -> unit
+
+val fmt_f : ?decimals:int -> float -> string
+(** Fixed-point float formatting, default 2 decimals. *)
+
+val fmt_speedup : float -> string
+(** Formats 1.44 as ["1.44x"]. *)
+
+val fmt_pct : float -> string
+(** Formats 0.57 as ["57%"]. *)

@@ -1,0 +1,1 @@
+lib/vm/cost.mli: Repro_dex

@@ -1,0 +1,1 @@
+lib/vm/exec_ctx.mli: Buffer Cost Heap Repro_dex Repro_os Repro_util Value

@@ -1,0 +1,1 @@
+lib/vm/heap.ml: Repro_os

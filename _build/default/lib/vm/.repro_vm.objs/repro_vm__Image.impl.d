@@ -1,0 +1,1 @@
+lib/vm/image.ml: Exec_ctx Heap Int64 List Printf Repro_dex Repro_os

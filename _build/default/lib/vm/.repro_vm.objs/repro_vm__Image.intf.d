@@ -1,0 +1,1 @@
+lib/vm/image.mli: Cost Exec_ctx Repro_dex

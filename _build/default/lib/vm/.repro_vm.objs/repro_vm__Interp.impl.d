@@ -1,0 +1,1 @@
+lib/vm/interp.ml: Array Cost Exec_ctx Float Jni List Option Repro_dex Repro_os Value

@@ -1,0 +1,1 @@
+lib/vm/interp.mli: Exec_ctx Repro_dex Value

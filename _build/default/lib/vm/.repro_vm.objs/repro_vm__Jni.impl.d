@@ -1,0 +1,1 @@
+lib/vm/jni.ml: Buffer Cost Exec_ctx Float Printf Repro_dex Repro_util Value

@@ -1,0 +1,1 @@
+lib/vm/jni.mli: Exec_ctx Repro_dex Value

@@ -1,0 +1,1 @@
+lib/vm/value.ml: Int64 Printf Repro_dex

@@ -1,0 +1,36 @@
+(** Standard process image: the memory layout of a running app.
+
+    Builds the mappings the capture mechanism later walks through
+    /proc/self/maps: immutable runtime pages (boot-common), memory-mapped
+    code files (never captured, only their paths are logged), static fields,
+    heap, stack and GC auxiliary structures (unsafe to protect, always
+    stored).  The page counts are per-app configuration, which is what makes
+    the capture-cost and storage experiments (Figures 10/11) vary across
+    applications. *)
+
+type config = {
+  runtime_pages : int;   (** materialized immutable runtime objects *)
+  code_pages : int;
+  heap_pages : int;      (** heap capacity *)
+  stack_pages : int;
+  gc_aux_pages : int;
+  extra_maps : int;      (** additional small .so mappings (maps entries) *)
+  warm_heap_pages : int; (** live heap pages predating the hot region *)
+}
+
+val default_config : config
+
+val runtime_base : int
+val code_base : int
+val statics_base : int
+val heap_base : int
+val stack_base : int
+val gc_aux_base : int
+val extra_base : int
+
+val build :
+  ?config:config -> ?cost:Cost.model -> ?seed:int -> ?fuel:int ->
+  Repro_dex.Bytecode.dexfile -> Exec_ctx.t
+(** Fresh address space with all regions mapped, runtime/stack/GC pages
+    materialized, static initializers applied, and an execution context
+    around it (no dispatcher installed yet). *)

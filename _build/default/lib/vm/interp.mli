@@ -1,0 +1,24 @@
+(** The bytecode interpreter — the "Android interpreter" of the paper.
+
+    Used for cold code in online runs and for the interpreted replays that
+    build verification maps and dispatch-type profiles (§3.4).  Every memory
+    access goes through the paged address space, so captures observe the
+    interpreter's page-access behaviour.  All null/bounds/zero checks are
+    performed unconditionally. *)
+
+val eval_binop : Repro_dex.Ast.binop -> Value.t -> Value.t -> Value.t
+(** Shared arithmetic semantics (also used by the LIR executor).
+    @raise Exec_ctx.App_exception on integer division by zero. *)
+
+val eval_cond : Repro_dex.Bytecode.cond -> Value.t -> Value.t -> bool
+
+val interpret : Exec_ctx.t -> int -> Value.t list -> Value.t option
+(** Execute one method body, routing callees through {!Exec_ctx.invoke}.
+    @raise Exec_ctx.App_exception on an uncaught MiniDex exception.
+    @raise Exec_ctx.Timeout when fuel runs out. *)
+
+val install : Exec_ctx.t -> unit
+(** Make the context dispatch every call to the interpreter. *)
+
+val run_main : Exec_ctx.t -> Value.t option
+(** [invoke] the program entry point with no arguments. *)

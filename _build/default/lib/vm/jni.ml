@@ -1,0 +1,71 @@
+module B = Repro_dex.Bytecode
+module Rng = Repro_util.Rng
+
+let f1 args =
+  match args with
+  | [ v ] -> Value.to_float v
+  | _ -> invalid_arg "Jni: arity"
+
+let f2 args =
+  match args with
+  | [ a; b ] -> (Value.to_float a, Value.to_float b)
+  | _ -> invalid_arg "Jni: arity"
+
+let i1 args =
+  match args with
+  | [ v ] -> Value.to_int v
+  | _ -> invalid_arg "Jni: arity"
+
+let i2 args =
+  match args with
+  | [ a; b ] -> (Value.to_int a, Value.to_int b)
+  | _ -> invalid_arg "Jni: arity"
+
+let call ?(as_native = true) (ctx : Exec_ctx.t) native args =
+  let was_native = ctx.Exec_ctx.in_native in
+  if as_native then ctx.Exec_ctx.in_native <- true;
+  (* transition cost: full JNI trampoline, or the cheap inlined-intrinsic
+     dispatch; charged inside the native window so profiler samples
+     attribute it to JNI time (Figure 8) *)
+  Exec_ctx.charge ctx
+    (if as_native then ctx.Exec_ctx.cost.Cost.jni_call
+     else ctx.Exec_ctx.cost.Cost.intrinsic_call);
+  Exec_ctx.charge ctx (Cost.native_work native);
+  let vf x = Some (Value.Vfloat x) in
+  let vi x = Some (Value.Vint x) in
+  let result =
+    match native with
+    | B.Nsqrt -> vf (sqrt (f1 args))
+    | B.Nsin -> vf (sin (f1 args))
+    | B.Ncos -> vf (cos (f1 args))
+    | B.Nfloor -> vf (floor (f1 args))
+    | B.Nexp -> vf (exp (f1 args))
+    | B.Nlog -> vf (log (f1 args))
+    | B.Npow -> let a, b = f2 args in vf (a ** b)
+    | B.Nabs_f -> vf (abs_float (f1 args))
+    | B.Nabs_i -> vi (abs (i1 args))
+    | B.Nmin_i -> let a, b = i2 args in vi (min a b)
+    | B.Nmax_i -> let a, b = i2 args in vi (max a b)
+    | B.Nmin_f -> let a, b = f2 args in vf (Float.min a b)
+    | B.Nmax_f -> let a, b = f2 args in vf (Float.max a b)
+    | B.Nprint_i ->
+      Buffer.add_string ctx.Exec_ctx.io (string_of_int (i1 args) ^ "\n");
+      None
+    | B.Nprint_f ->
+      Buffer.add_string ctx.Exec_ctx.io (Printf.sprintf "%g\n" (f1 args));
+      None
+    | B.Ndraw ->
+      (match args with
+       | [ x; y; c ] ->
+         Buffer.add_string ctx.Exec_ctx.io
+           (Printf.sprintf "draw %d %d %d\n" (Value.to_int x) (Value.to_int y)
+              (Value.to_int c));
+         None
+       | _ -> invalid_arg "Jni: draw arity")
+    | B.Nrand ->
+      let bound = i1 args in
+      vi (if bound <= 0 then 0 else Rng.int ctx.Exec_ctx.rng bound)
+    | B.Nclock -> vi (int_of_float (Exec_ctx.elapsed_ms ctx))
+  in
+  ctx.Exec_ctx.in_native <- was_native;
+  result

@@ -1,0 +1,14 @@
+(** Implementations of the built-in natives ([Math.*], [Sys.*]).
+
+    The computational work of each native is charged to the context; the
+    *transition* cost (JNI trampoline vs inlined intrinsic) is charged by the
+    caller, which is how the backend's JNI-to-intrinsic replacement pass
+    (paper §3.5) becomes profitable. *)
+
+val call :
+  ?as_native:bool ->
+  Exec_ctx.t -> Repro_dex.Bytecode.native -> Value.t list -> Value.t option
+(** [as_native] (default true) attributes the time to JNI in profiler
+    samples; intrinsic-inlined calls pass false so the cycles count as
+    compiled code.
+    @raise Invalid_argument on arity/type errors (lowering prevents them). *)

@@ -1,0 +1,62 @@
+module B = Repro_dex.Bytecode
+
+type t =
+  | Vint of int
+  | Vfloat of float
+  | Vbool of bool
+  | Vref of int
+
+let null = Vref 0
+
+let to_word = function
+  | Vint k -> Int64.of_int k
+  | Vfloat f -> Int64.bits_of_float f
+  | Vbool b -> if b then 1L else 0L
+  | Vref a -> Int64.of_int a
+
+let of_word kind w =
+  match kind with
+  | B.Kint -> Vint (Int64.to_int w)
+  | B.Kfloat -> Vfloat (Int64.float_of_bits w)
+  | B.Kbool -> Vbool (w <> 0L)
+  | B.Kref -> Vref (Int64.to_int w)
+
+let to_int = function
+  | Vint k -> k
+  | v -> invalid_arg ("Value.to_int: " ^ (match v with
+      | Vfloat _ -> "float" | Vbool _ -> "bool" | Vref _ -> "ref" | Vint _ -> "int"))
+
+let to_float = function
+  | Vfloat f -> f
+  | Vint k -> float_of_int k
+  | Vbool _ | Vref _ -> invalid_arg "Value.to_float"
+
+let to_bool = function
+  | Vbool b -> b
+  | Vint k -> k <> 0
+  | Vfloat _ | Vref _ -> invalid_arg "Value.to_bool"
+
+let to_ref = function
+  | Vref a -> a
+  | Vint _ | Vfloat _ | Vbool _ -> invalid_arg "Value.to_ref"
+
+let is_truthy = function
+  | Vbool b -> b
+  | Vint k -> k <> 0
+  | Vfloat f -> f <> 0.0
+  | Vref a -> a <> 0
+
+let equal a b =
+  match a, b with
+  | Vint x, Vint y -> x = y
+  | Vfloat x, Vfloat y -> Int64.bits_of_float x = Int64.bits_of_float y
+  | Vbool x, Vbool y -> x = y
+  | Vref x, Vref y -> x = y
+  | (Vint _ | Vfloat _ | Vbool _ | Vref _), _ -> false
+
+let to_string = function
+  | Vint k -> string_of_int k
+  | Vfloat f -> Printf.sprintf "%g" f
+  | Vbool b -> string_of_bool b
+  | Vref 0 -> "null"
+  | Vref a -> Printf.sprintf "ref%#x" a

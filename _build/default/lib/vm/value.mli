@@ -1,0 +1,29 @@
+(** Runtime values held in virtual registers.
+
+    In simulated memory every value is one 64-bit word; the element kind
+    recorded in the instruction tells the VM how to decode it. *)
+
+type t =
+  | Vint of int
+  | Vfloat of float
+  | Vbool of bool
+  | Vref of int    (** heap address; 0 is null *)
+
+val null : t
+
+val to_word : t -> int64
+(** Raw memory encoding (floats as IEEE bits). *)
+
+val of_word : Repro_dex.Bytecode.elem_kind -> int64 -> t
+
+val to_int : t -> int
+(** @raise Invalid_argument when not a [Vint]. *)
+
+val to_float : t -> float
+val to_bool : t -> bool
+val to_ref : t -> int
+val is_truthy : t -> bool
+(** Non-zero / true / non-null. *)
+
+val equal : t -> t -> bool
+val to_string : t -> string

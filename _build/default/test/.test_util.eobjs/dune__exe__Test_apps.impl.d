@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest Array Buffer List Printexc Printf Repro_apps Repro_core Repro_dex Repro_lir Repro_profiler Repro_vm String

@@ -1,0 +1,1 @@
+test/test_capture.ml: Alcotest Capture Lazy List Option Replay Repro_apps Repro_capture Repro_core Repro_dex Repro_lir Repro_os Repro_vm Snapshot Typeprof Verify

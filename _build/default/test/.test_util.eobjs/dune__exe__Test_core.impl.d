@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array List Option Repro_apps Repro_core Repro_lir Repro_search

@@ -1,0 +1,1 @@
+test/test_dex.ml: Alcotest Array Ast Astring Bytecode Disasm Lexer List Lower Option Parser QCheck QCheck_alcotest Repro_dex Typecheck

@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Alcotest Array List Printf QCheck QCheck_alcotest Repro_dex Repro_lir Repro_util Repro_vm String

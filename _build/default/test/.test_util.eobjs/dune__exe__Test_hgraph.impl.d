@@ -1,0 +1,1 @@
+test/test_hgraph.ml: Alcotest Hashtbl List Printf QCheck QCheck_alcotest Repro_dex Repro_hgraph Repro_util

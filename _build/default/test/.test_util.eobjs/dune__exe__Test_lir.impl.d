@@ -1,0 +1,1 @@
+test/test_lir.ml: Alcotest Array Binary Buffer Compile Exec Format Gen Hashtbl Int64 List Option Passes Pipelines QCheck QCheck_alcotest Repro_dex Repro_hgraph Repro_lir Repro_util Repro_vm Translate

@@ -1,0 +1,1 @@
+test/test_os.ml: Alcotest Array Gen List QCheck QCheck_alcotest Repro_os

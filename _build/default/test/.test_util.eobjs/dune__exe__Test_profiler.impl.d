@@ -1,0 +1,1 @@
+test/test_profiler.ml: Alcotest Array List Option Repro_apps Repro_core Repro_dex Repro_profiler Repro_vm

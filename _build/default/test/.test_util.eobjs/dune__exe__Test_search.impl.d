@@ -1,0 +1,1 @@
+test/test_search.ml: Alcotest Array Ga Genome List Repro_lir Repro_search Repro_util String

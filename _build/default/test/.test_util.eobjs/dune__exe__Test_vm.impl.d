@@ -1,0 +1,1 @@
+test/test_vm.ml: Alcotest Buffer Exec_ctx Heap Image Interp List Option Printf QCheck QCheck_alcotest Repro_dex Repro_os Repro_vm Value

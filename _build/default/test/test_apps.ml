@@ -1,0 +1,171 @@
+(* Tests over the 21 evaluation applications: they compile, run, agree
+   between interpreter and compiled code, and expose the hot regions the
+   registry documents. *)
+
+module App = Repro_apps.Registry
+module B = Repro_dex.Bytecode
+module Vm = Repro_vm
+module Pipeline = Repro_core.Pipeline
+module Regions = Repro_profiler.Regions
+
+let test_registry_complete () =
+  Alcotest.(check int) "21 apps (Table 1)" 21 (List.length App.all);
+  let by_class cls =
+    List.length (List.filter (fun a -> a.App.cls = cls) App.all)
+  in
+  Alcotest.(check int) "5 Scimark" 5 (by_class App.Scimark_suite);
+  Alcotest.(check int) "7 Art" 7 (by_class App.Art_suite);
+  Alcotest.(check int) "9 Interactive" 9 (by_class App.Interactive_suite)
+
+let test_all_compile () =
+  List.iter
+    (fun app ->
+       match App.dexfile app with
+       | (_ : B.dexfile) -> ()
+       | exception e ->
+         Alcotest.fail
+           (Printf.sprintf "%s failed to compile: %s" app.App.name
+              (Printexc.to_string e)))
+    App.all
+
+let test_all_run_interpreted () =
+  List.iter
+    (fun app ->
+       let ctx = App.build_ctx ~seed:3 app in
+       Vm.Interp.install ctx;
+       match Vm.Interp.run_main ctx with
+       | (_ : Vm.Value.t option) ->
+         Alcotest.(check bool)
+           (app.App.name ^ " does work") true
+           (ctx.Vm.Exec_ctx.cycles > 100_000)
+       | exception e ->
+         Alcotest.fail (app.App.name ^ ": " ^ Printexc.to_string e))
+    App.all
+
+(* Sys.clock reads simulated time, so apps that consult it (DroidFish's
+   native engine) legitimately behave differently across code versions;
+   for them we only require successful, faster execution. *)
+let uses_clock app =
+  let dx = App.dexfile app in
+  Array.exists
+    (fun m ->
+       Array.exists
+         (function
+           | B.InvokeNative (_, B.Nclock, _) -> true
+           | _ -> false)
+         m.B.cm_code)
+    dx.B.dx_methods
+
+let test_android_binary_agrees_with_interpreter () =
+  List.iter
+    (fun app ->
+       let run install =
+         let ctx = App.build_ctx ~seed:3 app in
+         install ctx;
+         let ret = Vm.Interp.run_main ctx in
+         (ret, Buffer.contents ctx.Vm.Exec_ctx.io, ctx.Vm.Exec_ctx.cycles)
+       in
+       let ri, ioi, ci = run Vm.Interp.install in
+       let rb, iob, cb =
+         run (fun ctx ->
+             Repro_lir.Exec.install ctx (Pipeline.android_binary_for app))
+       in
+       let same =
+         (match ri, rb with
+          | Some a, Some b -> Vm.Value.equal a b
+          | None, None -> true
+          | _ -> false)
+         && ioi = iob
+       in
+       if not (uses_clock app) then
+         Alcotest.(check bool) (app.App.name ^ " same behaviour") true same;
+       Alcotest.(check bool) (app.App.name ^ " compiled faster") true (cb < ci))
+    App.all
+
+let test_hot_regions_as_documented () =
+  List.iter
+    (fun app ->
+       let online = Pipeline.online_run ~seed:3 app in
+       match Pipeline.hot_region_of app online with
+       | None -> Alcotest.fail (app.App.name ^ ": no hot region")
+       | Some mid ->
+         let dx = App.dexfile app in
+         let m = dx.B.dx_methods.(mid) in
+         let matches =
+           List.exists
+             (fun (cls, name) ->
+                m.B.cm_class_name = cls && m.B.cm_name = name)
+             app.App.expect_hot
+         in
+         Alcotest.(check bool)
+           (Printf.sprintf "%s hot=%s.%s expected one of [%s]" app.App.name
+              m.B.cm_class_name m.B.cm_name
+              (String.concat "; "
+                 (List.map (fun (c, n) -> c ^ "." ^ n) app.App.expect_hot)))
+           true matches)
+    App.all
+
+let test_hot_regions_replayable () =
+  List.iter
+    (fun app ->
+       let online = Pipeline.online_run ~seed:3 app in
+       match Pipeline.hot_region_of app online with
+       | None -> ()
+       | Some mid ->
+         Alcotest.(check bool) (app.App.name ^ " region replayable") true
+           (Regions.region_replayable (App.dexfile app) mid))
+    App.all
+
+let test_mains_unreplayable () =
+  (* every app's driver does I/O or uses randomness: the capture mechanism
+     must refuse it *)
+  List.iter
+    (fun app ->
+       let dx = App.dexfile app in
+       Alcotest.(check bool) (app.App.name ^ " main unreplayable") false
+         (Regions.replayable dx dx.B.dx_main))
+    App.all
+
+let test_interactive_apps_draw () =
+  List.iter
+    (fun app ->
+       if app.App.cls = App.Interactive_suite then begin
+         let ctx = App.build_ctx ~seed:3 app in
+         Vm.Interp.install ctx;
+         ignore (Vm.Interp.run_main ctx);
+         let io = Buffer.contents ctx.Vm.Exec_ctx.io in
+         (* games render; the two calculators print odds *)
+         Alcotest.(check bool) (app.App.name ^ " produces output") true
+           (String.length io > 0)
+       end)
+    App.all
+
+let test_deterministic_given_seed () =
+  List.iter
+    (fun app ->
+       let run () =
+         let ctx = App.build_ctx ~seed:9 app in
+         Vm.Interp.install ctx;
+         let ret = Vm.Interp.run_main ctx in
+         (ret, ctx.Vm.Exec_ctx.cycles)
+       in
+       let (r1, c1) = run () and (r2, c2) = run () in
+       Alcotest.(check bool) (app.App.name ^ " deterministic") true
+         (r1 = r2 && c1 = c2))
+    App.all
+
+let () =
+  Alcotest.run "apps"
+    [ ("registry",
+       [ Alcotest.test_case "complete" `Quick test_registry_complete;
+         Alcotest.test_case "all compile" `Quick test_all_compile ]);
+      ("behaviour",
+       [ Alcotest.test_case "all run interpreted" `Slow test_all_run_interpreted;
+         Alcotest.test_case "android binary agrees" `Slow
+           test_android_binary_agrees_with_interpreter;
+         Alcotest.test_case "deterministic" `Slow test_deterministic_given_seed;
+         Alcotest.test_case "interactive apps draw" `Slow test_interactive_apps_draw ]);
+      ("regions",
+       [ Alcotest.test_case "hot regions documented" `Slow test_hot_regions_as_documented;
+         Alcotest.test_case "regions replayable" `Slow test_hot_regions_replayable;
+         Alcotest.test_case "mains unreplayable" `Quick test_mains_unreplayable ]) ]

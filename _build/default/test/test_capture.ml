@@ -1,0 +1,199 @@
+(* Tests for the capture/replay machinery: snapshots, replay determinism,
+   verification maps, dispatch-type profiles, storage accounting. *)
+
+open Repro_capture
+module B = Repro_dex.Bytecode
+module Mem = Repro_os.Mem
+module Vm = Repro_vm
+module Pipeline = Repro_core.Pipeline
+module App = Repro_apps.Registry
+
+let fft () = Option.get (App.find "FFT")
+let lu () = Option.get (App.find "LU")
+
+let capture_app app = Option.get (Pipeline.capture_once ~seed:5 app)
+
+(* one shared capture for most tests *)
+let fft_capture = lazy (capture_app (fft ()))
+
+let test_capture_produces_snapshot () =
+  let cap = Lazy.force fft_capture in
+  let snap = cap.Pipeline.snapshot in
+  Alcotest.(check bool) "program pages present" true
+    (List.length snap.Snapshot.snap_pages > 0);
+  Alcotest.(check bool) "common pages present" true
+    (List.length snap.Snapshot.snap_common > 1000);
+  Alcotest.(check bool) "args captured" true
+    (List.length snap.Snapshot.snap_args = 2);
+  Alcotest.(check bool) "code files logged, not stored" true
+    (List.length snap.Snapshot.snap_code_files > 10)
+
+let test_capture_overhead_positive () =
+  let cap = Lazy.force fft_capture in
+  let o = cap.Pipeline.overhead in
+  Alcotest.(check bool) "fork > 0" true (o.Capture.fork_ms > 0.0);
+  Alcotest.(check bool) "prep > 0" true (o.Capture.preparation_ms > 0.0);
+  Alcotest.(check bool) "total < 50ms" true (Capture.total_ms o < 50.0);
+  Alcotest.(check bool) "faults observed" true (o.Capture.n_faults > 0)
+
+let test_capture_charges_online_time () =
+  (* the same run without capture is faster: capture overhead is charged
+     to the online execution *)
+  let app = fft () in
+  let plain = Pipeline.online_run ~seed:5 app in
+  let cap = capture_app app in
+  Alcotest.(check bool) "capture slows the online run" true
+    (cap.Pipeline.online_with_capture.Pipeline.cycles > plain.Pipeline.cycles)
+
+let test_replay_matches_original_region () =
+  let cap = Lazy.force fft_capture in
+  let app = fft () in
+  let dx = App.dexfile app in
+  let r = Replay.run dx cap.Pipeline.snapshot Replay.Interpreter in
+  match r.Replay.outcome with
+  | Replay.Finished (ret, _) ->
+    Alcotest.(check bool) "region returns a float" true
+      (match ret with Some (Vm.Value.Vfloat _) -> true | _ -> false)
+  | _ -> Alcotest.fail "interpreted replay failed"
+
+let test_replay_deterministic () =
+  let cap = Lazy.force fft_capture in
+  let dx = App.dexfile (fft ()) in
+  let run () = Replay.run dx cap.Pipeline.snapshot Replay.Interpreter in
+  let a = run () and b = run () in
+  match a.Replay.outcome, b.Replay.outcome with
+  | Replay.Finished (ra, ca), Replay.Finished (rb, cb) ->
+    Alcotest.(check bool) "same result" true
+      (match ra, rb with
+       | Some x, Some y -> Vm.Value.equal x y
+       | None, None -> true
+       | _ -> false);
+    Alcotest.(check int) "same cycles" ca cb
+  | _ -> Alcotest.fail "replay failed"
+
+let test_replay_code_versions_agree () =
+  let cap = Lazy.force fft_capture in
+  let app = fft () in
+  let dx = App.dexfile app in
+  let android = Pipeline.android_binary_for app in
+  let interp = Replay.run dx cap.Pipeline.snapshot Replay.Interpreter in
+  let compiled =
+    Replay.run dx cap.Pipeline.snapshot (Replay.Android_code android)
+  in
+  match interp.Replay.outcome, compiled.Replay.outcome with
+  | Replay.Finished (ri, ci), Replay.Finished (rc, cc) ->
+    Alcotest.(check bool) "same result" true
+      (match ri, rc with
+       | Some x, Some y -> Vm.Value.equal x y
+       | _ -> false);
+    Alcotest.(check bool) "compiled faster" true (cc < ci)
+  | _ -> Alcotest.fail "replay failed"
+
+let test_verification_map_accepts_safe () =
+  let app = lu () in
+  let cap = capture_app app in
+  let env = Pipeline.make_eval_env app cap in
+  let binary =
+    Repro_lir.Compile.llvm_binary (App.dexfile app) Repro_lir.Pipelines.o2
+      env.Pipeline.region
+  in
+  match Verify.check (App.dexfile app) cap.Pipeline.snapshot env.Pipeline.vmap binary with
+  | Verify.Passed _ -> ()
+  | _ -> Alcotest.fail "O2 should verify"
+
+let test_verification_map_rejects_fast_math () =
+  let app = lu () in
+  let cap = capture_app app in
+  let env = Pipeline.make_eval_env app cap in
+  let binary =
+    Repro_lir.Compile.llvm_binary (App.dexfile app)
+      (Repro_lir.Pipelines.o2 @ [ ("fast-math", [| 1; 1 |]) ])
+      env.Pipeline.region
+  in
+  match Verify.check (App.dexfile app) cap.Pipeline.snapshot env.Pipeline.vmap binary with
+  | Verify.Wrong_output -> ()
+  | Verify.Passed _ -> Alcotest.fail "fast-math should change LU's bits"
+  | Verify.Crashed m -> Alcotest.fail ("crashed: " ^ m)
+  | Verify.Hung -> Alcotest.fail "hung"
+
+let test_typeprof_collected () =
+  let app = Option.get (App.find "ColorOverflow") in
+  let cap = capture_app app in
+  let env = Pipeline.make_eval_env app cap in
+  Alcotest.(check bool) "virtual sites profiled" true
+    (Typeprof.total env.Pipeline.typeprof > 0)
+
+let test_storage_accounting () =
+  let cap = Lazy.force fft_capture in
+  let snap = cap.Pipeline.snapshot in
+  let storage = Repro_os.Storage.create () in
+  Snapshot.store storage snap;
+  let total = Repro_os.Storage.total_bytes storage in
+  Alcotest.(check int) "program + common"
+    (Snapshot.program_bytes snap + Snapshot.common_bytes snap) total;
+  (* a second capture of another app shares the boot-common blob *)
+  let cap2 = capture_app (lu ()) in
+  Snapshot.store storage cap2.Pipeline.snapshot;
+  let both =
+    Snapshot.program_bytes snap
+    + Snapshot.program_bytes cap2.Pipeline.snapshot
+    + Snapshot.common_bytes snap
+  in
+  Alcotest.(check int) "common stored once" both
+    (Repro_os.Storage.total_bytes storage);
+  Snapshot.discard storage snap;
+  Alcotest.(check bool) "release space after optimizing" true
+    (Repro_os.Storage.total_bytes storage < both)
+
+let test_eager_mode_costs_more () =
+  let app = fft () in
+  let normal = (capture_app app).Pipeline.overhead in
+  Capture.eager_mode := true;
+  let eager =
+    (Option.get (Pipeline.capture_once ~seed:5 app)).Pipeline.overhead
+  in
+  Capture.eager_mode := false;
+  Alcotest.(check bool) "eager fault cost >= CoW-based" true
+    (eager.Capture.fault_cow_ms >= normal.Capture.fault_cow_ms)
+
+let test_loader_collision_tracking () =
+  let cap = Lazy.force fft_capture in
+  let dx = App.dexfile (fft ()) in
+  let r = Replay.run dx cap.Pipeline.snapshot Replay.Interpreter in
+  (* our layout places app data far from the loader range *)
+  Alcotest.(check int) "no collisions with this layout" 0
+    r.Replay.loader_collisions
+
+let test_replay_isolated_from_online_memory () =
+  (* replays rebuild memory from the snapshot: mutating the replayed heap
+     twice gives identical results (no cross-replay leakage) *)
+  let app = Option.get (App.find "BubbleSort") in
+  let cap = capture_app app in
+  let dx = App.dexfile app in
+  let once () =
+    match (Replay.run dx cap.Pipeline.snapshot Replay.Interpreter).Replay.outcome with
+    | Replay.Finished (Some v, _) -> v
+    | _ -> Alcotest.fail "replay failed"
+  in
+  Alcotest.(check bool) "sort twice, same answer" true
+    (Vm.Value.equal (once ()) (once ()))
+
+let () =
+  Alcotest.run "capture"
+    [ ("capture",
+       [ Alcotest.test_case "snapshot contents" `Quick test_capture_produces_snapshot;
+         Alcotest.test_case "overhead fields" `Quick test_capture_overhead_positive;
+         Alcotest.test_case "charges online time" `Quick test_capture_charges_online_time;
+         Alcotest.test_case "eager ablation" `Quick test_eager_mode_costs_more ]);
+      ("replay",
+       [ Alcotest.test_case "matches original" `Quick test_replay_matches_original_region;
+         Alcotest.test_case "deterministic" `Quick test_replay_deterministic;
+         Alcotest.test_case "code versions agree" `Quick test_replay_code_versions_agree;
+         Alcotest.test_case "loader collisions" `Quick test_loader_collision_tracking;
+         Alcotest.test_case "isolated memory" `Quick test_replay_isolated_from_online_memory ]);
+      ("verify",
+       [ Alcotest.test_case "accepts safe" `Quick test_verification_map_accepts_safe;
+         Alcotest.test_case "rejects fast-math" `Quick test_verification_map_rejects_fast_math;
+         Alcotest.test_case "type profile" `Quick test_typeprof_collected ]);
+      ("storage",
+       [ Alcotest.test_case "accounting" `Quick test_storage_accounting ]) ]

@@ -1,0 +1,340 @@
+(* Tests for the MiniDex frontend: lexer, parser, typechecker, lowering. *)
+
+open Repro_dex
+module B = Bytecode
+
+(* ------------------------------ Lexer ------------------------------- *)
+
+let toks src = List.map fst (Lexer.tokenize src)
+
+let test_lex_basic () =
+  Alcotest.(check int) "token count" 6
+    (List.length (toks "int x = 42 ;"));
+  match toks "x <= 10" with
+  | [ Lexer.IDENT "x"; Lexer.PUNCT "<="; Lexer.INT 10; Lexer.EOF ] -> ()
+  | _ -> Alcotest.fail "bad token stream"
+
+let test_lex_floats () =
+  (match toks "3.14 1e6 2.5e-3" with
+   | [ Lexer.FLOAT a; Lexer.FLOAT b; Lexer.FLOAT c; Lexer.EOF ] ->
+     Alcotest.(check (float 1e-12)) "pi" 3.14 a;
+     Alcotest.(check (float 1e-6)) "1e6" 1e6 b;
+     Alcotest.(check (float 1e-12)) "2.5e-3" 2.5e-3 c
+   | _ -> Alcotest.fail "bad float tokens")
+
+let test_lex_comments () =
+  Alcotest.(check int) "comments skipped" 2
+    (List.length (toks "// line\n/* block\n spanning */ x"))
+
+let test_lex_error () =
+  Alcotest.check_raises "bad char" (Lexer.Lex_error ("unexpected character '#'", 1))
+    (fun () -> ignore (Lexer.tokenize "#"))
+
+(* ------------------------------ Parser ------------------------------ *)
+
+let test_parse_precedence () =
+  (* 1 + 2 * 3 parses as 1 + (2 * 3) *)
+  match Parser.parse_expr "1 + 2 * 3" with
+  | Ast.Ebinop (Ast.Add, Ast.Eint 1, Ast.Ebinop (Ast.Mul, Ast.Eint 2, Ast.Eint 3)) -> ()
+  | _ -> Alcotest.fail "wrong precedence"
+
+let test_parse_logic_precedence () =
+  match Parser.parse_expr "a || b && c" with
+  | Ast.Ebinop (Ast.Lor, Ast.Evar "a", Ast.Ebinop (Ast.Land, _, _)) -> ()
+  | _ -> Alcotest.fail "|| should bind weaker than &&"
+
+let test_parse_postfix_chain () =
+  match Parser.parse_expr "a.b[3].c(x)" with
+  | Ast.Evirtual_call (Ast.Eindex (Ast.Efield (Ast.Evar "a", "b"), Ast.Eint 3),
+                       "c", [ Ast.Evar "x" ]) -> ()
+  | _ -> Alcotest.fail "postfix chain"
+
+let test_parse_cast_vs_paren () =
+  (match Parser.parse_expr "(int) 2.5" with
+   | Ast.Ecast (Ast.Tint, Ast.Efloat 2.5) -> ()
+   | _ -> Alcotest.fail "cast");
+  (match Parser.parse_expr "(x)" with
+   | Ast.Evar "x" -> ()
+   | _ -> Alcotest.fail "paren")
+
+let test_parse_class () =
+  let prog = Parser.parse_program
+      "class A extends B { int f; static float g = 1.5; int m(int x) { return x; } }"
+  in
+  match prog with
+  | [ { Ast.c_name = "A"; c_super = Some "B"; c_fields = [ f; g ];
+        c_methods = [ m ] } ] ->
+    Alcotest.(check string) "field" "f" f.Ast.f_name;
+    Alcotest.(check bool) "g static" true g.Ast.f_static;
+    Alcotest.(check string) "method" "m" m.Ast.m_name
+  | _ -> Alcotest.fail "class structure"
+
+let test_parse_error_reports_line () =
+  try
+    ignore (Parser.parse_program "class A {\n int m() { return }\n}");
+    Alcotest.fail "expected parse error"
+  with Parser.Parse_error (_, line) -> Alcotest.(check int) "line" 2 line
+
+(* --------------------------- Typechecker ---------------------------- *)
+
+let check_ok src = Typecheck.check (Parser.parse_program src)
+
+let check_fails src =
+  try
+    ignore (check_ok src);
+    Alcotest.fail "expected Type_error"
+  with Typecheck.Type_error _ -> ()
+
+let test_tc_simple () =
+  ignore
+    (check_ok
+       "class Main { static int main() { int x = 1; return x + 2; } }")
+
+let test_tc_int_to_float_coercion () =
+  let prog =
+    check_ok "class Main { static float main() { float f = 1; return f + 2; } }"
+  in
+  Alcotest.(check int) "one class" 1 (List.length prog)
+
+let test_tc_rejects_float_to_int () =
+  check_fails "class Main { static int main() { int x = 1.5; return x; } }"
+
+let test_tc_rejects_unknown_var () =
+  check_fails "class Main { static int main() { return y; } }"
+
+let test_tc_rejects_bad_call_arity () =
+  check_fails
+    "class Main { static int f(int x) { return x; } static int main() { return f(1, 2); } }"
+
+let test_tc_rejects_bitwise_on_float () =
+  check_fails "class Main { static int main() { return 1 & (int)(2.0 & 1.0); } }";
+  check_fails "class Main { static float main() { float f = 1.0; return f & f; } }"
+
+let test_tc_implicit_this_field () =
+  ignore
+    (check_ok
+       "class C { int v; int get() { return v; } }
+        class Main { static int main() { return new C().get(); } }")
+
+let test_tc_static_field_resolution () =
+  ignore
+    (check_ok
+       "class Cfg { static int limit = 10; }
+        class Main { static int main() { return Cfg.limit; } }")
+
+let test_tc_virtual_dispatch_sig () =
+  ignore
+    (check_ok
+       "class A { int f() { return 1; } }
+        class B extends A { int f() { return 2; } }
+        class Main { static int main() { A a = new B(); return a.f(); } }")
+
+let test_tc_override_must_match () =
+  check_fails
+    "class A { int f() { return 1; } }
+     class B extends A { float f() { return 2.0; } }
+     class Main { static int main() { return 0; } }"
+
+let test_tc_inheritance_cycle () =
+  check_fails
+    "class A extends B { } class B extends A { }
+     class Main { static int main() { return 0; } }"
+
+let test_tc_break_outside_loop () =
+  check_fails "class Main { static int main() { break; return 0; } }"
+
+let test_tc_this_in_static () =
+  check_fails "class Main { static int main() { return this.x; } int x; }"
+
+let test_tc_natives () =
+  ignore
+    (check_ok
+       "class Main { static float main() {
+          float a = Math.sqrt(2.0) + Math.pow(2.0, 3.0);
+          int b = Math.abs(0 - 3) + Math.min(1, 2) + Sys.rand(10) + Sys.clock();
+          Sys.print(b);
+          return a + Math.abs(0.0 - a);
+        } }")
+
+let test_tc_unknown_native () =
+  check_fails "class Main { static int main() { return Math.cbrt(8.0); } }"
+
+let test_tc_null_assignment () =
+  ignore
+    (check_ok
+       "class C {} class Main { static int main() { C c = null; int[] a = null; return 0; } }")
+
+let test_tc_subclass_assignment () =
+  ignore
+    (check_ok
+       "class A {} class B extends A {}
+        class Main { static int main() { A a = new B(); return 0; } }");
+  check_fails
+    "class A {} class B extends A {}
+     class Main { static int main() { B b = new A(); return 0; } }"
+
+(* ----------------------------- Lowering ----------------------------- *)
+
+let test_lower_main_exists () =
+  let dx = Lower.compile "class Main { static int main() { return 7; } }" in
+  let m = dx.B.dx_methods.(dx.B.dx_main) in
+  Alcotest.(check string) "main name" "main" m.B.cm_name
+
+let test_lower_requires_main () =
+  (try
+     ignore (Lower.compile "class A { static int f() { return 0; } }");
+     Alcotest.fail "expected Lower_error"
+   with Lower.Lower_error _ -> ())
+
+let test_lower_field_layout_inheritance () =
+  let dx =
+    Lower.compile
+      "class A { int a; int b; }
+       class B extends A { int c; }
+       class Main { static int main() { return 0; } }"
+  in
+  let b = Option.get (B.find_class dx "B") in
+  Alcotest.(check int) "3 fields" 3 b.B.ci_nfields;
+  Alcotest.(check (list (pair string int))) "layout"
+    [ ("a", 0); ("b", 1); ("c", 2) ] b.B.ci_field_offset
+
+let test_lower_vtable_override () =
+  let dx =
+    Lower.compile
+      "class A { int f() { return 1; } int g() { return 2; } }
+       class B extends A { int g() { return 3; } }
+       class Main { static int main() { return 0; } }"
+  in
+  let a = Option.get (B.find_class dx "A") in
+  let b = Option.get (B.find_class dx "B") in
+  Alcotest.(check int) "same nslots" (Array.length a.B.ci_vtable)
+    (Array.length b.B.ci_vtable);
+  let slot_g = Option.get (Lower.vtable_slot dx "A" "g") in
+  let mg_a = dx.B.dx_methods.(a.B.ci_vtable.(slot_g)) in
+  let mg_b = dx.B.dx_methods.(b.B.ci_vtable.(slot_g)) in
+  Alcotest.(check string) "A.g" "A" mg_a.B.cm_class_name;
+  Alcotest.(check string) "B.g override" "B" mg_b.B.cm_class_name
+
+let test_lower_branch_targets_valid () =
+  let dx =
+    Lower.compile
+      "class Main { static int main() {
+         int s = 0;
+         for (int i = 0; i < 10; i = i + 1) {
+           if (i % 2 == 0 && i > 2) { s = s + i; } else { s = s - 1; }
+         }
+         while (s > 100) { s = s - 100; }
+         return s;
+       } }"
+  in
+  Array.iter
+    (fun m ->
+       let n = Array.length m.B.cm_code in
+       Array.iter
+         (fun ins ->
+            let target =
+              match ins with
+              | B.If (_, _, _, t) | B.Ifz (_, _, t) | B.Goto t -> Some t
+              | _ -> None
+            in
+            match target with
+            | Some t ->
+              Alcotest.(check bool) "target in range" true (t >= 0 && t < n)
+            | None -> ())
+         m.B.cm_code)
+    dx.B.dx_methods
+
+let test_lower_try_ranges () =
+  let dx =
+    Lower.compile
+      "class Main { static int main() {
+         int x = 0;
+         try { x = 1; try { throw 5; } catch (int e) { x = e; } }
+         catch (int f) { x = f + 1; }
+         return x;
+       } }"
+  in
+  let m = dx.B.dx_methods.(dx.B.dx_main) in
+  Alcotest.(check int) "two handlers" 2 (Array.length m.B.cm_handlers);
+  Alcotest.(check bool) "has_try" true m.B.cm_has_try;
+  Array.iter
+    (fun (s, e, _, h) ->
+       Alcotest.(check bool) "range ordered" true (s <= e);
+       Alcotest.(check bool) "handler in code" true
+         (h >= 0 && h < Array.length m.B.cm_code))
+    m.B.cm_handlers
+
+let test_lower_static_inits () =
+  let dx =
+    Lower.compile
+      "class Cfg { static int a = 5; static float b = 2.5; static bool c = true; }
+       class Main { static int main() { return Cfg.a; } }"
+  in
+  Alcotest.(check int) "3 statics" 3 dx.B.dx_nstatics;
+  Alcotest.(check int) "3 inits" 3 (List.length dx.B.dx_static_inits)
+
+let test_disasm_runs () =
+  let dx =
+    Lower.compile
+      "class Main { static int main() {
+         int[] a = new int[4];
+         a[0] = 1;
+         return a[0] + a.length;
+       } }"
+  in
+  let text = Disasm.dexfile dx in
+  Alcotest.(check bool) "mentions new-array" true
+    (Astring.String.is_infix ~affix:"new-array" text)
+
+(* qcheck: the lexer never loses tokens on integer expressions it built *)
+let prop_lex_roundtrip_ints =
+  QCheck.Test.make ~name:"int literals survive lex" ~count:200
+    QCheck.(small_nat)
+    (fun n ->
+       match toks (string_of_int n) with
+       | [ Lexer.INT k; Lexer.EOF ] -> k = n
+       | _ -> false)
+
+let () =
+  Alcotest.run "dex"
+    [ ("lexer",
+       [ Alcotest.test_case "basic" `Quick test_lex_basic;
+         Alcotest.test_case "floats" `Quick test_lex_floats;
+         Alcotest.test_case "comments" `Quick test_lex_comments;
+         Alcotest.test_case "error" `Quick test_lex_error ]);
+      ("parser",
+       [ Alcotest.test_case "precedence" `Quick test_parse_precedence;
+         Alcotest.test_case "logic precedence" `Quick test_parse_logic_precedence;
+         Alcotest.test_case "postfix chain" `Quick test_parse_postfix_chain;
+         Alcotest.test_case "cast vs paren" `Quick test_parse_cast_vs_paren;
+         Alcotest.test_case "class" `Quick test_parse_class;
+         Alcotest.test_case "error line" `Quick test_parse_error_reports_line ]);
+      ("typecheck",
+       [ Alcotest.test_case "simple" `Quick test_tc_simple;
+         Alcotest.test_case "int->float coercion" `Quick test_tc_int_to_float_coercion;
+         Alcotest.test_case "rejects float->int" `Quick test_tc_rejects_float_to_int;
+         Alcotest.test_case "rejects unknown var" `Quick test_tc_rejects_unknown_var;
+         Alcotest.test_case "rejects bad arity" `Quick test_tc_rejects_bad_call_arity;
+         Alcotest.test_case "rejects bitwise float" `Quick test_tc_rejects_bitwise_on_float;
+         Alcotest.test_case "implicit this field" `Quick test_tc_implicit_this_field;
+         Alcotest.test_case "static field" `Quick test_tc_static_field_resolution;
+         Alcotest.test_case "virtual dispatch" `Quick test_tc_virtual_dispatch_sig;
+         Alcotest.test_case "override must match" `Quick test_tc_override_must_match;
+         Alcotest.test_case "inheritance cycle" `Quick test_tc_inheritance_cycle;
+         Alcotest.test_case "break outside loop" `Quick test_tc_break_outside_loop;
+         Alcotest.test_case "this in static" `Quick test_tc_this_in_static;
+         Alcotest.test_case "natives" `Quick test_tc_natives;
+         Alcotest.test_case "unknown native" `Quick test_tc_unknown_native;
+         Alcotest.test_case "null assignment" `Quick test_tc_null_assignment;
+         Alcotest.test_case "subclass assignment" `Quick test_tc_subclass_assignment ]);
+      ("lower",
+       [ Alcotest.test_case "main exists" `Quick test_lower_main_exists;
+         Alcotest.test_case "requires main" `Quick test_lower_requires_main;
+         Alcotest.test_case "field layout" `Quick test_lower_field_layout_inheritance;
+         Alcotest.test_case "vtable override" `Quick test_lower_vtable_override;
+         Alcotest.test_case "branch targets" `Quick test_lower_branch_targets_valid;
+         Alcotest.test_case "try ranges" `Quick test_lower_try_ranges;
+         Alcotest.test_case "static inits" `Quick test_lower_static_inits;
+         Alcotest.test_case "disasm" `Quick test_disasm_runs ]);
+      ("dex-properties",
+       List.map QCheck_alcotest.to_alcotest [ prop_lex_roundtrip_ints ]) ]

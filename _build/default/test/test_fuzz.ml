@@ -1,0 +1,260 @@
+(* Differential fuzzing: randomly generated MiniDex programs must behave
+   identically under the interpreter, the Android pipeline, and random
+   sequences of safe LLVM-style passes.  Programs are generated as ASTs
+   (always well typed, no division by zero, in-bounds indices via masking)
+   so every run exercises deep pipeline behaviour rather than parser
+   rejections. *)
+
+module Ast = Repro_dex.Ast
+module B = Repro_dex.Bytecode
+module Rng = Repro_util.Rng
+module Vm = Repro_vm
+open Ast
+
+(* ------------------------- program generator ------------------------ *)
+
+type genctx = {
+  rng : Rng.t;
+  mutable locals : string list;       (* int locals in scope *)
+  mutable arrays : string list;       (* int[] locals in scope *)
+  mutable fresh : int;
+  mutable depth : int;
+}
+
+let fresh_name g prefix =
+  g.fresh <- g.fresh + 1;
+  Printf.sprintf "%s%d" prefix g.fresh
+
+let rec gen_expr g d : expr =
+  if d <= 0 || Rng.chance g.rng 0.3 then gen_leaf g
+  else
+    match Rng.int g.rng 8 with
+    | 0 | 1 ->
+      Ebinop (Rng.pick g.rng [| Add; Sub; Mul |], gen_expr g (d - 1),
+              gen_expr g (d - 1))
+    | 2 ->
+      (* division with a guaranteed non-zero divisor *)
+      Ebinop (Rng.pick g.rng [| Div; Rem |], gen_expr g (d - 1),
+              Ebinop (Add, Ebinop (Band, gen_expr g (d - 1), Eint 7), Eint 1))
+    | 3 ->
+      Ebinop (Rng.pick g.rng [| Band; Bor; Bxor |], gen_expr g (d - 1),
+              gen_expr g (d - 1))
+    | 4 ->
+      Ebinop (Shr, gen_expr g (d - 1), Ebinop (Band, gen_expr g (d - 1), Eint 15))
+    | 5 when g.arrays <> [] ->
+      (* in-bounds read: a[((e % len) + len) % len] with len > 0 *)
+      let a = Rng.pick_list g.rng g.arrays in
+      let e = gen_expr g (d - 1) in
+      let len = Elen (Evar a) in
+      Eindex (Evar a,
+              Ebinop (Rem, Ebinop (Add, Ebinop (Rem, e, len), len), len))
+    | 6 -> Eunop (Neg, gen_expr g (d - 1))
+    | _ -> gen_leaf g
+
+and gen_leaf g =
+  if g.locals <> [] && Rng.chance g.rng 0.7 then
+    Evar (Rng.pick_list g.rng g.locals)
+  else Eint (Rng.int_in g.rng (-50) 50)
+
+let rec gen_stmt g : stmt =
+  match Rng.int g.rng 10 with
+  | 0 | 1 ->
+    let name = fresh_name g "v" in
+    let s = Sdecl (Tint, name, Some (gen_expr g 3)) in
+    g.locals <- name :: g.locals;
+    s
+  | 2 | 3 when g.locals <> [] ->
+    Sassign (Lvar (Rng.pick_list g.rng g.locals), gen_expr g 3)
+  | 4 | 5 ->
+    let cond =
+      Ebinop (Rng.pick g.rng [| Lt; Le; Gt; Ge; Eq; Ne |], gen_expr g 2,
+              gen_expr g 2)
+    in
+    g.depth <- g.depth + 1;
+    let scoped gen =
+      let saved_l = g.locals and saved_a = g.arrays in
+      let b = gen () in
+      g.locals <- saved_l;
+      g.arrays <- saved_a;
+      b
+    in
+    let result =
+      if g.depth > 3 then Sif (cond, scoped (fun () -> [ gen_stmt g ]), [])
+      else
+        Sif (cond, scoped (fun () -> gen_block g 2),
+             scoped (fun () -> gen_block g 2))
+    in
+    g.depth <- g.depth - 1;
+    result
+  | 6 when g.depth < 2 ->
+    (* bounded counted loop *)
+    let i = fresh_name g "i" in
+    let n = Rng.int_in g.rng 1 12 in
+    g.depth <- g.depth + 1;
+    let saved_l = g.locals and saved_a = g.arrays in
+    g.locals <- i :: g.locals;
+    let body = gen_block g 3 in
+    g.depth <- g.depth - 1;
+    g.locals <- saved_l;
+    g.arrays <- saved_a;
+    Sfor (Some (Sdecl (Tint, i, Some (Eint 0))),
+          Ebinop (Lt, Evar i, Eint n),
+          Some (Sassign (Lvar i, Ebinop (Add, Evar i, Eint 1))),
+          body)
+  | 7 when g.arrays <> [] && g.locals <> [] ->
+    (* in-bounds array write *)
+    let a = Rng.pick_list g.rng g.arrays in
+    let e = gen_expr g 2 in
+    let len = Elen (Evar a) in
+    Sassign
+      (Lindex (Evar a,
+               Ebinop (Rem, Ebinop (Add, Ebinop (Rem, e, len), len), len)),
+       gen_expr g 3)
+  | 8 ->
+    let name = fresh_name g "a" in
+    let s = Sdecl (Tarray Tint, name,
+                   Some (Enew_array (Tint, Eint (Rng.int_in g.rng 1 24)))) in
+    g.arrays <- name :: g.arrays;
+    s
+  | _ when g.locals <> [] ->
+    Sassign (Lvar (Rng.pick_list g.rng g.locals), gen_expr g 4)
+  | _ -> Sdecl (Tint, fresh_name g "w", Some (Eint 1))
+
+and gen_block g n = List.init n (fun _ -> gen_stmt g)
+
+let gen_program seed : Ast.program =
+  let g = { rng = Rng.create seed; locals = []; arrays = []; fresh = 0;
+            depth = 0 } in
+  let body = gen_block g (Rng.int_in g.rng 6 14) in
+  (* fold every live value into the result so computations stay observable *)
+  let acc_var = "acc" in
+  let sum =
+    List.fold_left
+      (fun e v -> Ebinop (Bxor, e, Evar v))
+      (Eint 0) g.locals
+  in
+  let array_sums =
+    List.map
+      (fun a ->
+         let i = "ri_" ^ a in
+         Sfor (Some (Sdecl (Tint, i, Some (Eint 0))),
+               Ebinop (Lt, Evar i, Elen (Evar a)),
+               Some (Sassign (Lvar i, Ebinop (Add, Evar i, Eint 1))),
+               [ Sassign (Lvar acc_var,
+                          Ebinop (Add, Evar acc_var,
+                                  Eindex (Evar a, Evar i))) ]))
+      g.arrays
+  in
+  let main =
+    { m_name = "main"; m_static = true; m_ret = Tint; m_params = [];
+      m_body =
+        body
+        @ [ Sdecl (Tint, acc_var, Some sum) ]
+        @ array_sums
+        @ [ Sreturn (Some (Evar acc_var)) ] }
+  in
+  [ { c_name = "Main"; c_super = None; c_fields = []; c_methods = [ main ] } ]
+
+let compile_ast prog = Repro_dex.Lower.lower (Repro_dex.Typecheck.check prog)
+
+(* ------------------------------ oracle ------------------------------ *)
+
+type result = Ret of Vm.Value.t option | Exc of int | Fuel
+
+let run_with dx install =
+  let ctx = Vm.Image.build ~seed:1 ~fuel:50_000_000 dx in
+  install ctx;
+  match Vm.Interp.run_main ctx with
+  | r -> Ret r
+  | exception Vm.Exec_ctx.App_exception c -> Exc c
+  | exception Vm.Exec_ctx.Timeout -> Fuel
+
+let result_eq a b =
+  match a, b with
+  | Ret (Some x), Ret (Some y) -> Vm.Value.equal x y
+  | Ret None, Ret None -> true
+  | Exc x, Exc y -> x = y
+  | Fuel, Fuel -> true
+  | _ -> false
+
+let show = function
+  | Ret (Some v) -> Vm.Value.to_string v
+  | Ret None -> "()"
+  | Exc c -> Printf.sprintf "exc %d" c
+  | Fuel -> "fuel"
+
+let all_mids dx = Array.to_list (Array.map (fun m -> m.B.cm_id) dx.B.dx_methods)
+
+let prop_android_matches_interp =
+  QCheck.Test.make ~name:"fuzz: android pipeline preserves semantics" ~count:60
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+       let dx = compile_ast (gen_program seed) in
+       let ri = run_with dx Vm.Interp.install in
+       let rb =
+         run_with dx (fun ctx ->
+             Repro_lir.Exec.install ctx
+               (Repro_lir.Compile.android_binary dx (all_mids dx)))
+       in
+       if result_eq ri rb then true
+       else
+         QCheck.Test.fail_reportf "seed %d: interp=%s android=%s" seed
+           (show ri) (show rb))
+
+let prop_o3_matches_interp =
+  QCheck.Test.make ~name:"fuzz: -O3 preserves semantics" ~count:60
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+       let dx = compile_ast (gen_program seed) in
+       let ri = run_with dx Vm.Interp.install in
+       let rb =
+         run_with dx (fun ctx ->
+             Repro_lir.Exec.install ctx
+               (Repro_lir.Compile.llvm_binary dx Repro_lir.Pipelines.o3
+                  (all_mids dx)))
+       in
+       if result_eq ri rb then true
+       else
+         QCheck.Test.fail_reportf "seed %d: interp=%s o3=%s" seed (show ri)
+           (show rb))
+
+let prop_random_safe_passes_match =
+  QCheck.Test.make ~name:"fuzz: random safe sequences preserve semantics"
+    ~count:60
+    QCheck.(pair (int_bound 1_000_000) (int_bound 1_000_000))
+    (fun (seed, pass_seed) ->
+       let dx = compile_ast (gen_program seed) in
+       let ri = run_with dx Vm.Interp.install in
+       let rng = Rng.create pass_seed in
+       let safe =
+         List.filter (fun p -> p.Repro_lir.Passes.safe) Repro_lir.Passes.catalog
+       in
+       let spec =
+         List.init (Rng.int_in rng 1 10) (fun _ ->
+             let pass = Rng.pick_list rng safe in
+             let params =
+               Array.of_list
+                 (List.map
+                    (fun pr ->
+                       Rng.int_in rng pr.Repro_lir.Passes.pmin
+                         pr.Repro_lir.Passes.pmax)
+                    pass.Repro_lir.Passes.params)
+             in
+             (pass.Repro_lir.Passes.name, params))
+       in
+       match Repro_lir.Compile.llvm_binary dx spec (all_mids dx) with
+       | exception Repro_lir.Compile.Compile_timeout -> true
+       | binary ->
+         let rb = run_with dx (fun ctx -> Repro_lir.Exec.install ctx binary) in
+         if result_eq ri rb then true
+         else
+           QCheck.Test.fail_reportf "seed %d passes=%s: interp=%s opt=%s" seed
+             (String.concat "," (List.map fst spec))
+             (show ri) (show rb))
+
+let () =
+  Alcotest.run "fuzz"
+    [ ("differential",
+       List.map QCheck_alcotest.to_alcotest
+         [ prop_android_matches_interp; prop_o3_matches_interp;
+           prop_random_safe_passes_match ]) ]

@@ -1,0 +1,215 @@
+(* Tests for the OS substrate: paged memory, protection, fork/CoW chains,
+   page install, mappings, storage. *)
+
+module Mem = Repro_os.Mem
+module Storage = Repro_os.Storage
+
+let fresh ?(npages = 8) () =
+  let mem = Mem.create () in
+  Mem.map mem ~base:0x1000_0000 ~npages ~kind:Mem.Rheap ~name:"heap";
+  mem
+
+let addr i = 0x1000_0000 + (i * 8)
+
+(* ------------------------------- basics ----------------------------- *)
+
+let test_zero_fill () =
+  let mem = fresh () in
+  Alcotest.(check int) "untouched reads zero" 0 (Mem.read_int mem (addr 5))
+
+let test_word_roundtrip () =
+  let mem = fresh () in
+  Mem.write_word mem (addr 0) 0x0123_4567_89AB_CDEFL;
+  Alcotest.(check bool) "word" true
+    (Mem.read_word mem (addr 0) = 0x0123_4567_89AB_CDEFL);
+  Mem.write_float mem (addr 1) 2.718281828;
+  Alcotest.(check (float 1e-12)) "float" 2.718281828 (Mem.read_float mem (addr 1));
+  Mem.write_int mem (addr 2) (-42);
+  Alcotest.(check int) "negative int" (-42) (Mem.read_int mem (addr 2))
+
+let test_mapping_rules () =
+  let mem = fresh () in
+  (try
+     Mem.map mem ~base:0x1000_0000 ~npages:1 ~kind:Mem.Rcode ~name:"overlap";
+     Alcotest.fail "expected overlap rejection"
+   with Invalid_argument _ -> ());
+  (try
+     Mem.map mem ~base:0x2000_0001 ~npages:1 ~kind:Mem.Rcode ~name:"unaligned";
+     Alcotest.fail "expected alignment rejection"
+   with Invalid_argument _ -> ());
+  Mem.map mem ~base:0x2000_0000 ~npages:2 ~kind:Mem.Rcode ~name:"lib.so";
+  Alcotest.(check int) "two mappings" 2 (List.length (Mem.mappings mem));
+  Alcotest.(check bool) "ascending" true
+    (match Mem.mappings mem with
+     | [ a; b ] -> a.Mem.map_base < b.Mem.map_base
+     | _ -> false)
+
+let test_kind_of_page () =
+  let mem = fresh () in
+  Alcotest.(check bool) "heap kind" true
+    (Mem.kind_of_page mem (0x1000_0000 / Mem.page_size) = Some Mem.Rheap);
+  Alcotest.(check bool) "unmapped" true
+    (Mem.kind_of_page mem 0 = None)
+
+(* ----------------------------- protection --------------------------- *)
+
+let test_protection_lifecycle () =
+  let mem = fresh () in
+  Mem.write_int mem (addr 0) 7;
+  let page = 0x1000_0000 / Mem.page_size in
+  Mem.protect mem ~page;
+  Alcotest.(check bool) "protected" true (Mem.protected mem ~page);
+  (* access clears protection even with no handler *)
+  Alcotest.(check int) "read proceeds" 7 (Mem.read_int mem (addr 0));
+  Alcotest.(check bool) "unprotected after fault" false (Mem.protected mem ~page)
+
+let test_write_faults_too () =
+  let mem = fresh () in
+  Mem.write_int mem (addr 0) 1;
+  let page = 0x1000_0000 / Mem.page_size in
+  let faults = ref 0 in
+  Mem.set_fault_handler mem (Some (fun _ -> incr faults));
+  Mem.protect mem ~page;
+  Mem.write_int mem (addr 1) 2;
+  Alcotest.(check int) "write faulted" 1 !faults;
+  Mem.write_int mem (addr 2) 3;
+  Alcotest.(check int) "second write silent" 1 !faults
+
+let test_protect_untouched_noop () =
+  let mem = fresh () in
+  Mem.protect mem ~page:(0x1000_0000 / Mem.page_size);
+  Alcotest.(check bool) "not materialized, not protected" false
+    (Mem.protected mem ~page:(0x1000_0000 / Mem.page_size))
+
+(* ------------------------------ fork/CoW ---------------------------- *)
+
+let test_fork_shares_until_write () =
+  let mem = fresh () in
+  Mem.write_int mem (addr 0) 10;
+  let child = Mem.fork mem in
+  Alcotest.(check int) "child reads parent data" 10 (Mem.read_int child (addr 0));
+  Alcotest.(check int) "no CoW yet" 0 (Mem.stats mem).Mem.n_cow;
+  Mem.write_int mem (addr 0) 20;
+  Alcotest.(check int) "one CoW" 1 (Mem.stats mem).Mem.n_cow;
+  Alcotest.(check int) "child keeps original" 10 (Mem.read_int child (addr 0));
+  Mem.write_int mem (addr 0) 30;
+  Alcotest.(check int) "second write no CoW" 1 (Mem.stats mem).Mem.n_cow
+
+let test_child_write_cow () =
+  let mem = fresh () in
+  Mem.write_int mem (addr 0) 10;
+  let child = Mem.fork mem in
+  Mem.write_int child (addr 0) 99;
+  Alcotest.(check int) "parent unaffected" 10 (Mem.read_int mem (addr 0));
+  Alcotest.(check int) "child sees its write" 99 (Mem.read_int child (addr 0))
+
+let test_fork_chain () =
+  let mem = fresh () in
+  Mem.write_int mem (addr 0) 1;
+  let c1 = Mem.fork mem in
+  let c2 = Mem.fork mem in
+  Mem.write_int mem (addr 0) 2;
+  Alcotest.(check int) "c1 original" 1 (Mem.read_int c1 (addr 0));
+  Alcotest.(check int) "c2 original" 1 (Mem.read_int c2 (addr 0));
+  Mem.write_int c1 (addr 0) 3;
+  Alcotest.(check int) "c2 still original" 1 (Mem.read_int c2 (addr 0))
+
+let test_fork_after_protection () =
+  (* the capture ordering: fork first, then protect the parent; child
+     accesses must not fault *)
+  let mem = fresh () in
+  Mem.write_int mem (addr 0) 5;
+  let child = Mem.fork mem in
+  let page = 0x1000_0000 / Mem.page_size in
+  Mem.protect mem ~page;
+  Alcotest.(check bool) "child unprotected" false (Mem.protected child ~page);
+  Alcotest.(check int) "child reads freely" 5 (Mem.read_int child (addr 0))
+
+(* ---------------------------- install_page -------------------------- *)
+
+let test_install_page () =
+  let mem = fresh () in
+  let data = Array.make Mem.words_per_page 0L in
+  data.(3) <- 77L;
+  Mem.install_page mem ~page:(0x1000_0000 / Mem.page_size) data;
+  Alcotest.(check int) "installed word" 77 (Mem.read_int mem (addr 3));
+  data.(3) <- 0L;
+  Alcotest.(check int) "copied, not aliased" 77 (Mem.read_int mem (addr 3));
+  (try
+     Mem.install_page mem ~page:0 data;
+     Alcotest.fail "expected unmapped rejection"
+   with Invalid_argument _ -> ());
+  (try
+     Mem.install_page mem ~page:(0x1000_0000 / Mem.page_size) [| 1L |];
+     Alcotest.fail "expected size rejection"
+   with Invalid_argument _ -> ())
+
+let test_page_data_and_touched () =
+  let mem = fresh () in
+  Mem.write_int mem (addr 0) 1;
+  Mem.write_int mem (0x1000_0000 + Mem.page_size) 2;
+  let touched = Mem.touched_pages mem ~kind:Mem.Rheap in
+  Alcotest.(check int) "two pages" 2 (List.length touched);
+  Alcotest.(check bool) "page data present" true
+    (Mem.page_data mem ~page:(List.hd touched) <> None);
+  Alcotest.(check int) "word count" (2 * Mem.words_per_page) (Mem.word_count mem)
+
+(* ------------------------------ storage ----------------------------- *)
+
+let test_storage_replace_and_labels () =
+  let s = Storage.create () in
+  Storage.write s ~label:"a" ~bytes:100;
+  Storage.write s ~label:"b" ~bytes:50;
+  Storage.write s ~label:"a" ~bytes:70;
+  Alcotest.(check int) "replace" 120 (Storage.total_bytes s);
+  Alcotest.(check (list string)) "labels" [ "a"; "b" ] (Storage.labels s);
+  Storage.delete s ~label:"a";
+  Alcotest.(check (option int)) "gone" None (Storage.size s ~label:"a")
+
+(* ------------------------------ qcheck ------------------------------ *)
+
+let prop_read_after_write =
+  QCheck.Test.make ~name:"read-after-write across random offsets" ~count:300
+    QCheck.(pair (int_bound (8 * Repro_os.Mem.words_per_page - 1)) int)
+    (fun (word, value) ->
+       let mem = fresh () in
+       Mem.write_int mem (addr word) value;
+       Mem.read_int mem (addr word) = value)
+
+let prop_fork_isolation =
+  QCheck.Test.make ~name:"fork isolation under random writes" ~count:100
+    QCheck.(list_of_size Gen.(int_range 1 30)
+              (pair (int_bound 100) (int_bound 1000)))
+    (fun writes ->
+       let mem = fresh () in
+       List.iter (fun (w, v) -> Mem.write_int mem (addr w) v) writes;
+       let snapshot = List.map (fun (w, _) -> (w, Mem.read_int mem (addr w))) writes in
+       let child = Mem.fork mem in
+       (* parent mutates everything *)
+       List.iter (fun (w, v) -> Mem.write_int mem (addr w) (v + 1)) writes;
+       List.for_all (fun (w, v) -> Mem.read_int child (addr w) = v) snapshot)
+
+let () =
+  Alcotest.run "os"
+    [ ("mem",
+       [ Alcotest.test_case "zero fill" `Quick test_zero_fill;
+         Alcotest.test_case "word roundtrip" `Quick test_word_roundtrip;
+         Alcotest.test_case "mapping rules" `Quick test_mapping_rules;
+         Alcotest.test_case "kind of page" `Quick test_kind_of_page ]);
+      ("protection",
+       [ Alcotest.test_case "lifecycle" `Quick test_protection_lifecycle;
+         Alcotest.test_case "write faults" `Quick test_write_faults_too;
+         Alcotest.test_case "untouched noop" `Quick test_protect_untouched_noop ]);
+      ("fork",
+       [ Alcotest.test_case "shares until write" `Quick test_fork_shares_until_write;
+         Alcotest.test_case "child write CoW" `Quick test_child_write_cow;
+         Alcotest.test_case "fork chain" `Quick test_fork_chain;
+         Alcotest.test_case "fork then protect" `Quick test_fork_after_protection ]);
+      ("pages",
+       [ Alcotest.test_case "install page" `Quick test_install_page;
+         Alcotest.test_case "page data" `Quick test_page_data_and_touched ]);
+      ("storage",
+       [ Alcotest.test_case "replace/labels" `Quick test_storage_replace_and_labels ]);
+      ("os-properties",
+       List.map QCheck_alcotest.to_alcotest
+         [ prop_read_after_write; prop_fork_isolation ]) ]

@@ -1,0 +1,177 @@
+(* Tests for the sampling profiler, Algorithm 1 and the code breakdown. *)
+
+module App = Repro_apps.Registry
+module B = Repro_dex.Bytecode
+module Vm = Repro_vm
+module Profile = Repro_profiler.Profile
+module Regions = Repro_profiler.Regions
+module Breakdown = Repro_profiler.Breakdown
+
+let compile = Repro_dex.Lower.compile
+
+let src_with_io_and_pure = {|
+class Pure {
+  static int spin(int n) {
+    int s = 0;
+    for (int i = 0; i < n; i = i + 1) { s = s + i * i % 7; }
+    return s;
+  }
+}
+class Noisy {
+  static int loud(int n) {
+    int s = 0;
+    for (int i = 0; i < n; i = i + 1) { s = s + Sys.rand(3); }
+    return s;
+  }
+}
+class Thrower {
+  static int maybe(int n) {
+    if (n < 0) { throw 5; }
+    return n;
+  }
+}
+class Catcher {
+  static int guard(int n) {
+    try { return Thrower.maybe(n); } catch (int e) { return e; }
+  }
+}
+class Main {
+  static int main() {
+    int s = Pure.spin(20000) + Noisy.loud(10) + Catcher.guard(3);
+    Sys.print(s);
+    return s;
+  }
+}
+|}
+
+let test_replayability_rules () =
+  let dx = compile src_with_io_and_pure in
+  let mid cls name = (Option.get (B.find_method dx cls name)).B.cm_id in
+  Alcotest.(check bool) "pure is replayable" true
+    (Regions.replayable dx (mid "Pure" "spin"));
+  Alcotest.(check bool) "rand is not" false
+    (Regions.replayable dx (mid "Noisy" "loud"));
+  Alcotest.(check bool) "throw is not" false
+    (Regions.replayable dx (mid "Thrower" "maybe"));
+  Alcotest.(check bool) "try/catch is not" false
+    (Regions.replayable dx (mid "Catcher" "guard"));
+  Alcotest.(check bool) "main (print) is not" false
+    (Regions.replayable dx dx.B.dx_main)
+
+let test_region_replayable_is_transitive () =
+  let dx = compile {|
+class Inner { static int bad(int n) { return Sys.rand(n); } }
+class Outer {
+  static int calls_bad(int n) { return Inner.bad(n) + 1; }
+  static int fine(int n) { return n * 2; }
+}
+class Main { static int main() { Sys.print(1); return Outer.calls_bad(3) + Outer.fine(4); } }
+|} in
+  let mid cls name = (Option.get (B.find_method dx cls name)).B.cm_id in
+  Alcotest.(check bool) "callee taints region" false
+    (Regions.region_replayable dx (mid "Outer" "calls_bad"));
+  Alcotest.(check bool) "clean region ok" true
+    (Regions.region_replayable dx (mid "Outer" "fine"))
+
+let test_compilable_region_cuts_at_uncompilable () =
+  let dx = compile {|
+class Heavy {
+  static int helper(int n) { try { return n; } catch (int e) { return e; } }
+  static int work(int n) {
+    int s = 0;
+    for (int i = 0; i < n; i = i + 1) { s = s + i; }
+    return s;
+  }
+  static int top(int n) { return work(n) + helper(n); }
+}
+class Main { static int main() { return Heavy.top(100); } }
+|} in
+  let mid cls name = (Option.get (B.find_method dx cls name)).B.cm_id in
+  let region = Regions.compilable_region dx (mid "Heavy" "top") in
+  Alcotest.(check bool) "work included" true
+    (List.mem (mid "Heavy" "work") region);
+  Alcotest.(check bool) "try/catch helper excluded" false
+    (List.mem (mid "Heavy" "helper") region)
+
+let test_algorithm1_picks_biggest_region () =
+  let dx = compile {|
+class A {
+  static int small(int n) {
+    int s = 0;
+    for (int i = 0; i < n; i = i + 1) { s = s + 1; }
+    return s;
+  }
+  static int big(int n) {
+    int s = 0;
+    for (int i = 0; i < n; i = i + 1) { s = s + small(50); }
+    return s;
+  }
+}
+class Main { static int main() { Sys.print(1); return A.big(500); } }
+|} in
+  let ctx = Vm.Image.build dx in
+  ctx.Vm.Exec_ctx.sample_period <- 5_000;
+  ctx.Vm.Exec_ctx.next_sample <- 5_000;
+  Vm.Interp.install ctx;
+  ignore (Vm.Interp.run_main ctx);
+  let profile = Profile.of_ctx ctx in
+  match Regions.hot_region dx profile with
+  | Some mid ->
+    Alcotest.(check string) "big wins" "big" dx.B.dx_methods.(mid).B.cm_name
+  | None -> Alcotest.fail "no hot region"
+
+let test_breakdown_sums_to_one () =
+  let app = Option.get (App.find "DroidFish") in
+  let online = Repro_core.Pipeline.online_run ~seed:3 app in
+  let region =
+    match Repro_core.Pipeline.hot_region_of app online with
+    | Some hot -> Repro_core.Pipeline.region_methods app hot
+    | None -> []
+  in
+  let fractions =
+    Breakdown.of_profile (App.dexfile app) ~region online.Repro_core.Pipeline.profile
+  in
+  let total = List.fold_left (fun acc (_, f) -> acc +. f) 0.0 fractions in
+  Alcotest.(check (float 1e-6)) "fractions sum to 1" 1.0 total;
+  Alcotest.(check int) "all five categories" 5 (List.length fractions)
+
+let test_droidfish_is_jni_heavy () =
+  (* the modelled native engine must dominate, as in the paper *)
+  let app = Option.get (App.find "DroidFish") in
+  let online = Repro_core.Pipeline.online_run ~seed:3 app in
+  let region =
+    match Repro_core.Pipeline.hot_region_of app online with
+    | Some hot -> Repro_core.Pipeline.region_methods app hot
+    | None -> []
+  in
+  let fractions =
+    Breakdown.of_profile (App.dexfile app) ~region online.Repro_core.Pipeline.profile
+  in
+  let jni = List.assoc Breakdown.Jni fractions in
+  Alcotest.(check bool) "JNI > 25%" true (jni > 0.25)
+
+let test_profile_exclusive_counts () =
+  let dx = compile src_with_io_and_pure in
+  let ctx = Vm.Image.build dx in
+  ctx.Vm.Exec_ctx.sample_period <- 2_000;
+  ctx.Vm.Exec_ctx.next_sample <- 2_000;
+  Vm.Interp.install ctx;
+  ignore (Vm.Interp.run_main ctx);
+  let profile = Profile.of_ctx ctx in
+  let spin = (Option.get (B.find_method dx "Pure" "spin")).B.cm_id in
+  Alcotest.(check bool) "spin dominates" true
+    (Profile.exclusive profile spin * 2 > profile.Profile.total)
+
+let () =
+  Alcotest.run "profiler"
+    [ ("replayability",
+       [ Alcotest.test_case "rules" `Quick test_replayability_rules;
+         Alcotest.test_case "transitive" `Quick test_region_replayable_is_transitive;
+         Alcotest.test_case "compilable region" `Quick
+           test_compilable_region_cuts_at_uncompilable ]);
+      ("algorithm1",
+       [ Alcotest.test_case "biggest region" `Quick test_algorithm1_picks_biggest_region;
+         Alcotest.test_case "exclusive counts" `Quick test_profile_exclusive_counts ]);
+      ("breakdown",
+       [ Alcotest.test_case "sums to one" `Quick test_breakdown_sums_to_one;
+         Alcotest.test_case "droidfish jni-heavy" `Quick test_droidfish_is_jni_heavy ]) ]

@@ -1,0 +1,182 @@
+(* Tests for the statistics and RNG utilities (lib/util). *)
+
+module Rng = Repro_util.Rng
+module Stats = Repro_util.Stats
+
+let check_float = Alcotest.(check (float 1e-9))
+let check_float_loose = Alcotest.(check (float 1e-2))
+
+(* ------------------------------- Rng -------------------------------- *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Rng.int a 1000) (Rng.int b 1000)
+  done
+
+let test_rng_bounds () =
+  let rng = Rng.create 7 in
+  for _ = 1 to 1000 do
+    let v = Rng.int rng 17 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 17)
+  done
+
+let test_rng_int_in () =
+  let rng = Rng.create 3 in
+  for _ = 1 to 1000 do
+    let v = Rng.int_in rng (-5) 5 in
+    Alcotest.(check bool) "in [-5,5]" true (v >= -5 && v <= 5)
+  done
+
+let test_rng_split_independent () =
+  let a = Rng.create 1 in
+  let b = Rng.split a in
+  let xs = Array.init 16 (fun _ -> Rng.int a 1000000) in
+  let ys = Array.init 16 (fun _ -> Rng.int b 1000000) in
+  Alcotest.(check bool) "streams differ" true (xs <> ys)
+
+let test_rng_copy () =
+  let a = Rng.create 9 in
+  ignore (Rng.int a 10);
+  let b = Rng.copy a in
+  Alcotest.(check int) "copy replays" (Rng.int a 1000) (Rng.int b 1000)
+
+let test_rng_float_range () =
+  let rng = Rng.create 5 in
+  for _ = 1 to 1000 do
+    let v = Rng.float rng 2.5 in
+    Alcotest.(check bool) "in [0,2.5)" true (v >= 0.0 && v < 2.5)
+  done
+
+let test_rng_gaussian_moments () =
+  let rng = Rng.create 11 in
+  let xs = Array.init 20000 (fun _ -> Rng.gaussian rng ~mean:3.0 ~stddev:2.0) in
+  check_float_loose "mean" 3.0 (Stats.mean xs);
+  Alcotest.(check bool) "stddev close" true
+    (abs_float (Stats.stddev xs -. 2.0) < 0.1)
+
+let test_rng_chance_extremes () =
+  let rng = Rng.create 13 in
+  Alcotest.(check bool) "p=1 always true" true (Rng.chance rng 1.0);
+  Alcotest.(check bool) "p=0 always false" false (Rng.chance rng 0.0)
+
+let test_rng_shuffle_permutation () =
+  let rng = Rng.create 17 in
+  let a = Array.init 50 Fun.id in
+  Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 50 Fun.id) sorted
+
+(* ------------------------------ Stats ------------------------------- *)
+
+let test_mean_median () =
+  check_float "mean" 2.5 (Stats.mean [| 1.0; 2.0; 3.0; 4.0 |]);
+  check_float "median even" 2.5 (Stats.median [| 1.0; 2.0; 3.0; 4.0 |]);
+  check_float "median odd" 3.0 (Stats.median [| 5.0; 3.0; 1.0 |])
+
+let test_variance () =
+  check_float "variance" 2.5 (Stats.variance [| 1.0; 2.0; 3.0; 4.0; 5.0 |]);
+  check_float "variance single" 0.0 (Stats.variance [| 42.0 |])
+
+let test_mad () =
+  check_float "mad" 1.0 (Stats.mad [| 1.0; 2.0; 3.0; 4.0; 5.0 |])
+
+let test_outlier_removal () =
+  let xs = [| 10.0; 10.1; 9.9; 10.05; 9.95; 50.0 |] in
+  let kept = Stats.remove_outliers_mad xs in
+  Alcotest.(check int) "outlier dropped" 5 (Array.length kept);
+  Alcotest.(check bool) "50 removed" false (Array.exists (fun x -> x = 50.0) kept)
+
+let test_outlier_removal_uniform () =
+  (* When MAD = 0 (all equal) the input must come back unchanged. *)
+  let xs = [| 3.0; 3.0; 3.0 |] in
+  Alcotest.(check int) "unchanged" 3 (Array.length (Stats.remove_outliers_mad xs))
+
+let test_t_test_distinguishes () =
+  let rng = Rng.create 23 in
+  let a = Array.init 30 (fun _ -> Rng.gaussian rng ~mean:10.0 ~stddev:0.5) in
+  let b = Array.init 30 (fun _ -> Rng.gaussian rng ~mean:12.0 ~stddev:0.5) in
+  Alcotest.(check bool) "a < b significant" true (Stats.significantly_less a b);
+  Alcotest.(check bool) "b < a not significant" false (Stats.significantly_less b a)
+
+let test_t_test_same_mean () =
+  let rng = Rng.create 29 in
+  let a = Array.init 30 (fun _ -> Rng.gaussian rng ~mean:10.0 ~stddev:2.0) in
+  let b = Array.init 30 (fun _ -> Rng.gaussian rng ~mean:10.0 ~stddev:2.0) in
+  let p = Stats.welch_t_test a b in
+  Alcotest.(check bool) "p not tiny" true (p > 0.001)
+
+let test_percentile () =
+  let xs = [| 1.0; 2.0; 3.0; 4.0; 5.0 |] in
+  check_float "p0" 1.0 (Stats.percentile xs 0.0);
+  check_float "p50" 3.0 (Stats.percentile xs 50.0);
+  check_float "p100" 5.0 (Stats.percentile xs 100.0);
+  check_float "p25" 2.0 (Stats.percentile xs 25.0)
+
+let test_bootstrap_ci_covers () =
+  let rng = Rng.create 31 in
+  let xs = Array.init 200 (fun _ -> Rng.gaussian rng ~mean:5.0 ~stddev:1.0) in
+  let ci = Stats.bootstrap_ci rng ~confidence:0.95 Stats.mean xs in
+  Alcotest.(check bool) "CI around 5" true (ci.Stats.lo < 5.0 && ci.Stats.hi > 5.0);
+  Alcotest.(check bool) "CI narrow" true (ci.Stats.hi -. ci.Stats.lo < 0.5)
+
+let test_geomean () =
+  check_float "geomean" 2.0 (Stats.geomean [| 1.0; 2.0; 4.0 |])
+
+(* --------------------------- qcheck props --------------------------- *)
+
+let prop_median_bounds =
+  QCheck.Test.make ~name:"median within min..max" ~count:200
+    QCheck.(array_of_size Gen.(int_range 1 40) (float_range (-1e6) 1e6))
+    (fun xs ->
+       let m = Stats.median xs in
+       let lo = Array.fold_left min xs.(0) xs in
+       let hi = Array.fold_left max xs.(0) xs in
+       m >= lo && m <= hi)
+
+let prop_outlier_subset =
+  QCheck.Test.make ~name:"outlier removal returns a subset" ~count:200
+    QCheck.(array_of_size Gen.(int_range 1 40) (float_range (-1e3) 1e3))
+    (fun xs ->
+       let kept = Stats.remove_outliers_mad xs in
+       Array.length kept >= 1
+       && Array.for_all (fun k -> Array.exists (fun x -> x = k) xs) kept)
+
+let prop_percentile_monotone =
+  QCheck.Test.make ~name:"percentile monotone in p" ~count:200
+    QCheck.(pair
+              (array_of_size Gen.(int_range 1 40) (float_range (-1e3) 1e3))
+              (pair (float_range 0.0 100.0) (float_range 0.0 100.0)))
+    (fun (xs, (p1, p2)) ->
+       let lo = min p1 p2 and hi = max p1 p2 in
+       Stats.percentile xs lo <= Stats.percentile xs hi)
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_median_bounds; prop_outlier_subset; prop_percentile_monotone ]
+
+let () =
+  Alcotest.run "util"
+    [ ("rng",
+       [ Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+         Alcotest.test_case "bounds" `Quick test_rng_bounds;
+         Alcotest.test_case "int_in" `Quick test_rng_int_in;
+         Alcotest.test_case "split independent" `Quick test_rng_split_independent;
+         Alcotest.test_case "copy" `Quick test_rng_copy;
+         Alcotest.test_case "float range" `Quick test_rng_float_range;
+         Alcotest.test_case "gaussian moments" `Quick test_rng_gaussian_moments;
+         Alcotest.test_case "chance extremes" `Quick test_rng_chance_extremes;
+         Alcotest.test_case "shuffle permutation" `Quick test_rng_shuffle_permutation ]);
+      ("stats",
+       [ Alcotest.test_case "mean/median" `Quick test_mean_median;
+         Alcotest.test_case "variance" `Quick test_variance;
+         Alcotest.test_case "mad" `Quick test_mad;
+         Alcotest.test_case "outlier removal" `Quick test_outlier_removal;
+         Alcotest.test_case "outlier removal uniform" `Quick test_outlier_removal_uniform;
+         Alcotest.test_case "t-test distinguishes" `Quick test_t_test_distinguishes;
+         Alcotest.test_case "t-test same mean" `Quick test_t_test_same_mean;
+         Alcotest.test_case "percentile" `Quick test_percentile;
+         Alcotest.test_case "bootstrap ci" `Quick test_bootstrap_ci_covers;
+         Alcotest.test_case "geomean" `Quick test_geomean ]);
+      ("stats-properties", qcheck_cases) ]
