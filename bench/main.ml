@@ -6,6 +6,8 @@
      bench/main.exe                 run every experiment (quick GA config)
      bench/main.exe table1 fig10    run selected experiments
      bench/main.exe --full ...      paper-scale GA (11 generations x 50)
+     bench/main.exe fig9 -j 4       evaluate GA generations on 4 domains
+     bench/main.exe --no-cache ...  disable genome/binary memoization
      bench/main.exe fig10 --eager   CERE-style capture ablation
      bench/main.exe bechamel        micro-benchmarks via bechamel *)
 
@@ -23,7 +25,7 @@ let quick_apps_note cfg =
       "(quick GA config: 6 generations x 14 genomes; pass --full for the \
        paper's 11 x 50)"
 
-let run_all ~cfg ~eager names =
+let run_all ~cfg ~eager ~jobs ~cache names =
   let sep title =
     Printf.printf "\n============ %s ============\n%!" title
   in
@@ -34,11 +36,11 @@ let run_all ~cfg ~eager names =
   end;
   if want "fig1" then begin
     sep "Figure 1";
-    E.print_fig1 (E.fig1 ())
+    E.print_fig1 (E.fig1 ~jobs ~cache ())
   end;
   if want "fig2" then begin
     sep "Figure 2";
-    E.print_fig2 (E.fig2 ())
+    E.print_fig2 (E.fig2 ~jobs ~cache ())
   end;
   if want "fig3" then begin
     sep "Figure 3";
@@ -47,7 +49,7 @@ let run_all ~cfg ~eager names =
   if want "fig7" then begin
     sep "Figure 7";
     quick_apps_note cfg;
-    E.print_fig7 (E.fig7 ~cfg ())
+    E.print_fig7 (E.fig7 ~cfg ~jobs ~cache ())
   end;
   if want "fig8" then begin
     sep "Figure 8";
@@ -56,7 +58,7 @@ let run_all ~cfg ~eager names =
   if want "fig9" then begin
     sep "Figure 9";
     quick_apps_note cfg;
-    E.print_fig9 (E.fig9 ~cfg ())
+    E.print_fig9 (E.fig9 ~cfg ~jobs ~cache ())
   end;
   if want "fig10" then begin
     sep (if eager then "Figure 10 (eager/CERE ablation)" else "Figure 10");
@@ -157,16 +159,44 @@ let bechamel_suite () =
     (List.sort compare rows)
 
 let () =
-  let args = Array.to_list Sys.argv |> List.tl in
-  let full = List.mem "--full" args in
-  let eager = List.mem "--eager" args in
-  let names =
-    List.filter (fun a -> not (String.length a > 1 && a.[0] = '-')) args
+  let full = ref false in
+  let eager = ref false in
+  let jobs = ref 1 in
+  let no_cache = ref false in
+  let names_rev = ref [] in
+  let usage () =
+    prerr_endline
+      "usage: bench/main.exe [EXPERIMENT...] [--full] [--eager] [-j N] \
+       [--no-cache]";
+    exit 2
   in
-  let cfg = if full then Ga.default_config else Ga.quick_config in
+  let rec parse = function
+    | [] -> ()
+    | "--full" :: rest -> full := true; parse rest
+    | "--eager" :: rest -> eager := true; parse rest
+    | "--no-cache" :: rest -> no_cache := true; parse rest
+    | ("-j" | "--jobs") :: n :: rest ->
+      (match int_of_string_opt n with
+       | Some v when v >= 1 -> jobs := v; parse rest
+       | Some _ | None ->
+         prerr_endline "bench: -j expects a positive integer";
+         usage ())
+    | [ "-j" ] | [ "--jobs" ] ->
+      prerr_endline "bench: -j expects a positive integer";
+      usage ()
+    | a :: _ when String.length a > 1 && a.[0] = '-' ->
+      Printf.eprintf "bench: unknown option %s\n" a;
+      usage ()
+    | a :: rest -> names_rev := a :: !names_rev; parse rest
+  in
+  parse (Array.to_list Sys.argv |> List.tl);
+  let names = List.rev !names_rev in
+  let cfg = if !full then Ga.default_config else Ga.quick_config in
   if names = [ "bechamel" ] then bechamel_suite ()
   else begin
-    run_all ~cfg ~eager names;
+    run_all ~cfg ~eager:!eager ~jobs:!jobs ~cache:(not !no_cache) names;
     print_newline ();
+    Repro_search.Evalpool.print_stats ~label:"evaluation pools"
+      (Repro_search.Evalpool.cumulative_stats ());
     print_endline "done.  See EXPERIMENTS.md for paper-vs-measured notes."
   end

@@ -30,6 +30,31 @@ let full_arg =
        & info [ "full" ]
          ~doc:"Use the paper-scale GA (11 generations x 50 genomes).")
 
+let jobs_arg =
+  let pos_int =
+    let parse s =
+      match int_of_string_opt s with
+      | Some n when n >= 1 -> Ok n
+      | Some _ | None ->
+        Error (`Msg "expected a positive number of worker domains")
+    in
+    Arg.conv (parse, Format.pp_print_int)
+  in
+  Arg.(value & opt pos_int 1
+       & info [ "j"; "jobs" ] ~docv:"N"
+         ~doc:"Evaluate each GA generation on $(docv) worker domains. \
+               Results are independent of $(docv).")
+
+let no_cache_arg =
+  Arg.(value & flag
+       & info [ "no-cache" ]
+         ~doc:"Disable memoization of repeated genomes and identical \
+               binaries (results do not change, only time).")
+
+(* Cache/worker report for commands that run evaluation pools. *)
+let print_pool_report () =
+  Repro_search.Evalpool.print_stats (Repro_search.Evalpool.cumulative_stats ())
+
 (* ------------------------------ list ------------------------------- *)
 
 let list_cmd =
@@ -177,12 +202,15 @@ let capture_cmd =
 (* ----------------------------- optimize ---------------------------- *)
 
 let optimize_cmd =
-  let run app seed full =
+  let run app seed full jobs no_cache =
     let cfg = if full then Ga.default_config else Ga.quick_config in
     match Pipeline.capture_once ~seed app with
     | None -> print_endline "no replayable hot region: nothing to optimize"
     | Some cap ->
-      let opt = Pipeline.optimize ~seed:(seed + 13) ~cfg app cap in
+      let opt =
+        Pipeline.optimize ~seed:(seed + 13) ~cfg ~jobs ~cache:(not no_cache)
+          app cap
+      in
       Printf.printf "replay baselines: Android %.3f ms, LLVM -O3 %.3f ms\n"
         opt.Pipeline.env.Pipeline.android_region_ms
         opt.Pipeline.env.Pipeline.o3_region_ms;
@@ -198,12 +226,13 @@ let optimize_cmd =
       let sp = Pipeline.measure_speedups app opt in
       Printf.printf
         "whole-program speedup over Android: LLVM -O3 %.2fx, LLVM GA %.2fx\n"
-        sp.Pipeline.o3_speedup sp.Pipeline.ga_speedup
+        sp.Pipeline.o3_speedup sp.Pipeline.ga_speedup;
+      print_pool_report ()
   in
   Cmd.v
     (Cmd.info "optimize"
        ~doc:"Run the full replay-based iterative compilation (Figure 6).")
-    Term.(const run $ app_arg $ seed_arg $ full_arg)
+    Term.(const run $ app_arg $ seed_arg $ full_arg $ jobs_arg $ no_cache_arg)
 
 (* ---------------------------- experiment --------------------------- *)
 
@@ -222,24 +251,28 @@ let experiment_cmd =
          & info [ "eager" ]
            ~doc:"Figure 10 ablation: CERE-style eager page copying.")
   in
-  let run name full eager =
+  let run name full eager jobs no_cache =
     let cfg = if full then Ga.default_config else Ga.quick_config in
-    match name with
-    | "table1" -> E.print_table1 ()
-    | "fig1" -> E.print_fig1 (E.fig1 ())
-    | "fig2" -> E.print_fig2 (E.fig2 ())
-    | "fig3" -> E.print_fig3 (E.fig3 ())
-    | "fig7" -> E.print_fig7 (E.fig7 ~cfg ())
-    | "fig8" -> E.print_fig8 (E.fig8 ())
-    | "fig9" -> E.print_fig9 (E.fig9 ~cfg ())
-    | "fig10" -> E.print_fig10 (E.fig10 ~eager ())
-    | "fig11" -> E.print_fig11 (E.fig11 ())
-    | _ -> assert false
+    let cache = not no_cache in
+    (match name with
+     | "table1" -> E.print_table1 ()
+     | "fig1" -> E.print_fig1 (E.fig1 ~jobs ~cache ())
+     | "fig2" -> E.print_fig2 (E.fig2 ~jobs ~cache ())
+     | "fig3" -> E.print_fig3 (E.fig3 ())
+     | "fig7" -> E.print_fig7 (E.fig7 ~cfg ~jobs ~cache ())
+     | "fig8" -> E.print_fig8 (E.fig8 ())
+     | "fig9" -> E.print_fig9 (E.fig9 ~cfg ~jobs ~cache ())
+     | "fig10" -> E.print_fig10 (E.fig10 ~eager ())
+     | "fig11" -> E.print_fig11 (E.fig11 ())
+     | _ -> assert false);
+    (match name with
+     | "fig1" | "fig2" | "fig7" | "fig9" -> print_pool_report ()
+     | _ -> ())
   in
   Cmd.v
     (Cmd.info "experiment"
        ~doc:"Regenerate one of the paper's tables or figures.")
-    Term.(const run $ name_arg $ full_arg $ eager_arg)
+    Term.(const run $ name_arg $ full_arg $ eager_arg $ jobs_arg $ no_cache_arg)
 
 (* ----------------------------- disasm ------------------------------ *)
 

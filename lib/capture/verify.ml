@@ -60,8 +60,8 @@ let ret_equal a b =
   | Some a, Some b -> Value.equal a b
   | None, Some _ | Some _, None -> false
 
-let check dx snap reference binary =
-  let r = Replay.run dx snap (Replay.Optimized binary) in
+let check ?fuel dx snap reference binary =
+  let r = Replay.run ?fuel dx snap (Replay.Optimized binary) in
   match r.Replay.outcome with
   | Replay.Crashed msg -> Crashed msg
   | Replay.Hung -> Hung

@@ -24,6 +24,9 @@ type check_result =
   | Hung
 
 val check :
+  ?fuel:int ->
   Repro_dex.Bytecode.dexfile -> Snapshot.t -> t -> Repro_lir.Binary.t ->
   check_result
-(** Replay the snapshot under a candidate binary and compare behaviour. *)
+(** Replay the snapshot under a candidate binary and compare behaviour.
+    [fuel] bounds the replay's cycle budget before it is declared [Hung]
+    (default {!Replay.default_fuel}). *)

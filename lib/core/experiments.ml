@@ -2,6 +2,7 @@ module App = Repro_apps.Registry
 module B = Repro_dex.Bytecode
 module Ga = Repro_search.Ga
 module Genome = Repro_search.Genome
+module Evalpool = Repro_search.Evalpool
 module Compile = Repro_lir.Compile
 module Binary = Repro_lir.Binary
 module Verify = Repro_capture.Verify
@@ -65,35 +66,46 @@ let fft_env ?(seed = 7) () =
   let capture = Option.get (Pipeline.capture_once ~seed app) in
   Pipeline.make_eval_env ~seed:(seed + 1) app capture
 
-let classify_random env genome =
-  let spec = Genome.to_spec genome in
-  match
-    Compile.llvm_binary
-      ~profile:(Repro_capture.Typeprof.lookup env.Pipeline.typeprof)
-      env.Pipeline.dx spec env.Pipeline.region
-  with
-  | exception Compile.Compile_error _ -> (F1_compiler_error, None)
-  | exception Compile.Compile_timeout -> (F1_compile_timeout, None)
-  | binary ->
-    (match
-       Verify.check env.Pipeline.dx env.Pipeline.capture.Pipeline.snapshot
-         env.Pipeline.vmap binary
-     with
-     | Verify.Passed cycles -> (F1_correct, Some cycles)
-     | Verify.Wrong_output -> (F1_wrong_output, None)
-     | Verify.Crashed _ -> (F1_runtime_crash, None)
-     | Verify.Hung -> (F1_runtime_timeout, None))
+let fig1_of_core = function
+  | Pipeline.Core_measured { cycles; _ } -> (F1_correct, Some cycles)
+  | Pipeline.Core_compile_failed _ -> (F1_compiler_error, None)
+  | Pipeline.Core_compile_timeout -> (F1_compile_timeout, None)
+  | Pipeline.Core_crashed _ -> (F1_runtime_crash, None)
+  | Pipeline.Core_hung -> (F1_runtime_timeout, None)
+  | Pipeline.Core_wrong_output -> (F1_wrong_output, None)
 
-let fig1 ?(sequences = 100) ?(seed = 7) () =
+(* A pool whose outcome is the Figure 1 classification (plus the raw replay
+   cycle count, which Figure 2 turns into a noise-free speedup). *)
+let classify_pool ?jobs ?cache env =
+  Evalpool.create ?jobs ?cache ~canon:Genome.to_string
+    ~compile:(Pipeline.compile_core env) ~key_of:Pipeline.binary_key
+    ~verify:(Pipeline.verify_core env)
+    ~finish:(fun ~ev_index:_ core -> fig1_of_core core)
+    ()
+
+(* Draw [n] genomes in stream order ([List.init]'s evaluation order is
+   unspecified, and each draw advances [rng]). *)
+let draw_genomes rng n =
+  let rec go k acc =
+    if k = n then List.rev acc else go (k + 1) (Genome.random rng :: acc)
+  in
+  go 0 []
+
+let fig1 ?(sequences = 100) ?(seed = 7) ?jobs ?cache () =
   let env = fft_env ~seed () in
+  let pool = classify_pool ?jobs ?cache env in
   let rng = Rng.create (seed * 31 + 5) in
+  let tasks =
+    Array.of_list
+      (List.mapi (fun i g -> (i + 1, g)) (draw_genomes rng sequences))
+  in
+  let outcomes = Evalpool.evaluate_batch pool tasks in
   let counts = Hashtbl.create 8 in
-  for _ = 1 to sequences do
-    let genome = Genome.random rng in
-    let outcome, _ = classify_random env genome in
-    Hashtbl.replace counts outcome
-      (1 + Option.value ~default:0 (Hashtbl.find_opt counts outcome))
-  done;
+  Array.iter
+    (fun (outcome, _) ->
+       Hashtbl.replace counts outcome
+         (1 + Option.value ~default:0 (Hashtbl.find_opt counts outcome)))
+    outcomes;
   let order =
     [ F1_compiler_error; F1_compile_timeout; F1_runtime_crash;
       F1_runtime_timeout; F1_wrong_output; F1_correct ]
@@ -122,22 +134,39 @@ type fig2 = {
   f2_android_ms : float;
 }
 
-let fig2 ?(binaries = 50) ?(seed = 11) () =
+let fig2 ?(binaries = 50) ?(seed = 11) ?jobs ?cache () =
   let env = fft_env ~seed () in
+  let pool = classify_pool ?jobs ?cache env in
   let rng = Rng.create (seed * 77 + 3) in
   let cost = Cost.default in
   let speedups = ref [] in
   let found = ref 0 in
   let attempts = ref 0 in
-  while !found < binaries && !attempts < binaries * 20 do
-    incr attempts;
-    let genome = Genome.random rng in
-    match classify_random env genome with
-    | F1_correct, Some cycles ->
-      let ms = float_of_int cycles /. float_of_int cost.Cost.cycles_per_ms in
-      speedups := (env.Pipeline.android_region_ms /. ms) :: !speedups;
-      incr found
-    | _ -> ()
+  (* Same genome stream and stopping rule as a sequential draw-until-found
+     loop, evaluated one chunk (batch) at a time; results past the stopping
+     point are discarded in order, so the chunk size cannot matter. *)
+  let max_attempts = binaries * 20 in
+  while !found < binaries && !attempts < max_attempts do
+    let chunk = min binaries (max_attempts - !attempts) in
+    let tasks =
+      Array.of_list
+        (List.mapi (fun i g -> (!attempts + i + 1, g)) (draw_genomes rng chunk))
+    in
+    let outcomes = Evalpool.evaluate_batch pool tasks in
+    Array.iter
+      (fun outcome ->
+         if !found < binaries && !attempts < max_attempts then begin
+           incr attempts;
+           match outcome with
+           | F1_correct, Some cycles ->
+             let ms =
+               float_of_int cycles /. float_of_int cost.Cost.cycles_per_ms
+             in
+             speedups := (env.Pipeline.android_region_ms /. ms) :: !speedups;
+             incr found
+           | _ -> ()
+         end)
+      outcomes
   done;
   let arr = Array.of_list !speedups in
   Array.sort compare arr;
@@ -395,10 +424,10 @@ type fig7_row = {
   f7_ga : float;
 }
 
-let fig7 ?cfg ?(seed = 7) ?apps () =
+let fig7 ?cfg ?(seed = 7) ?apps ?jobs ?cache () =
   List.filter_map
     (fun app ->
-       match Study.run ~seed ?cfg app with
+       match Study.run ~seed ?cfg ?jobs ?cache app with
        | None -> None
        | Some s ->
          Some
@@ -475,10 +504,10 @@ type fig9_point = {
 
 type fig9_row = { f9_app : string; f9_points : fig9_point list }
 
-let fig9 ?cfg ?(seed = 7) ?apps () =
+let fig9 ?cfg ?(seed = 7) ?apps ?jobs ?cache () =
   List.filter_map
     (fun app ->
-       match Study.run ~seed ?cfg app with
+       match Study.run ~seed ?cfg ?jobs ?cache app with
        | None -> None
        | Some s ->
          let android_ms = s.Study.opt.Pipeline.env.Pipeline.android_region_ms in

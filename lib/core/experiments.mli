@@ -26,10 +26,12 @@ type fig1 = {
   f1_total : int;
 }
 
-val fig1 : ?sequences:int -> ?seed:int -> unit -> fig1
+val fig1 : ?sequences:int -> ?seed:int -> ?jobs:int -> ?cache:bool -> unit -> fig1
 (** Random optimization sequences applied to the FFT kernel, classified by
     compilation/replay outcome (paper: ~60% correct, ~15% compiler
-    error/timeout, ~25% runtime-visible misbehaviour). *)
+    error/timeout, ~25% runtime-visible misbehaviour).  The sweep runs on
+    an {!Repro_search.Evalpool}: [jobs] worker domains, [cache] memoizing
+    duplicate genomes/binaries; counts are identical for any setting. *)
 
 val print_fig1 : fig1 -> unit
 
@@ -40,9 +42,10 @@ type fig2 = {
   f2_android_ms : float;
 }
 
-val fig2 : ?binaries:int -> ?seed:int -> unit -> fig2
+val fig2 : ?binaries:int -> ?seed:int -> ?jobs:int -> ?cache:bool -> unit -> fig2
 (** Replay speedup over the Android compiler for randomly generated
-    *correct* binaries of the FFT kernel. *)
+    *correct* binaries of the FFT kernel.  Evaluated in parallel batches;
+    the draw stream and stopping rule match the sequential loop. *)
 
 val print_fig2 : fig2 -> unit
 
@@ -79,7 +82,9 @@ type fig7_row = {
   f7_ga : float;
 }
 
-val fig7 : ?cfg:Ga.config -> ?seed:int -> ?apps:string list -> unit -> fig7_row list
+val fig7 :
+  ?cfg:Ga.config -> ?seed:int -> ?apps:string list -> ?jobs:int ->
+  ?cache:bool -> unit -> fig7_row list
 val print_fig7 : fig7_row list -> unit
 
 type fig8_row = {
@@ -98,7 +103,9 @@ type fig9_point = {
 
 type fig9_row = { f9_app : string; f9_points : fig9_point list }
 
-val fig9 : ?cfg:Ga.config -> ?seed:int -> ?apps:string list -> unit -> fig9_row list
+val fig9 :
+  ?cfg:Ga.config -> ?seed:int -> ?apps:string list -> ?jobs:int ->
+  ?cache:bool -> unit -> fig9_row list
 val print_fig9 : fig9_row list -> unit
 
 (* ----------------------------- Figures 10/11 ----------------------- *)

@@ -16,6 +16,7 @@ module Profile = Repro_profiler.Profile
 module Regions = Repro_profiler.Regions
 module Genome = Repro_search.Genome
 module Ga = Repro_search.Ga
+module Evalpool = Repro_search.Evalpool
 module Rng = Repro_util.Rng
 module Stats = Repro_util.Stats
 
@@ -109,7 +110,7 @@ type evaluation_env = {
   o3_region_ms : float;
   replays_per_eval : int;
   noise_sigma : float;
-  rng : Rng.t;
+  measure_seed : int;
 }
 
 (* Offline replays run on an idle device with pinned frequency (§4): the
@@ -119,6 +120,19 @@ let default_noise_sigma = 0.012
 let synth_times rng ~replays ~sigma cycles cost =
   let ms = float_of_int cycles /. float_of_int cost.Cost.cycles_per_ms in
   Array.init replays (fun _ -> ms *. Rng.lognormal rng ~mu:0.0 ~sigma)
+
+(* Every measurement draws its noise from a stream derived from
+   [(measure_seed, ev_index)] alone, so measured times depend only on the
+   evaluation's identity — not on worker count, batching, or cache state.
+   Negative indices are reserved for the fixed baseline measurements. *)
+let android_noise_index = -1
+let o3_noise_index = -2
+let replay_ms_noise_index = -3
+
+let noise_times env ~ev_index cycles =
+  let rng = Rng.of_pair env.measure_seed ev_index in
+  synth_times rng ~replays:env.replays_per_eval ~sigma:env.noise_sigma cycles
+    Cost.default
 
 let region_binary_android env =
   let b = android_binary_for env.app in
@@ -131,7 +145,6 @@ let replay_cycles_of_binary dx snap vmap binary =
 
 let make_eval_env ?(seed = 1234) ?(replays = 10) app capture =
   let dx = App.dexfile app in
-  let rng = Rng.create seed in
   let typeprof = Typeprof.create () in
   let snap = capture.snapshot in
   (* interpreted replay: verification map + dispatch-type profile (§3.4) *)
@@ -150,24 +163,26 @@ let make_eval_env ?(seed = 1234) ?(replays = 10) app capture =
   let env0 =
     { dx; app; capture; vmap; typeprof; region;
       android_region_ms = nan; o3_region_ms = nan;
-      replays_per_eval = replays; noise_sigma = default_noise_sigma; rng }
+      replays_per_eval = replays; noise_sigma = default_noise_sigma;
+      measure_seed = seed }
   in
-  let cost = Cost.default in
-  let ms_of_binary binary =
+  let ms_of_binary ~noise_index binary =
     match replay_cycles_of_binary dx snap vmap binary with
     | Some cycles ->
       Stats.mean
         (Stats.remove_outliers_mad
-           (synth_times rng ~replays ~sigma:default_noise_sigma cycles cost))
+           (noise_times env0 ~ev_index:noise_index cycles))
     | None -> nan
   in
-  let android_ms = ms_of_binary (region_binary_android env0) in
+  let android_ms =
+    ms_of_binary ~noise_index:android_noise_index (region_binary_android env0)
+  in
   let o3 =
     match
       Compile.llvm_binary ~profile:(Typeprof.lookup typeprof) dx
         Repro_lir.Pipelines.o3 region
     with
-    | b -> ms_of_binary b
+    | b -> ms_of_binary ~noise_index:o3_noise_index b
     | exception (Compile.Compile_error _ | Compile.Compile_timeout) -> nan
   in
   { env0 with android_region_ms = android_ms; o3_region_ms = o3 }
@@ -183,26 +198,60 @@ let binary_key binary =
   in
   Digest.to_hex (Digest.string (String.concat "\n" parts))
 
-let evaluate_genome env genome =
-  let spec = Genome.to_spec genome in
+(* The deterministic part of one evaluation: everything except the
+   synthesized measurement noise.  This is what Evalpool memoizes — two
+   genomes (or two cache states) producing the same core always yield the
+   same final outcome once [outcome_of_core] re-synthesizes the times from
+   the evaluation index. *)
+type eval_core =
+  | Core_measured of { cycles : int; size : int; key : string }
+  | Core_compile_failed of string
+  | Core_compile_timeout
+  | Core_crashed of string
+  | Core_hung
+  | Core_wrong_output
+
+let compile_core env genome =
   match
-    Compile.llvm_binary ~profile:(Typeprof.lookup env.typeprof) env.dx spec
-      env.region
+    Compile.llvm_binary ~profile:(Typeprof.lookup env.typeprof) env.dx
+      (Genome.to_spec genome) env.region
   with
-  | exception Compile.Compile_error msg -> Ga.Compile_failed msg
-  | exception Compile.Compile_timeout -> Ga.Compile_failed "compile timeout"
-  | binary ->
-    (match Verify.check env.dx env.capture.snapshot env.vmap binary with
-     | Verify.Passed cycles ->
-       let times =
-         synth_times env.rng ~replays:env.replays_per_eval
-           ~sigma:env.noise_sigma cycles Cost.default
-       in
-       Ga.Measured
-         { times; size = binary.Binary.size; key = binary_key binary }
-     | Verify.Wrong_output -> Ga.Wrong_output
-     | Verify.Crashed msg -> Ga.Runtime_crashed msg
-     | Verify.Hung -> Ga.Runtime_hung)
+  | binary -> Ok binary
+  | exception Compile.Compile_error msg -> Error (Core_compile_failed msg)
+  | exception Compile.Compile_timeout -> Error Core_compile_timeout
+
+let verify_core env binary =
+  match Verify.check env.dx env.capture.snapshot env.vmap binary with
+  | Verify.Passed cycles ->
+    Core_measured
+      { cycles; size = binary.Binary.size; key = binary_key binary }
+  | Verify.Wrong_output -> Core_wrong_output
+  | Verify.Crashed msg -> Core_crashed msg
+  | Verify.Hung -> Core_hung
+
+let outcome_of_core env ~ev_index core =
+  match core with
+  | Core_measured { cycles; size; key } ->
+    Ga.Measured { times = noise_times env ~ev_index cycles; size; key }
+  | Core_compile_failed msg -> Ga.Compile_failed msg
+  | Core_compile_timeout -> Ga.Compile_failed "compile timeout"
+  | Core_crashed msg -> Ga.Runtime_crashed msg
+  | Core_hung -> Ga.Runtime_hung
+  | Core_wrong_output -> Ga.Wrong_output
+
+let make_pool ?jobs ?cache env =
+  Evalpool.create ?jobs ?cache ~canon:Genome.to_string
+    ~compile:(compile_core env) ~key_of:binary_key ~verify:(verify_core env)
+    ~finish:(fun ~ev_index core -> outcome_of_core env ~ev_index core)
+    ()
+
+let evaluate_genome ?(ev_index = 0) env genome =
+  let core =
+    match compile_core env genome with
+    | Ok binary -> verify_core env binary
+    | Error core -> core
+  in
+  outcome_of_core env ~ev_index core
 
 let replay_ms env binary =
   match replay_cycles_of_binary env.dx env.capture.snapshot env.vmap binary with
@@ -210,8 +259,7 @@ let replay_ms env binary =
     Some
       (Stats.mean
          (Stats.remove_outliers_mad
-            (synth_times env.rng ~replays:env.replays_per_eval
-               ~sigma:env.noise_sigma cycles Cost.default)))
+            (noise_times env ~ev_index:replay_ms_noise_index cycles)))
   | None -> None
 
 type optimized = {
@@ -219,6 +267,7 @@ type optimized = {
   ga : Ga.result;
   best_genome : Genome.t option;
   best_binary : Binary.t option;
+  pool_stats : Evalpool.stats;
 }
 
 let compile_genome env genome =
@@ -229,12 +278,13 @@ let compile_genome env genome =
   | b -> Some b
   | exception (Compile.Compile_error _ | Compile.Compile_timeout) -> None
 
-let optimize ?(seed = 99) ?(cfg = Ga.quick_config) app capture =
+let optimize ?(seed = 99) ?(cfg = Ga.quick_config) ?jobs ?cache app capture =
   let env = make_eval_env ~seed:(seed + 1) app capture in
+  let pool = make_pool ?jobs ?cache env in
   let rng = Rng.create seed in
   let ga =
-    Ga.search rng cfg
-      ~evaluate:(evaluate_genome env)
+    Ga.run rng cfg
+      ~evaluate_batch:(Evalpool.evaluate_batch pool)
       ?baseline_ms:
         (if Float.is_nan env.android_region_ms then None
          else Some env.android_region_ms)
@@ -245,12 +295,14 @@ let optimize ?(seed = 99) ?(cfg = Ga.quick_config) app capture =
     match ga.Ga.best with
     | None -> None
     | Some (genome, fit) ->
-      Some (Ga.hill_climb rng ~evaluate:(evaluate_genome env) (genome, fit)
-              ~rounds:2)
+      Some
+        (Ga.hill_climb_batch ~ev_base:ga.Ga.evaluations rng
+           ~evaluate_batch:(Evalpool.evaluate_batch pool) (genome, fit)
+           ~rounds:2)
   in
   let best_genome = Option.map fst best in
   let best_binary = Option.bind best_genome (compile_genome env) in
-  { env; ga; best_genome; best_binary }
+  { env; ga; best_genome; best_binary; pool_stats = Evalpool.stats pool }
 
 let overlay base overlay_binary =
   let funcs =

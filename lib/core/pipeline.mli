@@ -49,7 +49,10 @@ type evaluation_env = {
   o3_region_ms : float;
   replays_per_eval : int;
   noise_sigma : float;
-  rng : Repro_util.Rng.t;
+  measure_seed : int;
+  (** noise streams are [Rng.of_pair measure_seed ev_index]: measured
+      times depend only on the evaluation's identity, never on worker
+      count, batching, or cache state *)
 }
 
 val make_eval_env : ?seed:int -> ?replays:int -> App.t -> captured ->
@@ -57,26 +60,67 @@ val make_eval_env : ?seed:int -> ?replays:int -> App.t -> captured ->
 (** Interpreted replay for the verification map and type profile, plus
     baseline replay measurements. *)
 
-val evaluate_genome :
-  evaluation_env -> Repro_search.Genome.t -> Repro_search.Ga.outcome
-(** Compile the genome for the region, verify by replay, measure.  The
-    deterministic replay cycle count is expanded into [replays_per_eval]
+(** The deterministic part of one evaluation (everything but measurement
+    noise): what {!make_pool} memoizes. *)
+type eval_core =
+  | Core_measured of { cycles : int; size : int; key : string }
+  | Core_compile_failed of string
+  | Core_compile_timeout
+  | Core_crashed of string
+  | Core_hung
+  | Core_wrong_output
+
+val compile_core :
+  evaluation_env -> Repro_search.Genome.t ->
+  (Repro_lir.Binary.t, eval_core) result
+(** Compile the genome for the region; [Error] is an immediate failure
+    core.  Pure per-call: safe to run on worker domains. *)
+
+val verify_core : evaluation_env -> Repro_lir.Binary.t -> eval_core
+(** Verified replay of a compiled binary against the capture.  Pure
+    per-call: safe to run on worker domains. *)
+
+val outcome_of_core :
+  evaluation_env -> ev_index:int -> eval_core -> Repro_search.Ga.outcome
+(** Expand the deterministic replay cycle count into [replays_per_eval]
     measurements through the offline noise model (replays run on an idle,
-    frequency-pinned device: §4). *)
+    frequency-pinned device: §4), seeded from [(measure_seed, ev_index)]. *)
+
+val make_pool :
+  ?jobs:int -> ?cache:bool -> evaluation_env ->
+  (Repro_lir.Binary.t, eval_core, Repro_search.Ga.outcome) Repro_search.Evalpool.t
+(** A parallel memoizing evaluator over [compile_core]/[verify_core] for
+    this environment; feed {!Repro_search.Evalpool.evaluate_batch} to
+    {!Repro_search.Ga.run}. *)
+
+val evaluate_genome :
+  ?ev_index:int ->
+  evaluation_env -> Repro_search.Genome.t -> Repro_search.Ga.outcome
+(** One sequential compile + verify + measure, equivalent to a pool
+    evaluation of [(ev_index, genome)] (default index 0). *)
 
 val replay_ms : evaluation_env -> Repro_lir.Binary.t -> float option
 (** Mean verified replay time of an arbitrary binary, [None] on failure. *)
+
+val binary_key : Repro_lir.Binary.t -> string
+(** Digest of the binary's code: identical keys mean identical binaries
+    (the identical-binaries halting rule and the pool's binary memo). *)
 
 type optimized = {
   env : evaluation_env;
   ga : Repro_search.Ga.result;
   best_genome : Repro_search.Genome.t option;
   best_binary : Repro_lir.Binary.t option;  (** verified best, if any *)
+  pool_stats : Repro_search.Evalpool.stats; (** cache/worker counters *)
 }
 
 val optimize :
-  ?seed:int -> ?cfg:Repro_search.Ga.config -> App.t -> captured -> optimized
-(** The full search, including the final hill-climbing step. *)
+  ?seed:int -> ?cfg:Repro_search.Ga.config -> ?jobs:int -> ?cache:bool ->
+  App.t -> captured -> optimized
+(** The full search, including the final hill-climbing step.  [jobs]
+    (default 1) evaluates each generation on that many domains; [cache]
+    (default true) memoizes repeated genomes and binaries.  Results are
+    identical for every [jobs]/[cache] combination. *)
 
 val final_binary : optimized -> Repro_lir.Binary.t
 (** Android code with the GA-optimized region installed on top. *)

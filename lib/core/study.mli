@@ -9,9 +9,11 @@ type t = {
 }
 
 val run :
-  ?seed:int -> ?cfg:Repro_search.Ga.config -> Repro_apps.Registry.t ->
-  t option
+  ?seed:int -> ?cfg:Repro_search.Ga.config -> ?jobs:int -> ?cache:bool ->
+  Repro_apps.Registry.t -> t option
 (** [None] if the app exposes no replayable hot region.  Results are
-    memoized per (app, config identity), so figure drivers share work. *)
+    memoized per (app, config identity), so figure drivers share work.
+    [jobs]/[cache] control the evaluation pool only; they cannot change
+    results, so they are not part of the memo key. *)
 
 val clear_cache : unit -> unit

@@ -1,0 +1,298 @@
+(* Domain-based parallel evaluation of GA generations with two-level
+   memoization.  See the interface for the determinism contract.
+
+   Scheduling: tasks are first resolved against the genome memo on the
+   calling domain, the surviving unique genomes are compiled in parallel,
+   then the unique unseen binaries are verified in parallel.  Workers only
+   ever run the caller-supplied [compile]/[verify] stages on disjoint
+   tasks; all cache reads and writes happen on the calling domain, so no
+   synchronization beyond the work-queue index is needed and results are
+   reproducible by construction. *)
+
+type worker = {
+  w_id : int;
+  w_tasks : int;
+  w_busy_s : float;
+}
+
+type stats = {
+  batches : int;
+  tasks : int;
+  genome_hits : int;
+  genome_misses : int;
+  key_hits : int;
+  compiles : int;
+  verifies : int;
+  workers : worker list;
+}
+
+type counters = {
+  mutable c_batches : int;
+  mutable c_tasks : int;
+  mutable c_genome_hits : int;
+  mutable c_genome_misses : int;
+  mutable c_key_hits : int;
+  mutable c_compiles : int;
+  mutable c_verifies : int;
+  c_workers : (int, (int * float) ref) Hashtbl.t;  (* id -> tasks, busy *)
+}
+
+let fresh_counters () = {
+  c_batches = 0; c_tasks = 0; c_genome_hits = 0; c_genome_misses = 0;
+  c_key_hits = 0; c_compiles = 0; c_verifies = 0;
+  c_workers = Hashtbl.create 8;
+}
+
+(* Process-wide totals, updated from the calling domain only. *)
+let cumulative = fresh_counters ()
+
+let snapshot c = {
+  batches = c.c_batches;
+  tasks = c.c_tasks;
+  genome_hits = c.c_genome_hits;
+  genome_misses = c.c_genome_misses;
+  key_hits = c.c_key_hits;
+  compiles = c.c_compiles;
+  verifies = c.c_verifies;
+  workers =
+    Hashtbl.fold
+      (fun id r acc ->
+         let t, b = !r in
+         { w_id = id; w_tasks = t; w_busy_s = b } :: acc)
+      c.c_workers []
+    |> List.sort (fun a b -> compare a.w_id b.w_id);
+}
+
+let record_worker c (id, tasks, busy) =
+  let r =
+    match Hashtbl.find_opt c.c_workers id with
+    | Some r -> r
+    | None ->
+      let r = ref (0, 0.0) in
+      Hashtbl.add c.c_workers id r;
+      r
+  in
+  let t, b = !r in
+  r := (t + tasks, b +. busy)
+
+type ('bin, 'core, 'out) t = {
+  jobs : int;
+  cache : bool;
+  canon : Genome.t -> string;
+  compile : Genome.t -> ('bin, 'core) result;
+  key_of : 'bin -> string;
+  verify : 'bin -> 'core;
+  finish : ev_index:int -> 'core -> 'out;
+  genome_cache : (string, 'core) Hashtbl.t;
+  key_cache : (string, 'core) Hashtbl.t;
+  ctr : counters;
+}
+
+let create ?(jobs = 1) ?(cache = true) ~canon ~compile ~key_of ~verify ~finish
+    () =
+  if jobs < 1 then invalid_arg "Evalpool.create: jobs must be >= 1";
+  { jobs; cache; canon; compile; key_of; verify; finish;
+    genome_cache = Hashtbl.create 256;
+    key_cache = Hashtbl.create 256;
+    ctr = fresh_counters () }
+
+let jobs t = t.jobs
+let stats t = snapshot t.ctr
+let cumulative_stats () = snapshot cumulative
+let reset_cumulative () =
+  let c = cumulative in
+  c.c_batches <- 0; c.c_tasks <- 0; c.c_genome_hits <- 0;
+  c.c_genome_misses <- 0; c.c_key_hits <- 0; c.c_compiles <- 0;
+  c.c_verifies <- 0;
+  Hashtbl.reset c.c_workers
+
+(* Run [f] over [arr] on up to [t.jobs] domains (the calling domain acts as
+   worker 0).  Work-stealing via a shared atomic index; each output slot is
+   written by exactly one domain and published by [Domain.join]. *)
+let parallel_map t f arr =
+  let n = Array.length arr in
+  if n = 0 then [||]
+  else begin
+    let nworkers = max 1 (min t.jobs n) in
+    let out = Array.make n None in
+    let next = Atomic.make 0 in
+    let worker wid =
+      let t0 = Unix.gettimeofday () in
+      let count = ref 0 in
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          out.(i) <- Some (f arr.(i));
+          incr count;
+          loop ()
+        end
+      in
+      loop ();
+      (wid, !count, Unix.gettimeofday () -. t0)
+    in
+    if nworkers = 1 then begin
+      let w = worker 0 in
+      record_worker t.ctr w;
+      record_worker cumulative w
+    end
+    else begin
+      let spawned =
+        Array.init (nworkers - 1) (fun k ->
+            Domain.spawn (fun () -> worker (k + 1)))
+      in
+      let w0 = try Ok (worker 0) with e -> Error e in
+      let joined =
+        Array.map (fun d -> try Ok (Domain.join d) with e -> Error e) spawned
+      in
+      let ws = Array.to_list (Array.append [| w0 |] joined) in
+      List.iter
+        (function
+          | Ok w ->
+            record_worker t.ctr w;
+            record_worker cumulative w
+          | Error _ -> ())
+        ws;
+      match List.find_opt Result.is_error ws with
+      | Some (Error e) -> raise e
+      | Some (Ok _) | None -> ()
+    end;
+    Array.map (function Some v -> v | None -> assert false) out
+  end
+
+let evaluate_batch t tasks =
+  let n = Array.length tasks in
+  t.ctr.c_batches <- t.ctr.c_batches + 1;
+  t.ctr.c_tasks <- t.ctr.c_tasks + n;
+  cumulative.c_batches <- cumulative.c_batches + 1;
+  cumulative.c_tasks <- cumulative.c_tasks + n;
+  let bump_hit () =
+    t.ctr.c_genome_hits <- t.ctr.c_genome_hits + 1;
+    cumulative.c_genome_hits <- cumulative.c_genome_hits + 1
+  and bump_miss () =
+    t.ctr.c_genome_misses <- t.ctr.c_genome_misses + 1;
+    cumulative.c_genome_misses <- cumulative.c_genome_misses + 1
+  and bump_key_hit () =
+    t.ctr.c_key_hits <- t.ctr.c_key_hits + 1;
+    cumulative.c_key_hits <- cumulative.c_key_hits + 1
+  in
+  let canons = Array.map (fun (_, g) -> t.canon g) tasks in
+  let cores : 'core option array = Array.make n None in
+  (* Stage 0 (calling domain): genome-memo lookups and in-batch dedup.
+     [reps] holds the indices of tasks that actually need a compile; with
+     the cache disabled, every task is its own representative. *)
+  let seen_in_batch = Hashtbl.create 16 in
+  let rep_rev = ref [] in
+  Array.iteri
+    (fun i (_, _) ->
+       let c = canons.(i) in
+       match if t.cache then Hashtbl.find_opt t.genome_cache c else None with
+       | Some core ->
+         cores.(i) <- Some core;
+         bump_hit ()
+       | None ->
+         if t.cache && Hashtbl.mem seen_in_batch c then bump_hit ()
+         else begin
+           if t.cache then Hashtbl.add seen_in_batch c ();
+           rep_rev := i :: !rep_rev;
+           bump_miss ()
+         end)
+    tasks;
+  let reps = Array.of_list (List.rev !rep_rev) in
+  let nrep = Array.length reps in
+  (* Stage A (parallel): compile the representative genomes. *)
+  let compiled = parallel_map t (fun i -> t.compile (snd tasks.(i))) reps in
+  t.ctr.c_compiles <- t.ctr.c_compiles + nrep;
+  cumulative.c_compiles <- cumulative.c_compiles + nrep;
+  let rep_core : 'core option array = Array.make nrep None in
+  let rep_bin : ('bin * string) option array = Array.make nrep None in
+  Array.iteri
+    (fun k result ->
+       match result with
+       | Error core -> rep_core.(k) <- Some core
+       | Ok bin -> rep_bin.(k) <- Some (bin, t.key_of bin))
+    compiled;
+  (* Stage B plan (calling domain): resolve binaries against the key memo
+     and pick one representative per unseen key. *)
+  let key_owner = Hashtbl.create 16 in
+  let verify_rev = ref [] in
+  Array.iteri
+    (fun k bin ->
+       match bin with
+       | None -> ()
+       | Some (_, key) ->
+         (match if t.cache then Hashtbl.find_opt t.key_cache key else None with
+          | Some core ->
+            rep_core.(k) <- Some core;
+            bump_key_hit ()
+          | None ->
+            if t.cache && Hashtbl.mem key_owner key then bump_key_hit ()
+            else begin
+              if t.cache then Hashtbl.add key_owner key k;
+              verify_rev := k :: !verify_rev
+            end))
+    rep_bin;
+  let vreps = Array.of_list (List.rev !verify_rev) in
+  (* Stage B (parallel): verified replay of the unique new binaries. *)
+  let verified =
+    parallel_map t
+      (fun k ->
+         match rep_bin.(k) with
+         | Some (bin, _) -> t.verify bin
+         | None -> assert false)
+      vreps
+  in
+  t.ctr.c_verifies <- t.ctr.c_verifies + Array.length vreps;
+  cumulative.c_verifies <- cumulative.c_verifies + Array.length vreps;
+  Array.iteri (fun j k -> rep_core.(k) <- Some verified.(j)) vreps;
+  (* Fill same-key siblings and the key memo. *)
+  Array.iteri
+    (fun k bin ->
+       match bin, rep_core.(k) with
+       | Some (_, key), None ->
+         (match Hashtbl.find_opt key_owner key with
+          | Some owner -> rep_core.(k) <- rep_core.(owner)
+          | None -> assert false)
+       | _, _ -> ())
+    rep_bin;
+  if t.cache then
+    Array.iteri
+      (fun k bin ->
+         match bin, rep_core.(k) with
+         | Some (_, key), Some core ->
+           if not (Hashtbl.mem t.key_cache key) then
+             Hashtbl.add t.key_cache key core
+         | _, _ -> ())
+      rep_bin;
+  (* Publish representative results (and the genome memo), then resolve the
+     in-batch duplicates from it. *)
+  Array.iteri
+    (fun k i ->
+       let core =
+         match rep_core.(k) with Some c -> c | None -> assert false
+       in
+       cores.(i) <- Some core;
+       if t.cache then Hashtbl.replace t.genome_cache canons.(i) core)
+    reps;
+  Array.mapi
+    (fun i (ev_index, _) ->
+       let core =
+         match cores.(i) with
+         | Some c -> c
+         | None ->
+           (* duplicate of an earlier representative in this batch *)
+           Hashtbl.find t.genome_cache canons.(i)
+       in
+       t.finish ~ev_index core)
+    tasks
+
+let print_stats ?(label = "evalpool") s =
+  Printf.printf
+    "%s: %d evaluations in %d batches | genome cache %d hits / %d misses | \
+     binary-key reuse %d | %d compiles, %d verified replays\n"
+    label s.tasks s.batches s.genome_hits s.genome_misses s.key_hits
+    s.compiles s.verifies;
+  List.iter
+    (fun w ->
+       Printf.printf "  worker %d: %d stage tasks, %.3f s busy\n"
+         w.w_id w.w_tasks w.w_busy_s)
+    s.workers

@@ -89,60 +89,100 @@ let better cfg a b =
 let sort_population cfg pop =
   List.sort (fun a b -> if better cfg a b then -1 else 1) pop
 
-let search rng cfg ~evaluate ?baseline_ms ?o3_ms () =
+(* Draw [n] values from a side-effecting generator in index order.
+   [List.init]'s argument evaluation order is unspecified, so using it
+   directly on [rng] draws would tie the genome stream to the stdlib's
+   implementation; this helper pins left-to-right order. *)
+let init_in_order n f =
+  let rec go k acc = if k >= n then List.rev acc else go (k + 1) (f k :: acc) in
+  go 0 []
+
+let run rng cfg ~evaluate_batch ?baseline_ms ?o3_ms () =
   let history = ref [] in
   let eval_index = ref 0 in
   let identical = ref 0 in
   let seen_keys = Hashtbl.create 64 in
   let halted = ref None in
-  let eval generation genome =
-    let outcome = evaluate genome in
-    incr eval_index;
-    (match outcome with
-     | Measured m ->
-       if Hashtbl.mem seen_keys m.key then begin
-         incr identical;
-         if !identical >= cfg.max_identical && !halted = None then
-           halted := Some "identical-binaries limit reached"
-       end
-       else Hashtbl.replace seen_keys m.key ();
-     | Compile_failed _ | Runtime_crashed _ | Runtime_hung | Wrong_output -> ());
-    let fitness =
-      match outcome with
-      | Measured m -> Some (fitness_of_times m.times)
-      | Compile_failed _ | Runtime_crashed _ | Runtime_hung | Wrong_output ->
-        None
+  (* Evaluate one generation's genomes as a single batch, then replay the
+     outcomes in evaluation order for the history and the
+     identical-binaries halting rule, so the observable behaviour matches
+     a sequential left-to-right evaluation of the same genomes. *)
+  let evaluate generation genomes =
+    let base = !eval_index in
+    let tasks =
+      Array.of_list (List.mapi (fun i g -> (base + 1 + i, g)) genomes)
     in
-    history :=
-      { ev_index = !eval_index; ev_generation = generation; ev_genome = genome;
-        ev_outcome = outcome; ev_fitness = fitness }
-      :: !history;
-    { genome; outcome; fitness }
+    let n = Array.length tasks in
+    eval_index := base + n;
+    let outcomes = evaluate_batch tasks in
+    if Array.length outcomes <> n then
+      invalid_arg "Ga.run: evaluate_batch returned a misaligned array";
+    let inds = ref [] in
+    for i = 0 to n - 1 do
+      let ev_index, genome = tasks.(i) in
+      let outcome = outcomes.(i) in
+      (match outcome with
+       | Measured m ->
+         if Hashtbl.mem seen_keys m.key then begin
+           incr identical;
+           if !identical >= cfg.max_identical && !halted = None then
+             halted := Some "identical-binaries limit reached"
+         end
+         else Hashtbl.replace seen_keys m.key ()
+       | Compile_failed _ | Runtime_crashed _ | Runtime_hung | Wrong_output ->
+         ());
+      let fitness =
+        match outcome with
+        | Measured m -> Some (fitness_of_times m.times)
+        | Compile_failed _ | Runtime_crashed _ | Runtime_hung | Wrong_output ->
+          None
+      in
+      history :=
+        { ev_index; ev_generation = generation; ev_genome = genome;
+          ev_outcome = outcome; ev_fitness = fitness }
+        :: !history;
+      inds := { genome; outcome; fitness } :: !inds
+    done;
+    List.rev !inds
   in
-  (* First generation: random, biased away from clearly unprofitable seeds
-     by redrawing up to [seed_retries] times (§4), with redundant passes
-     removed to keep genomes short. *)
   let profitable ind =
     match ind.fitness, baseline_ms, o3_ms with
     | Some f, Some base, Some o3 -> f < base || f < o3
     | Some _, _, _ -> true
     | None, _, _ -> false
   in
-  let seed () =
-    let rec try_draw k best =
-      let genome = Genome.dedup_adjacent (Genome.random rng) in
-      let ind = eval 0 genome in
-      if profitable ind || k >= cfg.seed_retries then
-        match best with
-        | Some b when not (better cfg ind b) -> b
-        | Some _ | None -> ind
-      else try_draw (k + 1) (Some (match best with
-          | Some b when better cfg b ind -> b
-          | Some _ | None -> ind))
-    in
-    try_draw 0 None
+  (* First generation: random, biased away from clearly unprofitable seeds
+     by redrawing up to [seed_retries] times (§4), with redundant passes
+     removed to keep genomes short.  The retries run as whole-population
+     rounds: every slot whose latest draw is unprofitable redraws in the
+     next round, so each round is one parallel batch. *)
+  let seed_population () =
+    let n = cfg.population in
+    let best = Array.make n None in
+    let active = ref (List.init n Fun.id) in
+    let round = ref 0 in
+    while !active <> [] do
+      let slots = !active in
+      let draws =
+        init_in_order (List.length slots) (fun _ ->
+            Genome.dedup_adjacent (Genome.random rng))
+      in
+      let inds = evaluate 0 draws in
+      let continue_rev = ref [] in
+      List.iter2
+        (fun slot ind ->
+           (match best.(slot) with
+            | Some b when not (better cfg ind b) -> ()
+            | Some _ | None -> best.(slot) <- Some ind);
+           if (not (profitable ind)) && !round < cfg.seed_retries then
+             continue_rev := slot :: !continue_rev)
+        slots inds;
+      active := List.rev !continue_rev;
+      incr round
+    done;
+    Array.to_list (Array.map Option.get best)
   in
-  let population = ref (List.init cfg.population (fun _ -> seed ())) in
+  let population = ref (seed_population ()) in
   let best_of pop =
     match sort_population cfg pop with
     | best :: _ when best.fitness <> None -> Some best
@@ -172,7 +212,7 @@ let search rng cfg ~evaluate ?baseline_ms ?o3_ms () =
        random other candidate. *)
     let tournament () =
       let contenders =
-        List.init cfg.tournament_size (fun _ -> Rng.pick rng pool_arr)
+        init_in_order cfg.tournament_size (fun _ -> Rng.pick rng pool_arr)
       in
       let sorted_c = sort_population cfg contenders in
       match sorted_c with
@@ -188,21 +228,22 @@ let search rng cfg ~evaluate ?baseline_ms ?o3_ms () =
       | 1 -> Rng.pick rng fittest_arr
       | _ -> tournament ()
     in
-    let offspring () =
-      let a = pick_mate () and b = pick_mate () in
-      let child = Genome.crossover rng a.genome b.genome in
-      let child =
-        if Rng.chance rng cfg.genome_mutation_prob then
-          Genome.mutate rng ~gene_prob:cfg.gene_mutation_prob child
-        else child
-      in
-      eval !generation child
-    in
     let elite_carryover =
       List.filteri (fun i _ -> i < cfg.elites) sorted
     in
     let n_new = cfg.population - List.length elite_carryover in
-    let next = elite_carryover @ List.init n_new (fun _ -> offspring ()) in
+    (* Draw the whole brood before evaluating: the genome stream depends
+       only on the GA RNG, never on evaluation scheduling. *)
+    let children =
+      init_in_order n_new (fun _ ->
+          let a = pick_mate () in
+          let b = pick_mate () in
+          let child = Genome.crossover rng a.genome b.genome in
+          if Rng.chance rng cfg.genome_mutation_prob then
+            Genome.mutate rng ~gene_prob:cfg.gene_mutation_prob child
+          else child)
+    in
+    let next = elite_carryover @ evaluate !generation children in
     population := next;
     (match best_of next, !global_best with
      | Some b, Some gb when better cfg b gb ->
@@ -220,30 +261,50 @@ let search rng cfg ~evaluate ?baseline_ms ?o3_ms () =
     evaluations = !eval_index;
     halted_early = !halted }
 
-let hill_climb rng ~evaluate (genome0, fit0) ~rounds =
-  let fitness_of g =
-    match evaluate g with
-    | Measured m -> Some (fitness_of_times m.times)
-    | Compile_failed _ | Runtime_crashed _ | Runtime_hung | Wrong_output ->
-      None
-  in
+let sequential_batch evaluate tasks =
+  let n = Array.length tasks in
+  let out = Array.make n Runtime_hung in
+  for i = 0 to n - 1 do
+    out.(i) <- evaluate (snd tasks.(i))
+  done;
+  out
+
+let search rng cfg ~evaluate ?baseline_ms ?o3_ms () =
+  run rng cfg ~evaluate_batch:(sequential_batch evaluate) ?baseline_ms ?o3_ms
+    ()
+
+let hill_climb_batch ?(ev_base = 0) rng ~evaluate_batch (genome0, fit0)
+    ~rounds =
+  let next_index = ref ev_base in
   let best = ref (genome0, fit0) in
   for _ = 1 to rounds do
-    let genome, fit = !best in
+    let genome, _ = !best in
     let neighbors =
       (* all single-gene deletions *)
       List.mapi (fun i _ -> List.filteri (fun j _ -> j <> i) genome) genome
       (* parameter tweaks *)
-      @ List.init 6 (fun _ ->
-          Genome.mutate rng ~gene_prob:0.15 genome)
+      @ init_in_order 6 (fun _ -> Genome.mutate rng ~gene_prob:0.15 genome)
     in
-    List.iter
-      (fun candidate ->
-         if List.length candidate >= Genome.min_length then
-           match fitness_of candidate with
-           | Some f when f < snd !best -> best := (candidate, f)
-           | Some _ | None -> ())
-      neighbors;
-    ignore fit
+    let candidates =
+      List.filter (fun c -> List.length c >= Genome.min_length) neighbors
+    in
+    let base = !next_index in
+    let tasks =
+      Array.of_list (List.mapi (fun i c -> (base + 1 + i, c)) candidates)
+    in
+    next_index := base + Array.length tasks;
+    let outcomes = evaluate_batch tasks in
+    for i = 0 to Array.length tasks - 1 do
+      match outcomes.(i) with
+      | Measured m ->
+        let f = fitness_of_times m.times in
+        if f < snd !best then best := (snd tasks.(i), f)
+      | Compile_failed _ | Runtime_crashed _ | Runtime_hung | Wrong_output ->
+        ()
+    done
   done;
   !best
+
+let hill_climb rng ~evaluate pair ~rounds =
+  hill_climb_batch rng ~evaluate_batch:(sequential_batch evaluate) pair
+    ~rounds

@@ -51,17 +51,44 @@ type result = {
   halted_early : string option;
 }
 
+val run :
+  Repro_util.Rng.t -> config ->
+  evaluate_batch:((int * Genome.t) array -> outcome array) ->
+  ?baseline_ms:float ->
+  ?o3_ms:float ->
+  unit -> result
+(** Generation-batched search.  [evaluate_batch] receives one whole
+    generation (or seeding round) as [(ev_index, genome)] pairs and must
+    return an index-aligned outcome array; {!Evalpool.evaluate_batch} is
+    the intended implementation.  Evaluation indices are dense and
+    increasing, genomes for a batch are drawn from [rng] before any of
+    them are evaluated, and the outcomes are folded back in index order,
+    so history, fitness, and the identical-binaries halting rule are
+    independent of how the batch is scheduled.
+
+    [baseline_ms]/[o3_ms] enable the first-generation seeding rule: seeds
+    slower than both baselines are redrawn (as whole-population rounds) up
+    to [seed_retries] times. *)
+
 val search :
   Repro_util.Rng.t -> config ->
   evaluate:(Genome.t -> outcome) ->
   ?baseline_ms:float ->
   ?o3_ms:float ->
   unit -> result
-(** [baseline_ms]/[o3_ms] enable the first-generation seeding rule: seeds
-    slower than both baselines are redrawn up to [seed_retries] times. *)
+(** {!run} with a sequential one-genome evaluator. *)
+
+val hill_climb_batch :
+  ?ev_base:int ->
+  Repro_util.Rng.t ->
+  evaluate_batch:((int * Genome.t) array -> outcome array) ->
+  Genome.t * float -> rounds:int -> Genome.t * float
+(** Final local search: single-gene deletions and parameter tweaks,
+    accepting improvements.  Each round's neighbourhood is evaluated as
+    one batch; evaluation indices start above [ev_base] (pass the GA's
+    [evaluations] count so noise streams stay distinct). *)
 
 val hill_climb :
   Repro_util.Rng.t -> evaluate:(Genome.t -> outcome) ->
   Genome.t * float -> rounds:int -> Genome.t * float
-(** Final local search: single-gene deletions and parameter tweaks,
-    accepting improvements. *)
+(** {!hill_climb_batch} with a sequential one-genome evaluator. *)

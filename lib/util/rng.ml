@@ -16,6 +16,16 @@ let bits64 t =
 let split t = { state = bits64 t }
 let copy t = { state = t.state }
 
+(* An independent stream determined by a (seed, index) pair: used to give
+   every GA evaluation its own noise stream so measurements do not depend
+   on evaluation scheduling (worker count, batching, cache hits). *)
+let of_pair seed index =
+  { state =
+      mix
+        (Int64.add
+           (mix (Int64.of_int seed))
+           (Int64.mul golden_gamma (mix (Int64.of_int index)))) }
+
 let int t bound =
   assert (bound > 0);
   let mask = Int64.shift_right_logical (bits64 t) 1 in

@@ -18,6 +18,12 @@ val copy : t -> t
 (** [copy t] duplicates the current state (both copies produce the same
     subsequent values). *)
 
+val of_pair : int -> int -> t
+(** [of_pair seed index] derives a stream that depends only on the pair:
+    the same [(seed, index)] always yields the same stream, and different
+    indices give statistically independent streams.  Used to decouple
+    per-evaluation measurement noise from evaluation scheduling. *)
+
 val int : t -> int -> int
 (** [int t bound] draws uniformly from [0, bound).  [bound] must be > 0. *)
 

@@ -116,6 +116,78 @@ let test_verification_map_rejects_fast_math () =
   | Verify.Crashed m -> Alcotest.fail ("crashed: " ^ m)
   | Verify.Hung -> Alcotest.fail "hung"
 
+(* Hand-built region bodies over the FFT capture exercise each failure
+   class of Verify.check directly: the differential-testing net must not
+   only accept good code, it must name *why* bad code was rejected. *)
+
+module Hir = Repro_hgraph.Hir
+module Binary = Repro_lir.Binary
+
+let stub_func ~mid ~nparams build =
+  let f =
+    { Hir.f_mid = mid; f_name = "stub"; f_nparams = nparams;
+      f_nregs = nparams; f_blocks = Hashtbl.create 4; f_entry = 0;
+      f_next_bid = 0; f_pressure = None }
+  in
+  build f;
+  f
+
+(* the android binary with the hot-region root method swapped for [f] *)
+let with_stub binary mid f =
+  Binary.create
+    (List.map
+       (fun m -> if m = mid then f else Option.get (Binary.find binary m))
+       (Binary.mids binary))
+
+let verify_fixture () =
+  let app = fft () in
+  let cap = Lazy.force fft_capture in
+  let dx = App.dexfile app in
+  let snap = cap.Pipeline.snapshot in
+  let vmap = Verify.collect dx snap in
+  let mid = cap.Pipeline.hot_mid in
+  let nparams = List.length snap.Snapshot.snap_args in
+  let binary = Pipeline.android_binary_for app in
+  (dx, snap, vmap, mid, nparams, binary)
+
+let test_verify_flags_wrong_output () =
+  let dx, snap, vmap, mid, nparams, binary = verify_fixture () in
+  let bad =
+    stub_func ~mid ~nparams (fun f ->
+        let r = Hir.fresh_reg f in
+        ignore (Hir.add_block f [ Hir.Const (r, B.Cint 7) ] (Hir.Ret (Some r))))
+  in
+  match Verify.check dx snap vmap (with_stub binary mid bad) with
+  | Verify.Wrong_output -> ()
+  | Verify.Passed _ -> Alcotest.fail "constant region passed verification"
+  | Verify.Crashed m -> Alcotest.fail ("crashed: " ^ m)
+  | Verify.Hung -> Alcotest.fail "hung"
+
+let test_verify_flags_crash () =
+  let dx, snap, vmap, mid, nparams, binary = verify_fixture () in
+  let bad =
+    stub_func ~mid ~nparams (fun f ->
+        let r = Hir.fresh_reg f in
+        ignore (Hir.add_block f [ Hir.Const (r, B.Cint 7) ] (Hir.ThrowT r)))
+  in
+  match Verify.check dx snap vmap (with_stub binary mid bad) with
+  | Verify.Crashed _ -> ()
+  | Verify.Passed _ -> Alcotest.fail "throwing region passed verification"
+  | Verify.Wrong_output -> Alcotest.fail "crash misreported as wrong output"
+  | Verify.Hung -> Alcotest.fail "crash misreported as hang"
+
+let test_verify_flags_hang () =
+  let dx, snap, vmap, mid, nparams, binary = verify_fixture () in
+  let bad =
+    stub_func ~mid ~nparams (fun f ->
+        ignore (Hir.add_block f [] (Hir.Goto 0)))
+  in
+  match Verify.check ~fuel:10_000 dx snap vmap (with_stub binary mid bad) with
+  | Verify.Hung -> ()
+  | Verify.Passed _ -> Alcotest.fail "infinite loop passed verification"
+  | Verify.Wrong_output -> Alcotest.fail "hang misreported as wrong output"
+  | Verify.Crashed m -> Alcotest.fail ("hang misreported as crash: " ^ m)
+
 let test_typeprof_collected () =
   let app = Option.get (App.find "ColorOverflow") in
   let cap = capture_app app in
@@ -194,6 +266,9 @@ let () =
       ("verify",
        [ Alcotest.test_case "accepts safe" `Quick test_verification_map_accepts_safe;
          Alcotest.test_case "rejects fast-math" `Quick test_verification_map_rejects_fast_math;
+         Alcotest.test_case "flags wrong output" `Quick test_verify_flags_wrong_output;
+         Alcotest.test_case "flags crash" `Quick test_verify_flags_crash;
+         Alcotest.test_case "flags hang" `Quick test_verify_flags_hang;
          Alcotest.test_case "type profile" `Quick test_typeprof_collected ]);
       ("storage",
        [ Alcotest.test_case "accounting" `Quick test_storage_accounting ]) ]

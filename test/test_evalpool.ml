@@ -1,0 +1,158 @@
+(* Tests for the parallel memoized evaluation engine (Evalpool) and its
+   determinism contract: for a fixed seed, the GA's full evaluation history
+   is byte-identical whatever the worker count and whether or not the
+   genome/binary memos are enabled.  This is what lets `-j N` and caching
+   be user-transparent accelerators rather than semantics changes. *)
+
+module Ga = Repro_search.Ga
+module Genome = Repro_search.Genome
+module Evalpool = Repro_search.Evalpool
+module Pipeline = Repro_core.Pipeline
+module App = Repro_apps.Registry
+
+(* ----------------------- end-to-end determinism --------------------- *)
+
+let tiny_cfg =
+  { Ga.quick_config with population = 8; generations = 4; max_identical = 30 }
+
+(* everything observable about a finished search *)
+let fingerprint (o : Pipeline.optimized) =
+  (o.Pipeline.ga.Ga.best,
+   o.Pipeline.ga.Ga.history,
+   o.Pipeline.ga.Ga.evaluations,
+   o.Pipeline.ga.Ga.halted_early,
+   o.Pipeline.best_genome)
+
+let test_search_determinism app_name seed () =
+  let app = Option.get (App.find app_name) in
+  let cap = Option.get (Pipeline.capture_once ~seed:5 app) in
+  let run ~jobs ~cache =
+    fingerprint (Pipeline.optimize ~seed ~cfg:tiny_cfg ~jobs ~cache app cap)
+  in
+  let reference = run ~jobs:1 ~cache:true in
+  Alcotest.(check bool) "-j 4 identical to -j 1" true
+    (run ~jobs:4 ~cache:true = reference);
+  Alcotest.(check bool) "--no-cache identical to cached" true
+    (run ~jobs:1 ~cache:false = reference);
+  Alcotest.(check bool) "-j 4 --no-cache identical too" true
+    (run ~jobs:4 ~cache:false = reference)
+
+(* ----------------------- synthetic pool fixtures --------------------- *)
+
+(* Synthetic stages over toy "binaries" (the genome itself): compile and
+   verify count their invocations so the memo behaviour is observable. *)
+let counting_pool ?(jobs = 1) ?(cache = true) ?key_of () =
+  let compiles = ref 0 and verifies = ref 0 in
+  let key = match key_of with Some k -> k | None -> Genome.to_string in
+  let pool =
+    Evalpool.create ~jobs ~cache ~canon:Genome.to_string
+      ~compile:(fun g -> incr compiles; Ok g)
+      ~key_of:key
+      ~verify:(fun g -> incr verifies; String.length (Genome.to_string g))
+      ~finish:(fun ~ev_index core -> (ev_index, core))
+      ()
+  in
+  (pool, compiles, verifies)
+
+let gene p = { Genome.g_pass = p; g_params = [| 0 |] }
+let ga = [ gene "alpha" ]
+let gb = [ gene "beta"; gene "gamma" ]
+
+let test_genome_memo_accounting () =
+  let pool, compiles, verifies = counting_pool () in
+  let out = Evalpool.evaluate_batch pool [| (1, ga); (2, ga); (3, gb) |] in
+  Alcotest.(check int) "aligned ev_index 1" 1 (fst out.(0));
+  Alcotest.(check bool) "duplicate genome, same core" true
+    (snd out.(0) = snd out.(1));
+  Alcotest.(check int) "two unique compiles" 2 !compiles;
+  Alcotest.(check int) "two unique verifies" 2 !verifies;
+  (* a later batch is served entirely from the memo *)
+  let again = Evalpool.evaluate_batch pool [| (9, ga) |] in
+  Alcotest.(check int) "cache hit keeps ev_index" 9 (fst again.(0));
+  Alcotest.(check int) "no new compile" 2 !compiles;
+  let s = Evalpool.stats pool in
+  Alcotest.(check int) "tasks" 4 s.Evalpool.tasks;
+  Alcotest.(check int) "batches" 2 s.Evalpool.batches;
+  Alcotest.(check int) "genome hits" 2 s.Evalpool.genome_hits;
+  Alcotest.(check int) "genome misses" 2 s.Evalpool.genome_misses
+
+let test_key_memo_reuses_verification () =
+  (* two distinct genomes compiling to the same binary key: both compile,
+     only one verified replay runs (the identical-binaries case) *)
+  let pool, compiles, verifies =
+    counting_pool ~key_of:(fun _ -> "same-binary") ()
+  in
+  let out = Evalpool.evaluate_batch pool [| (1, ga); (2, gb) |] in
+  Alcotest.(check int) "both compiled" 2 !compiles;
+  Alcotest.(check int) "verified once" 1 !verifies;
+  Alcotest.(check bool) "sibling gets the owner's core" true
+    (snd out.(0) = snd out.(1));
+  Alcotest.(check int) "key reuse counted" 1
+    (Evalpool.stats pool).Evalpool.key_hits
+
+let test_cache_disabled_is_honest () =
+  let pool, compiles, verifies = counting_pool ~cache:false () in
+  let out = Evalpool.evaluate_batch pool [| (1, ga); (2, ga); (3, gb) |] in
+  Alcotest.(check int) "every task compiled" 3 !compiles;
+  Alcotest.(check int) "every task verified" 3 !verifies;
+  Alcotest.(check bool) "results still agree" true
+    (snd out.(0) = snd out.(1));
+  let s = Evalpool.stats pool in
+  Alcotest.(check int) "no hits without cache" 0
+    (s.Evalpool.genome_hits + s.Evalpool.key_hits)
+
+let test_parallel_matches_sequential () =
+  (* pure stages, so domains can run them without shared state *)
+  let make jobs =
+    Evalpool.create ~jobs ~cache:false ~canon:Genome.to_string
+      ~compile:(fun g ->
+          if List.length g mod 7 = 3 then Error (-1)
+          else Ok g)
+      ~key_of:Genome.to_string
+      ~verify:(fun g -> Hashtbl.hash (Genome.to_string g))
+      ~finish:(fun ~ev_index core -> (ev_index, core))
+      ()
+  in
+  let rng = Repro_util.Rng.create 42 in
+  let tasks =
+    Array.init 40 (fun i -> (i + 1, Genome.random rng))
+  in
+  let seq = Evalpool.evaluate_batch (make 1) tasks in
+  let par = Evalpool.evaluate_batch (make 4) tasks in
+  Alcotest.(check bool) "4 domains, same outputs" true (seq = par);
+  Alcotest.(check int) "aligned with input" 40 (fst seq.(39))
+
+let test_worker_errors_propagate () =
+  let pool =
+    Evalpool.create ~jobs:2 ~cache:false ~canon:Genome.to_string
+      ~compile:(fun _ -> failwith "compile stage exploded")
+      ~key_of:Genome.to_string
+      ~verify:(fun g -> String.length (Genome.to_string g))
+      ~finish:(fun ~ev_index core -> (ev_index, core))
+      ()
+  in
+  Alcotest.check_raises "stage failure surfaces"
+    (Failure "compile stage exploded")
+    (fun () -> ignore (Evalpool.evaluate_batch pool [| (1, ga); (2, gb) |]))
+
+let () =
+  Alcotest.run "evalpool"
+    [ ("determinism",
+       [ Alcotest.test_case "FFT seed 3" `Quick
+           (test_search_determinism "FFT" 3);
+         Alcotest.test_case "FFT seed 11" `Quick
+           (test_search_determinism "FFT" 11);
+         Alcotest.test_case "BubbleSort seed 7" `Quick
+           (test_search_determinism "BubbleSort" 7) ]);
+      ("memoization",
+       [ Alcotest.test_case "genome memo accounting" `Quick
+           test_genome_memo_accounting;
+         Alcotest.test_case "binary-key reuse" `Quick
+           test_key_memo_reuses_verification;
+         Alcotest.test_case "cache disabled" `Quick
+           test_cache_disabled_is_honest ]);
+      ("parallelism",
+       [ Alcotest.test_case "parallel = sequential" `Quick
+           test_parallel_matches_sequential;
+         Alcotest.test_case "errors propagate" `Quick
+           test_worker_errors_propagate ]) ]

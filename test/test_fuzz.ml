@@ -9,7 +9,18 @@ module Ast = Repro_dex.Ast
 module B = Repro_dex.Bytecode
 module Rng = Repro_util.Rng
 module Vm = Repro_vm
+module Hir = Repro_hgraph.Hir
+module Binary = Repro_lir.Binary
+module Capture = Repro_capture.Capture
+module Verify = Repro_capture.Verify
 open Ast
+
+(* FUZZ_COUNT overrides the per-property case budget (CI smoke runs use a
+   small value; the default matches the original suite). *)
+let fuzz_count =
+  match Option.bind (Sys.getenv_opt "FUZZ_COUNT") int_of_string_opt with
+  | Some n when n > 0 -> n
+  | Some _ | None -> 60
 
 (* ------------------------- program generator ------------------------ *)
 
@@ -186,7 +197,8 @@ let show = function
 let all_mids dx = Array.to_list (Array.map (fun m -> m.B.cm_id) dx.B.dx_methods)
 
 let prop_android_matches_interp =
-  QCheck.Test.make ~name:"fuzz: android pipeline preserves semantics" ~count:60
+  QCheck.Test.make ~name:"fuzz: android pipeline preserves semantics"
+    ~count:fuzz_count
     QCheck.(int_bound 1_000_000)
     (fun seed ->
        let dx = compile_ast (gen_program seed) in
@@ -202,7 +214,7 @@ let prop_android_matches_interp =
            (show ri) (show rb))
 
 let prop_o3_matches_interp =
-  QCheck.Test.make ~name:"fuzz: -O3 preserves semantics" ~count:60
+  QCheck.Test.make ~name:"fuzz: -O3 preserves semantics" ~count:fuzz_count
     QCheck.(int_bound 1_000_000)
     (fun seed ->
        let dx = compile_ast (gen_program seed) in
@@ -220,7 +232,7 @@ let prop_o3_matches_interp =
 
 let prop_random_safe_passes_match =
   QCheck.Test.make ~name:"fuzz: random safe sequences preserve semantics"
-    ~count:60
+    ~count:fuzz_count
     QCheck.(pair (int_bound 1_000_000) (int_bound 1_000_000))
     (fun (seed, pass_seed) ->
        let dx = compile_ast (gen_program seed) in
@@ -252,9 +264,100 @@ let prop_random_safe_passes_match =
              (String.concat "," (List.map fst spec))
              (show ri) (show rb))
 
+(* --------------- capture -> replay -> verify differential ----------- *)
+
+(* Run the generated program under the interpreter, capturing the single
+   execution of [Main.main] as the "hot region" (the whole program is the
+   region — generated mains take no arguments and call nothing). *)
+let capture_main dx mid =
+  let ctx = Vm.Image.build ~seed:1 ~fuel:50_000_000 dx in
+  Vm.Interp.install ctx;
+  let base = ctx.Vm.Exec_ctx.dispatch in
+  let captured = ref None in
+  Vm.Exec_ctx.set_dispatch ctx (fun ctx' m args ->
+      if m = mid && !captured = None then begin
+        let r =
+          Capture.capture_region ~app:"fuzz" ctx' ~mid ~args
+            ~run:(fun () -> base ctx' m args)
+        in
+        captured := Some r;
+        r.Capture.region_ret
+      end
+      else base ctx' m args);
+  (try ignore (Vm.Interp.run_main ctx) with
+   | Vm.Exec_ctx.App_exception _ | Vm.Exec_ctx.Timeout -> ());
+  Option.map (fun r -> r.Capture.snapshot) !captured
+
+(* A deliberate miscompile: every `return r` in the region's root method
+   becomes `return r + 1`.  The verifier must flag the changed behaviour. *)
+let perturb_func f =
+  let f = Hir.copy f in
+  let touched = ref false in
+  Hashtbl.iter
+    (fun _ blk ->
+       match blk.Hir.term with
+       | Hir.Ret (Some r) ->
+         let one = Hir.fresh_reg f in
+         let sum = Hir.fresh_reg f in
+         blk.Hir.insns <-
+           blk.Hir.insns
+           @ [ Hir.Const (one, B.Cint 1); Hir.Binop (Ast.Add, sum, r, one) ];
+         blk.Hir.term <- Hir.Ret (Some sum);
+         touched := true
+       | _ -> ())
+    f.Hir.f_blocks;
+  if not !touched then None else Some f
+
+let perturb_binary binary mid =
+  match Option.bind (Binary.find binary mid) perturb_func with
+  | None -> None
+  | Some bad ->
+    let funcs =
+      List.map
+        (fun m -> if m = mid then bad else Option.get (Binary.find binary m))
+        (Binary.mids binary)
+    in
+    Some (Binary.create funcs)
+
+let prop_capture_verify_differential =
+  QCheck.Test.make
+    ~name:"fuzz: verify accepts faithful binaries, rejects perturbed ones"
+    ~count:fuzz_count
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+       let dx = compile_ast (gen_program seed) in
+       let mid = (Option.get (B.find_method dx "Main" "main")).B.cm_id in
+       match capture_main dx mid with
+       | None -> true   (* program died before the region ran: nothing to check *)
+       | Some snap ->
+         let vmap = Verify.collect dx snap in
+         let binary = Repro_lir.Compile.android_binary dx (all_mids dx) in
+         (match Verify.check dx snap vmap binary with
+          | Verify.Passed _ -> ()
+          | Verify.Wrong_output | Verify.Crashed _ | Verify.Hung ->
+            QCheck.Test.fail_reportf
+              "seed %d: faithful android binary rejected by verifier" seed);
+         (match perturb_binary binary mid with
+          | None -> true   (* region never returns a value: cannot perturb *)
+          | Some bad ->
+            (match Verify.check dx snap vmap bad with
+             | Verify.Wrong_output -> true
+             | Verify.Passed _ ->
+               QCheck.Test.fail_reportf
+                 "seed %d: perturbed binary (ret+1) passed verification" seed
+             | Verify.Crashed msg ->
+               QCheck.Test.fail_reportf
+                 "seed %d: perturbed binary crashed the replay: %s" seed msg
+             | Verify.Hung ->
+               QCheck.Test.fail_reportf
+                 "seed %d: perturbed binary hung the replay" seed)))
+
 let () =
   Alcotest.run "fuzz"
     [ ("differential",
        List.map QCheck_alcotest.to_alcotest
          [ prop_android_matches_interp; prop_o3_matches_interp;
-           prop_random_safe_passes_match ]) ]
+           prop_random_safe_passes_match ]);
+      ("capture-verify",
+       List.map QCheck_alcotest.to_alcotest
+         [ prop_capture_verify_differential ]) ]
