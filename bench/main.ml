@@ -9,7 +9,9 @@
      bench/main.exe fig9 -j 4       evaluate GA generations on 4 domains
      bench/main.exe --no-cache ...  disable genome/binary memoization
      bench/main.exe fig10 --eager   CERE-style capture ablation
-     bench/main.exe bechamel        micro-benchmarks via bechamel *)
+     bench/main.exe bechamel        micro-benchmarks via bechamel
+     bench/main.exe --trace FILE    record a Chrome trace_event JSON trace
+     bench/main.exe --metrics       print a span/counter summary table *)
 
 module E = Repro_core.Experiments
 module Ga = Repro_search.Ga
@@ -163,11 +165,13 @@ let () =
   let eager = ref false in
   let jobs = ref 1 in
   let no_cache = ref false in
+  let trace = ref None in
+  let metrics = ref false in
   let names_rev = ref [] in
   let usage () =
     prerr_endline
       "usage: bench/main.exe [EXPERIMENT...] [--full] [--eager] [-j N] \
-       [--no-cache]";
+       [--no-cache] [--trace FILE] [--metrics]";
     exit 2
   in
   let rec parse = function
@@ -175,6 +179,11 @@ let () =
     | "--full" :: rest -> full := true; parse rest
     | "--eager" :: rest -> eager := true; parse rest
     | "--no-cache" :: rest -> no_cache := true; parse rest
+    | "--metrics" :: rest -> metrics := true; parse rest
+    | "--trace" :: file :: rest -> trace := Some file; parse rest
+    | [ "--trace" ] ->
+      prerr_endline "bench: --trace expects a file name";
+      usage ()
     | ("-j" | "--jobs") :: n :: rest ->
       (match int_of_string_opt n with
        | Some v when v >= 1 -> jobs := v; parse rest
@@ -192,11 +201,21 @@ let () =
   parse (Array.to_list Sys.argv |> List.tl);
   let names = List.rev !names_rev in
   let cfg = if !full then Ga.default_config else Ga.quick_config in
+  if !trace <> None || !metrics then Repro_util.Trace.enable ();
+  let export_observability () =
+    (match !trace with
+     | Some file ->
+       Repro_util.Trace.write_chrome file;
+       Printf.printf "trace written to %s\n" file
+     | None -> ());
+    if !metrics then Repro_util.Trace.print_summary ()
+  in
   if names = [ "bechamel" ] then bechamel_suite ()
   else begin
-    run_all ~cfg ~eager:!eager ~jobs:!jobs ~cache:(not !no_cache) names;
-    print_newline ();
-    Repro_search.Evalpool.print_stats ~label:"evaluation pools"
-      (Repro_search.Evalpool.cumulative_stats ());
+    Fun.protect ~finally:export_observability (fun () ->
+        run_all ~cfg ~eager:!eager ~jobs:!jobs ~cache:(not !no_cache) names;
+        print_newline ();
+        Repro_search.Evalpool.print_stats ~label:"evaluation pools"
+          (Repro_search.Evalpool.cumulative_stats ()));
     print_endline "done.  See EXPERIMENTS.md for paper-vs-measured notes."
   end

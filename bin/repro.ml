@@ -51,6 +51,32 @@ let no_cache_arg =
          ~doc:"Disable memoization of repeated genomes and identical \
                binaries (results do not change, only time).")
 
+let trace_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace" ] ~docv:"FILE"
+         ~doc:"Record a pipeline trace and write it to $(docv) as Chrome \
+               trace_event JSON (open in chrome://tracing or Perfetto).")
+
+let metrics_arg =
+  Arg.(value & flag
+       & info [ "metrics" ]
+         ~doc:"Print a span/counter summary table when the command \
+               finishes.")
+
+(* Shared observability wrapper: enable tracing for the command's body,
+   then export the trace file and/or summary — also on error exits. *)
+let with_trace trace metrics f =
+  if trace <> None || metrics then Repro_util.Trace.enable ();
+  let finish () =
+    (match trace with
+     | Some file ->
+       Repro_util.Trace.write_chrome file;
+       Printf.printf "trace written to %s\n" file
+     | None -> ());
+    if metrics then Repro_util.Trace.print_summary ()
+  in
+  Fun.protect ~finally:finish f
+
 (* Cache/worker report for commands that run evaluation pools. *)
 let print_pool_report () =
   Repro_search.Evalpool.print_stats (Repro_search.Evalpool.cumulative_stats ())
@@ -96,7 +122,8 @@ let version_arg =
        & info [ "code" ] ~doc:"Code version: android, interp, o0 or o3.")
 
 let run_cmd =
-  let run app version seed =
+  let run app version seed trace metrics =
+    with_trace trace metrics @@ fun () ->
     let dx = App.dexfile app in
     let mids =
       Array.to_list (Array.map (fun m -> m.B.cm_id) dx.B.dx_methods)
@@ -132,12 +159,14 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run an application online under a code version.")
-    Term.(const run $ app_arg $ version_arg $ seed_arg)
+    Term.(const run $ app_arg $ version_arg $ seed_arg $ trace_arg
+          $ metrics_arg)
 
 (* ------------------------------- hot ------------------------------- *)
 
 let hot_cmd =
-  let run app seed =
+  let run app seed trace metrics =
+    with_trace trace metrics @@ fun () ->
     let online = Pipeline.online_run ~seed app in
     let dx = App.dexfile app in
     match Pipeline.hot_region_of app online with
@@ -162,12 +191,13 @@ let hot_cmd =
   Cmd.v
     (Cmd.info "hot"
        ~doc:"Profile an app and show its hot region (Algorithm 1).")
-    Term.(const run $ app_arg $ seed_arg)
+    Term.(const run $ app_arg $ seed_arg $ trace_arg $ metrics_arg)
 
 (* ----------------------------- capture ----------------------------- *)
 
 let capture_cmd =
-  let run app seed =
+  let run app seed trace metrics =
+    with_trace trace metrics @@ fun () ->
     match Pipeline.capture_once ~seed app with
     | None -> print_endline "no replayable hot region: nothing to capture"
     | Some cap ->
@@ -197,12 +227,13 @@ let capture_cmd =
   Cmd.v
     (Cmd.info "capture"
        ~doc:"Capture the app's hot region during an online run (Figure 4).")
-    Term.(const run $ app_arg $ seed_arg)
+    Term.(const run $ app_arg $ seed_arg $ trace_arg $ metrics_arg)
 
 (* ----------------------------- optimize ---------------------------- *)
 
 let optimize_cmd =
-  let run app seed full jobs no_cache =
+  let run app seed full jobs no_cache trace metrics =
+    with_trace trace metrics @@ fun () ->
     let cfg = if full then Ga.default_config else Ga.quick_config in
     match Pipeline.capture_once ~seed app with
     | None -> print_endline "no replayable hot region: nothing to optimize"
@@ -232,7 +263,8 @@ let optimize_cmd =
   Cmd.v
     (Cmd.info "optimize"
        ~doc:"Run the full replay-based iterative compilation (Figure 6).")
-    Term.(const run $ app_arg $ seed_arg $ full_arg $ jobs_arg $ no_cache_arg)
+    Term.(const run $ app_arg $ seed_arg $ full_arg $ jobs_arg $ no_cache_arg
+          $ trace_arg $ metrics_arg)
 
 (* ---------------------------- experiment --------------------------- *)
 
@@ -251,7 +283,8 @@ let experiment_cmd =
          & info [ "eager" ]
            ~doc:"Figure 10 ablation: CERE-style eager page copying.")
   in
-  let run name full eager jobs no_cache =
+  let run name full eager jobs no_cache trace metrics =
+    with_trace trace metrics @@ fun () ->
     let cfg = if full then Ga.default_config else Ga.quick_config in
     let cache = not no_cache in
     (match name with
@@ -272,7 +305,8 @@ let experiment_cmd =
   Cmd.v
     (Cmd.info "experiment"
        ~doc:"Regenerate one of the paper's tables or figures.")
-    Term.(const run $ name_arg $ full_arg $ eager_arg $ jobs_arg $ no_cache_arg)
+    Term.(const run $ name_arg $ full_arg $ eager_arg $ jobs_arg $ no_cache_arg
+          $ trace_arg $ metrics_arg)
 
 (* ----------------------------- disasm ------------------------------ *)
 

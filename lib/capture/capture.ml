@@ -2,6 +2,7 @@ module Mem = Repro_os.Mem
 module Ctx = Repro_vm.Exec_ctx
 module Heap = Repro_vm.Heap
 module Cost = Repro_vm.Cost
+module Trace = Repro_util.Trace
 
 type overhead = {
   fork_ms : float;
@@ -40,6 +41,7 @@ let charge_ms (ctx : Ctx.t) ms =
 let materialized_pages mem = Mem.word_count mem / Mem.words_per_page
 
 let capture_region ~app (ctx : Ctx.t) ~mid ~args ~run =
+  Trace.span ~cat:"capture" ~args:[ ("app", app) ] "capture" @@ fun () ->
   let mem = ctx.Ctx.mem in
   let st = Mem.stats mem in
   (* 1-2) fork the child: Copy-on-Write keeps the pristine image *)
@@ -132,6 +134,10 @@ let capture_region ~app (ctx : Ctx.t) ~mid ~args ~run =
     snap_heap_next = heap_next0;
     snap_alloc_since_gc = alloc0;
   } in
+  Trace.add "capture.pages_spooled"
+    (List.length program_pages + List.length common_pages);
+  Trace.add "capture.faults" n_faults;
+  Trace.add "capture.cow_copies" n_cow;
   { snapshot;
     overhead =
       { fork_ms; preparation_ms; fault_cow_ms; n_faults; n_cow; n_map_entries;

@@ -6,6 +6,7 @@ module Interp = Repro_vm.Interp
 module Value = Repro_vm.Value
 module Exec = Repro_lir.Exec
 module Binary = Repro_lir.Binary
+module Trace = Repro_util.Trace
 
 type code_version =
   | Android_code of Binary.t
@@ -34,6 +35,13 @@ let default_fuel = 200_000_000
 
 let run ?(fuel = default_fuel) ?cost ?record_vcall (dx : B.dexfile)
     (snap : Snapshot.t) version =
+  Trace.span ~cat:"replay"
+    ~args:[ ("app", snap.Snapshot.snap_app) ]
+    (match version with
+     | Android_code _ -> "replay:android"
+     | Interpreter -> "replay:interpreter"
+     | Optimized _ -> "replay:optimized")
+  @@ fun () ->
   (* 1) rebuild the address space *)
   let mem = Mem.create () in
   List.iter

@@ -2,6 +2,7 @@ module B = Repro_dex.Bytecode
 module Mem = Repro_os.Mem
 module Ctx = Repro_vm.Exec_ctx
 module Value = Repro_vm.Value
+module Trace = Repro_util.Trace
 
 type t = {
   writes : (int * int64) list;
@@ -61,13 +62,20 @@ let ret_equal a b =
   | None, Some _ | Some _, None -> false
 
 let check ?fuel dx snap reference binary =
+  Trace.span ~cat:"verify" "verify" @@ fun () ->
   let r = Replay.run ?fuel dx snap (Replay.Optimized binary) in
-  match r.Replay.outcome with
-  | Replay.Crashed msg -> Crashed msg
-  | Replay.Hung -> Hung
-  | Replay.Finished (ret, cycles) ->
-    if
-      ret_equal ret reference.ret
-      && diff_against_snapshot r.Replay.ctx snap = reference.writes
-    then Passed cycles
-    else Wrong_output
+  let result =
+    match r.Replay.outcome with
+    | Replay.Crashed msg -> Crashed msg
+    | Replay.Hung -> Hung
+    | Replay.Finished (ret, cycles) ->
+      if
+        ret_equal ret reference.ret
+        && diff_against_snapshot r.Replay.ctx snap = reference.writes
+      then Passed cycles
+      else Wrong_output
+  in
+  (match result with
+   | Passed _ -> Trace.incr "verify.passed"
+   | Wrong_output | Crashed _ | Hung -> Trace.incr "verify.rejected");
+  result

@@ -19,6 +19,7 @@ module Ga = Repro_search.Ga
 module Evalpool = Repro_search.Evalpool
 module Rng = Repro_util.Rng
 module Stats = Repro_util.Stats
+module Trace = Repro_util.Trace
 
 type online = {
   ctx : Ctx.t;
@@ -41,6 +42,8 @@ let android_binary_for app =
     b
 
 let online_run ?(seed = 42) ?binary ?(sample_period = 20_000) app =
+  Trace.span ~cat:"pipeline" ~args:[ ("app", app.App.name) ] "online_run"
+  @@ fun () ->
   let ctx = App.build_ctx ~seed app in
   ctx.Ctx.sample_period <- sample_period;
   ctx.Ctx.next_sample <- sample_period;
@@ -63,6 +66,8 @@ type captured = {
 }
 
 let capture_once ?(seed = 42) ?(capture_at = 2) app =
+  Trace.span ~cat:"pipeline" ~args:[ ("app", app.App.name) ] "capture_once"
+  @@ fun () ->
   (* a first run finds the hot region; the capture run targets it *)
   let scout = online_run ~seed app in
   match hot_region_of app scout with
@@ -144,6 +149,8 @@ let replay_cycles_of_binary dx snap vmap binary =
   | Verify.Wrong_output | Verify.Crashed _ | Verify.Hung -> None
 
 let make_eval_env ?(seed = 1234) ?(replays = 10) app capture =
+  Trace.span ~cat:"pipeline" ~args:[ ("app", app.App.name) ] "make_eval_env"
+  @@ fun () ->
   let dx = App.dexfile app in
   let typeprof = Typeprof.create () in
   let snap = capture.snapshot in
@@ -279,6 +286,8 @@ let compile_genome env genome =
   | exception (Compile.Compile_error _ | Compile.Compile_timeout) -> None
 
 let optimize ?(seed = 99) ?(cfg = Ga.quick_config) ?jobs ?cache app capture =
+  Trace.span ~cat:"pipeline" ~args:[ ("app", app.App.name) ] "optimize"
+  @@ fun () ->
   let env = make_eval_env ~seed:(seed + 1) app capture in
   let pool = make_pool ?jobs ?cache env in
   let rng = Rng.create seed in
@@ -342,6 +351,8 @@ type speedups = {
 }
 
 let measure_speedups ?(runs = 5) app opt =
+  Trace.span ~cat:"pipeline" ~args:[ ("app", app.App.name) ] "measure_speedups"
+  @@ fun () ->
   let android = android_binary_for app in
   let o3 = o3_binary opt.env in
   let ga = final_binary opt in

@@ -2,6 +2,7 @@ module B = Repro_dex.Bytecode
 module Hir = Repro_hgraph.Hir
 module Build = Repro_hgraph.Build
 module Android = Repro_hgraph.Android
+module Trace = Repro_util.Trace
 
 exception Compile_error of string
 exception Compile_timeout
@@ -21,6 +22,7 @@ let pass_env ?profile dx =
   { Passes.dx; get_func = translated_unopt dx; profile }
 
 let android_binary dx mids =
+  Trace.span ~cat:"compile" "compile:android" @@ fun () ->
   let funcs =
     List.filter_map
       (fun mid ->
@@ -32,6 +34,7 @@ let android_binary dx mids =
   Binary.create funcs
 
 let llvm_binary ?profile dx spec mids =
+  Trace.span ~cat:"compile" "compile:llvm" @@ fun () ->
   let env = pass_env ?profile dx in
   let resolved =
     List.map
@@ -50,6 +53,8 @@ let llvm_binary ?profile dx spec mids =
         List.fold_left
           (fun f (pass, args) ->
              let f =
+               Trace.span ~cat:"pass" ("pass:" ^ pass.Passes.name)
+               @@ fun () ->
                match Passes.run env pass args f with
                | f -> f
                | exception Passes.Bad_param msg -> raise (Compile_error msg)

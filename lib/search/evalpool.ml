@@ -7,7 +7,14 @@
    ever run the caller-supplied [compile]/[verify] stages on disjoint
    tasks; all cache reads and writes happen on the calling domain, so no
    synchronization beyond the work-queue index is needed and results are
-   reproducible by construction. *)
+   reproducible by construction.
+
+   Tracing: each batch is a span on the calling domain and each worker
+   wraps its work loop in a span on its own domain, so an exported trace
+   shows the real parallelism (distinct tids) and the cache short-circuits
+   (counters). *)
+
+module Trace = Repro_util.Trace
 
 type worker = {
   w_id : int;
@@ -117,6 +124,10 @@ let parallel_map t f arr =
     let out = Array.make n None in
     let next = Atomic.make 0 in
     let worker wid =
+      Trace.span ~cat:"evalpool"
+        ~args:[ ("worker", string_of_int wid) ]
+        "evalpool:worker"
+      @@ fun () ->
       let t0 = Unix.gettimeofday () in
       let count = ref 0 in
       let rec loop () =
@@ -160,20 +171,28 @@ let parallel_map t f arr =
   end
 
 let evaluate_batch t tasks =
+  Trace.span ~cat:"evalpool"
+    ~args:[ ("tasks", string_of_int (Array.length tasks)) ]
+    "evalpool:batch"
+  @@ fun () ->
   let n = Array.length tasks in
   t.ctr.c_batches <- t.ctr.c_batches + 1;
   t.ctr.c_tasks <- t.ctr.c_tasks + n;
   cumulative.c_batches <- cumulative.c_batches + 1;
   cumulative.c_tasks <- cumulative.c_tasks + n;
+  Trace.incr "evalpool.batches";
+  Trace.add "evalpool.tasks" n;
   let bump_hit () =
     t.ctr.c_genome_hits <- t.ctr.c_genome_hits + 1;
-    cumulative.c_genome_hits <- cumulative.c_genome_hits + 1
+    cumulative.c_genome_hits <- cumulative.c_genome_hits + 1;
+    Trace.incr "evalpool.genome_hits"
   and bump_miss () =
     t.ctr.c_genome_misses <- t.ctr.c_genome_misses + 1;
     cumulative.c_genome_misses <- cumulative.c_genome_misses + 1
   and bump_key_hit () =
     t.ctr.c_key_hits <- t.ctr.c_key_hits + 1;
-    cumulative.c_key_hits <- cumulative.c_key_hits + 1
+    cumulative.c_key_hits <- cumulative.c_key_hits + 1;
+    Trace.incr "evalpool.key_hits"
   in
   let canons = Array.map (fun (_, g) -> t.canon g) tasks in
   let cores : 'core option array = Array.make n None in
@@ -203,6 +222,7 @@ let evaluate_batch t tasks =
   let compiled = parallel_map t (fun i -> t.compile (snd tasks.(i))) reps in
   t.ctr.c_compiles <- t.ctr.c_compiles + nrep;
   cumulative.c_compiles <- cumulative.c_compiles + nrep;
+  Trace.add "evalpool.compiles" nrep;
   let rep_core : 'core option array = Array.make nrep None in
   let rep_bin : ('bin * string) option array = Array.make nrep None in
   Array.iteri
@@ -243,6 +263,7 @@ let evaluate_batch t tasks =
   in
   t.ctr.c_verifies <- t.ctr.c_verifies + Array.length vreps;
   cumulative.c_verifies <- cumulative.c_verifies + Array.length vreps;
+  Trace.add "evalpool.verifies" (Array.length vreps);
   Array.iteri (fun j k -> rep_core.(k) <- Some verified.(j)) vreps;
   (* Fill same-key siblings and the key memo. *)
   Array.iteri

@@ -1,5 +1,6 @@
 module Rng = Repro_util.Rng
 module Stats = Repro_util.Stats
+module Trace = Repro_util.Trace
 
 type outcome =
   | Measured of { times : float array; size : int; key : string }
@@ -108,11 +109,17 @@ let run rng cfg ~evaluate_batch ?baseline_ms ?o3_ms () =
      identical-binaries halting rule, so the observable behaviour matches
      a sequential left-to-right evaluation of the same genomes. *)
   let evaluate generation genomes =
+    Trace.span ~cat:"ga"
+      ~args:[ ("generation", string_of_int generation);
+              ("genomes", string_of_int (List.length genomes)) ]
+      "ga:generation"
+    @@ fun () ->
     let base = !eval_index in
     let tasks =
       Array.of_list (List.mapi (fun i g -> (base + 1 + i, g)) genomes)
     in
     let n = Array.length tasks in
+    Trace.add "ga.evaluations" n;
     eval_index := base + n;
     let outcomes = evaluate_batch tasks in
     if Array.length outcomes <> n then

@@ -1,7 +1,29 @@
 type align = Left | Right
 
-let pad align width s =
+(* Column widths are display columns, not bytes: ANSI CSI sequences (e.g.
+   "\027[31m") occupy zero columns and each UTF-8 scalar occupies one (no
+   wide/combining-character table — good enough for the harness output). *)
+let display_width s =
   let n = String.length s in
+  let rec skip_csi i =
+    (* past "\027[": parameter/intermediate bytes until a final byte in
+       0x40..0x7e (inclusive), which is consumed too *)
+    if i >= n then n
+    else if Char.code s.[i] >= 0x40 && Char.code s.[i] <= 0x7e then i + 1
+    else skip_csi (i + 1)
+  in
+  let rec go i w =
+    if i >= n then w
+    else
+      let c = Char.code s.[i] in
+      if c = 0x1b && i + 1 < n && s.[i + 1] = '[' then go (skip_csi (i + 2)) w
+      else if c land 0xc0 = 0x80 then go (i + 1) w (* UTF-8 continuation *)
+      else go (i + 1) (w + 1)
+  in
+  go 0 0
+
+let pad align width s =
+  let n = display_width s in
   if n >= width then s
   else begin
     let fill = String.make (width - n) ' ' in
@@ -18,7 +40,7 @@ let render ?aligns ~header rows =
   let widths = Array.make ncols 0 in
   let note_row r =
     List.iteri (fun i cell ->
-        if i < ncols then widths.(i) <- max widths.(i) (String.length cell)) r
+        if i < ncols then widths.(i) <- max widths.(i) (display_width cell)) r
   in
   note_row header;
   List.iter note_row rows;

@@ -2,6 +2,11 @@
 
 type align = Left | Right
 
+val display_width : string -> int
+(** Display columns occupied by a string: ANSI CSI escape sequences count
+    zero and every UTF-8 scalar counts one.  This, not the byte length, is
+    what [render] pads by. *)
+
 val render : ?aligns:align list -> header:string list -> string list list -> string
 (** [render ~header rows] lays the rows out in aligned columns.  [aligns]
     defaults to left for the first column and right for the rest. *)

@@ -1,0 +1,88 @@
+(** Pipeline-wide structured tracing and metrics.
+
+    The paper's argument is quantitative — capture under 15 ms (Figure 10),
+    small snapshots (Figure 11), cheap verified replays — so every stage of
+    the reproduction can report where its time goes through this module:
+    nestable timed {e spans} plus monotonic {e counters} and last-write
+    {e gauges}.  Two exporters are provided: Chrome [trace_event] JSON
+    (load the file in [chrome://tracing] or {{:https://ui.perfetto.dev}
+    Perfetto}) and a plain-text summary table.
+
+    {b Domain safety.}  Span events are appended to a per-domain buffer
+    (domain-local storage, single writer) and merged at export time; the
+    exported [tid] is the OCaml domain id, so a parallel [Evalpool] run
+    shows its worker domains as separate tracks.  Counters and gauges are
+    shared and mutex-protected.  Export/reset are meant to run on the main
+    domain while no worker domains are live (the pool joins its workers
+    before returning, which also publishes their buffers).
+
+    {b Cost.}  When tracing is disabled — the default — every probe is a
+    single [Atomic.get] and nothing is allocated, so instrumented hot paths
+    (one span per LIR pass, counters per cache hit) cost ~nothing. *)
+
+type phase = B | E
+(** Span begin/end, mirroring the Chrome [ph] field. *)
+
+type event = {
+  ev_name : string;
+  ev_cat : string;
+  ev_ph : phase;
+  ev_ts : float;                   (** seconds since [enable]/[reset] *)
+  ev_tid : int;                    (** OCaml domain id of the emitter *)
+  ev_seq : int;                    (** per-domain emission order *)
+  ev_args : (string * string) list;
+}
+
+val enabled : unit -> bool
+val enable : unit -> unit
+val disable : unit -> unit
+
+val reset : unit -> unit
+(** Drop all recorded events, counters and gauges and restart the clock
+    epoch.  Call from the main domain with no tracing workers live. *)
+
+val set_clock : (unit -> float) -> unit
+(** Replace the time source (default [Unix.gettimeofday]); for tests that
+    need deterministic timestamps.  Call [reset] afterwards. *)
+
+val span : ?cat:string -> ?args:(string * string) list ->
+  string -> (unit -> 'a) -> 'a
+(** [span name f] times [f ()] as a nested span on the calling domain.
+    The end event is emitted even when [f] raises.  [cat] defaults to
+    ["repro"]. *)
+
+val add : string -> int -> unit
+(** [add counter n] bumps a monotonic counter (no-op when disabled). *)
+
+val incr : string -> unit
+(** [incr counter] is [add counter 1]. *)
+
+val gauge : string -> float -> unit
+(** Record the latest value of a gauge. *)
+
+val counter_value : string -> int
+(** Current value of a counter (0 if never bumped). *)
+
+val events : unit -> event list
+(** Merged snapshot of every domain's span events, ordered by
+    [(ts, tid, seq)]. *)
+
+val counters : unit -> (string * int) list
+(** All counters, sorted by name. *)
+
+val gauges : unit -> (string * float) list
+(** All gauges, sorted by name. *)
+
+val to_chrome_json : unit -> string
+(** The whole trace as Chrome [trace_event] JSON: one [B]/[E] pair per
+    span, one [C] event per counter/gauge.  Field order and string
+    escaping are stable (locked by the golden test). *)
+
+val write_chrome : string -> unit
+(** [write_chrome file] writes [to_chrome_json () ^ "\n"] to [file]. *)
+
+val summary : unit -> string
+(** Plain-text report: per-span-name count/total/mean/max table plus the
+    counter and gauge tables. *)
+
+val print_summary : unit -> unit

@@ -1,0 +1,135 @@
+(* Direct coverage for the statistical kernels the search leans on
+   (lib/util/stats.ml).  [remove_outliers_mad] and [welch_t_test] were
+   previously exercised only through the GA; these tests pin their edge
+   cases and check the t-test against externally known p-values. *)
+
+module Stats = Repro_util.Stats
+
+let check_float eps = Alcotest.(check (float eps))
+
+(* ----------------------- remove_outliers_mad ------------------------ *)
+
+let test_mad_removes_outlier () =
+  let kept = Stats.remove_outliers_mad [| 1.0; 2.0; 3.0; 4.0; 100.0 |] in
+  Alcotest.(check (array (float 1e-9)))
+    "outlier dropped" [| 1.0; 2.0; 3.0; 4.0 |] kept
+
+let test_mad_zero_passthrough () =
+  (* MAD = 0 (majority of points identical): the input must come back
+     unchanged, even though 9.0 looks like an outlier. *)
+  let xs = [| 5.0; 5.0; 5.0; 9.0 |] in
+  let kept = Stats.remove_outliers_mad xs in
+  Alcotest.(check (array (float 1e-9))) "unchanged" xs kept
+
+let test_mad_small_input_passthrough () =
+  (* fewer than 3 points: nothing is ever removed *)
+  let xs = [| 1.0; 1000.0 |] in
+  Alcotest.(check (array (float 1e-9)))
+    "pair unchanged" xs (Stats.remove_outliers_mad xs)
+
+let test_mad_threshold_edge () =
+  (* xs: median 0.5, MAD 1.0; the modified z-score of 5.0 is exactly
+     0.6745 * 4.5.  The comparison is [<= threshold], so a threshold at
+     exactly that score keeps the point and one just below drops it. *)
+  let xs = [| -1.0; 0.0; 1.0; 5.0 |] in
+  let z = 0.6745 *. 4.5 in
+  Alcotest.(check int) "kept at threshold" 4
+    (Array.length (Stats.remove_outliers_mad ~threshold:z xs));
+  Alcotest.(check int) "dropped just below" 3
+    (Array.length (Stats.remove_outliers_mad ~threshold:(z -. 1e-9) xs));
+  Alcotest.(check bool) "the extreme point is the one dropped" false
+    (Array.exists
+       (fun x -> x = 5.0)
+       (Stats.remove_outliers_mad ~threshold:(z -. 1e-9) xs))
+
+(* --------------------------- welch_t_test --------------------------- *)
+
+(* [a] and [b] below have equal sample variance 2.5 and n = 5, so
+   t = (mean a - mean b) / sqrt(2.5/5 + 2.5/5) = mean difference / 1.0.
+   With the normal approximation of the t distribution the two-sided
+   p-values are the textbook 2*(1 - Phi(|t|)) values. *)
+let a5 = [| 1.0; 2.0; 3.0; 4.0; 5.0 |]
+
+let test_welch_t1 () =
+  let b = [| 2.0; 3.0; 4.0; 5.0; 6.0 |] in
+  (* t = -1: 2*(1 - Phi(1)) = 0.317311 *)
+  check_float 1e-3 "p for t=1" 0.317311 (Stats.welch_t_test a5 b)
+
+let test_welch_t2 () =
+  let b = [| 3.0; 4.0; 5.0; 6.0; 7.0 |] in
+  (* t = -2: 2*(1 - Phi(2)) = 0.045500 *)
+  check_float 1e-3 "p for t=2" 0.045500 (Stats.welch_t_test a5 b)
+
+let test_welch_identical_samples () =
+  (* the normal-CDF approximation is good to ~7.5e-8, not exact *)
+  check_float 1e-6 "t=0 gives p=1" 1.0 (Stats.welch_t_test a5 a5)
+
+let test_welch_degenerate () =
+  let flat = [| 4.0; 4.0; 4.0 |] in
+  check_float 1e-9 "zero variance, equal means" 1.0
+    (Stats.welch_t_test flat flat);
+  check_float 1e-9 "zero variance, distinct means" 0.0
+    (Stats.welch_t_test flat [| 5.0; 5.0; 5.0 |]);
+  check_float 1e-9 "n < 2 is inconclusive" 1.0
+    (Stats.welch_t_test [| 1.0 |] a5)
+
+let test_welch_symmetric () =
+  let b = [| 2.5; 3.0; 4.5; 5.0; 7.0; 8.5 |] in
+  check_float 1e-12 "p(a,b) = p(b,a)" (Stats.welch_t_test a5 b)
+    (Stats.welch_t_test b a5)
+
+(* --------------------------- qcheck props --------------------------- *)
+
+let arr_gen =
+  QCheck.(array_of_size QCheck.Gen.(int_range 2 30) (float_range (-100.) 100.))
+
+let prop_welch_in_unit_interval =
+  QCheck.Test.make ~name:"welch p-value in [0, 1]" ~count:300
+    (QCheck.pair arr_gen arr_gen)
+    (fun (a, b) ->
+       let p = Stats.welch_t_test a b in
+       p >= 0.0 && p <= 1.0)
+
+let prop_welch_shift_invariant =
+  QCheck.Test.make ~name:"welch p invariant under common shift" ~count:200
+    (QCheck.triple arr_gen arr_gen QCheck.(float_range (-50.) 50.))
+    (fun (a, b, c) ->
+       let shift xs = Array.map (fun x -> x +. c) xs in
+       abs_float (Stats.welch_t_test a b
+                  -. Stats.welch_t_test (shift a) (shift b))
+       < 1e-6)
+
+let prop_mad_keeps_median =
+  QCheck.Test.make ~name:"outlier removal never drops the median" ~count:300
+    (QCheck.array_of_size QCheck.Gen.(int_range 1 30)
+       (QCheck.float_range (-1e3) 1e3))
+    (fun xs ->
+       let m = Stats.median xs in
+       let kept = Stats.remove_outliers_mad xs in
+       (* the median itself has modified z-score 0 *)
+       Array.length kept = Array.length xs
+       || Stats.median kept = m
+       || Array.exists (fun k -> abs_float (k -. m) <= Stats.mad xs) kept)
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_welch_in_unit_interval; prop_welch_shift_invariant;
+      prop_mad_keeps_median ]
+
+let () =
+  Alcotest.run "stats"
+    [ ("remove_outliers_mad",
+       [ Alcotest.test_case "removes outlier" `Quick test_mad_removes_outlier;
+         Alcotest.test_case "zero MAD passthrough" `Quick
+           test_mad_zero_passthrough;
+         Alcotest.test_case "small input passthrough" `Quick
+           test_mad_small_input_passthrough;
+         Alcotest.test_case "threshold edge" `Quick test_mad_threshold_edge ]);
+      ("welch_t_test",
+       [ Alcotest.test_case "p at t=1" `Quick test_welch_t1;
+         Alcotest.test_case "p at t=2" `Quick test_welch_t2;
+         Alcotest.test_case "identical samples" `Quick
+           test_welch_identical_samples;
+         Alcotest.test_case "degenerate inputs" `Quick test_welch_degenerate;
+         Alcotest.test_case "symmetric" `Quick test_welch_symmetric ]);
+      ("properties", qcheck_cases) ]

@@ -1,7 +1,8 @@
-(* Tests for the statistics and RNG utilities (lib/util). *)
+(* Tests for the statistics, RNG and table utilities (lib/util). *)
 
 module Rng = Repro_util.Rng
 module Stats = Repro_util.Stats
+module Table = Repro_util.Table
 
 let check_float = Alcotest.(check (float 1e-9))
 let check_float_loose = Alcotest.(check (float 1e-2))
@@ -124,6 +125,84 @@ let test_bootstrap_ci_covers () =
 let test_geomean () =
   check_float "geomean" 2.0 (Stats.geomean [| 1.0; 2.0; 4.0 |])
 
+(* ------------------------------ Table ------------------------------- *)
+
+let test_display_width () =
+  Alcotest.(check int) "ascii" 5 (Table.display_width "hello");
+  Alcotest.(check int) "empty" 0 (Table.display_width "");
+  (* µ is 2 bytes but 1 column; 1.44× likewise *)
+  Alcotest.(check int) "multibyte" 3 (Table.display_width "5\xc2\xb5s");
+  Alcotest.(check int) "utf8 times sign" 5 (Table.display_width "1.44\xc3\x97");
+  (* ANSI SGR color sequences occupy no columns *)
+  Alcotest.(check int) "ansi colored" 3
+    (Table.display_width "\027[31mred\027[0m");
+  Alcotest.(check int) "ansi only" 0 (Table.display_width "\027[1;32m");
+  Alcotest.(check int) "mixed" 4
+    (Table.display_width "\027[36m\xc2\xb5b\027[0mar")
+
+(* Every rendered line must occupy the same number of display columns,
+   even when cells mix plain ASCII, multibyte UTF-8 and ANSI colors.
+   Before display-width-aware padding, byte-length padding misaligned
+   any row containing either. *)
+let test_render_aligns_multibyte_and_ansi () =
+  let out =
+    Table.render ~header:[ "name"; "time" ]
+      [ [ "plain"; "12" ];
+        [ "5\xc2\xb5s"; "3" ];              (* multibyte cell *)
+        [ "\027[31mred\027[0m"; "456" ];    (* ANSI-colored cell *)
+      ]
+  in
+  let widths =
+    List.filter_map
+      (fun line ->
+         if String.trim line = "" then None
+         else Some (Table.display_width line))
+      (String.split_on_char '\n' out)
+  in
+  (match widths with
+   | [] -> Alcotest.fail "render produced no lines"
+   | w :: rest ->
+     List.iteri
+       (fun i w' ->
+          Alcotest.(check int)
+            (Printf.sprintf "line %d same display width" (i + 1))
+            w w')
+       rest);
+  (* and the exact layout is stable *)
+  Alcotest.(check bool) "multibyte row padded to column width" true
+    (List.exists
+       (fun line ->
+          String.length line >= 4 && String.sub line 0 4 = "5\xc2\xb5s")
+       (String.split_on_char '\n' out))
+
+let test_render_right_alignment_with_ansi () =
+  (* right-aligned numeric column: the ANSI cell must line up with the
+     plain ones on its last column *)
+  let out =
+    Table.render ~aligns:[ Table.Left; Table.Right ]
+      ~header:[ "k"; "v" ]
+      [ [ "a"; "10" ]; [ "b"; "\027[32m7\027[0m" ] ]
+  in
+  let lines =
+    List.filter (fun l -> String.trim l <> "")
+      (String.split_on_char '\n' out)
+  in
+  let ends_at line =
+    (* display column of the last visible character *)
+    Table.display_width line
+  in
+  match lines with
+  | _header :: data ->
+    let cols = List.map ends_at data in
+    (match cols with
+     | c :: rest ->
+       List.iter
+         (fun c' ->
+            Alcotest.(check int) "right edge aligned" c c')
+         rest
+     | [] -> Alcotest.fail "no data rows")
+  | [] -> Alcotest.fail "no output"
+
 (* --------------------------- qcheck props --------------------------- *)
 
 let prop_median_bounds =
@@ -179,4 +258,10 @@ let () =
          Alcotest.test_case "percentile" `Quick test_percentile;
          Alcotest.test_case "bootstrap ci" `Quick test_bootstrap_ci_covers;
          Alcotest.test_case "geomean" `Quick test_geomean ]);
+      ("table",
+       [ Alcotest.test_case "display width" `Quick test_display_width;
+         Alcotest.test_case "multibyte/ANSI alignment" `Quick
+           test_render_aligns_multibyte_and_ansi;
+         Alcotest.test_case "right alignment with ANSI" `Quick
+           test_render_right_alignment_with_ansi ]);
       ("stats-properties", qcheck_cases) ]
