@@ -10,6 +10,8 @@
      bench/main.exe --no-cache ...  disable genome/binary memoization
      bench/main.exe fig10 --eager   CERE-style capture ablation
      bench/main.exe bechamel        micro-benchmarks via bechamel
+     bench/main.exe replay          CoW replay setup/verify microbenchmark
+                                    (writes BENCH_replay.json)
      bench/main.exe --trace FILE    record a Chrome trace_event JSON trace
      bench/main.exe --metrics       print a span/counter summary table *)
 
@@ -160,6 +162,145 @@ let bechamel_suite () =
        | Some [] | None -> Printf.printf "bechamel %-42s (no estimate)\n%!" name)
     (List.sort compare rows)
 
+(* ------------------------ replay micro-benchmark -------------------- *)
+
+(* Quantifies the CoW-template replay path against the legacy
+   rebuild-the-address-space-per-replay loader on the fig7-style workload
+   (FFT, Android-pipeline binary).  Writes BENCH_replay.json for CI. *)
+
+let replay_bench () =
+  let module Mem = Repro_os.Mem in
+  let module Snapshot = Repro_capture.Snapshot in
+  let module Replay = Repro_capture.Replay in
+  let module Verify = Repro_capture.Verify in
+  let module Trace = Repro_util.Trace in
+  let app = Option.get (Repro_apps.Registry.find "FFT") in
+  let dx = Repro_apps.Registry.dexfile app in
+  let mids =
+    Array.to_list
+      (Array.map (fun m -> m.Repro_dex.Bytecode.cm_id)
+         dx.Repro_dex.Bytecode.dx_methods)
+  in
+  let capture = Option.get (Repro_core.Pipeline.capture_once app) in
+  let snap = capture.Repro_core.Pipeline.snapshot in
+  let binary = Repro_lir.Compile.android_binary dx mids in
+  let vmap = Verify.collect dx snap in
+  let time_ns ~iters f =
+    f ();                         (* warm up *)
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to iters do f () done;
+    (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int iters
+  in
+  let snapshot_pages =
+    List.length snap.Snapshot.snap_pages + List.length snap.Snapshot.snap_common
+  in
+  (* per-evaluation setup: legacy full rebuild vs CoW clone of the template *)
+  let legacy_build () =
+    let mem = Mem.create () in
+    List.iter
+      (fun m ->
+         Mem.map mem ~base:m.Mem.map_base ~npages:m.Mem.map_npages
+           ~kind:m.Mem.map_kind ~name:m.Mem.map_name)
+      snap.Snapshot.snap_maps;
+    List.iter
+      (fun p -> Mem.install_page mem ~page:p.Snapshot.pg_index p.Snapshot.pg_data)
+      snap.Snapshot.snap_common;
+    List.iter
+      (fun p -> Mem.install_page mem ~page:p.Snapshot.pg_index p.Snapshot.pg_data)
+      snap.Snapshot.snap_pages
+  in
+  let template = Snapshot.template snap in
+  let clone_build () = Mem.drop (Mem.clone template) in
+  let legacy_ns = time_ns ~iters:40 legacy_build in
+  let clone_ns = time_ns ~iters:2000 clone_build in
+  (* dirty-page accounting for one replay, via the trace counters *)
+  Trace.enable ();
+  Trace.reset ();
+  let r = Replay.run dx snap Replay.Interpreter in
+  let ctx = r.Repro_capture.Replay.ctx in
+  let cloned_refs = Trace.counter_value "mem.clone_pages" in
+  let cow_pages = Trace.counter_value "mem.cow_pages" in
+  let scanned0 = Trace.counter_value "verify.pages_scanned" in
+  ignore (Verify.diff_against_snapshot ctx snap);
+  let pages_scanned_dirty = Trace.counter_value "verify.pages_scanned" - scanned0 in
+  Trace.disable ();
+  let mem = ctx.Repro_vm.Exec_ctx.mem in
+  let pages_scanned_full =
+    List.length (Mem.touched_pages mem ~kind:Mem.Rheap)
+    + List.length (Mem.touched_pages mem ~kind:Mem.Rstatics)
+  in
+  (* verification scan: dirty-page walk vs the full reference scan *)
+  let dirty_scan_ns =
+    time_ns ~iters:400 (fun () -> ignore (Verify.diff_against_snapshot ctx snap))
+  in
+  let full_scan_ns =
+    time_ns ~iters:100
+      (fun () -> ignore (Verify.diff_against_snapshot_full ctx snap))
+  in
+  (* end-to-end verified replay (replay + compare), as fig7 runs it *)
+  let check_ns =
+    time_ns ~iters:25 (fun () -> ignore (Verify.check dx snap vmap binary))
+  in
+  let setup_speedup = legacy_ns /. clone_ns in
+  let scan_speedup = full_scan_ns /. dirty_scan_ns in
+  let combined_before = legacy_ns +. full_scan_ns in
+  let combined_after = clone_ns +. dirty_scan_ns in
+  let combined_speedup = combined_before /. combined_after in
+  let oc = open_out "BENCH_replay.json" in
+  Printf.fprintf oc
+    {|{
+  "workload": "FFT fig7-style verified replay (Android-pipeline binary)",
+  "snapshot_pages": %d,
+  "setup": {
+    "legacy_rebuild_ns": %.0f,
+    "cow_clone_ns": %.0f,
+    "speedup": %.1f
+  },
+  "pages": {
+    "copied_per_replay_legacy": %d,
+    "ref_shared_per_clone": %d,
+    "cow_copied_per_replay": %d
+  },
+  "verify": {
+    "full_scan_ns": %.0f,
+    "dirty_scan_ns": %.0f,
+    "speedup": %.1f,
+    "pages_scanned_dirty": %d,
+    "pages_scanned_full": %d
+  },
+  "check": {
+    "ns_per_check": %.0f,
+    "checks_per_sec": %.1f
+  },
+  "combined": {
+    "setup_plus_verify_before_ns": %.0f,
+    "setup_plus_verify_after_ns": %.0f,
+    "speedup": %.1f
+  }
+}
+|}
+    snapshot_pages legacy_ns clone_ns setup_speedup snapshot_pages cloned_refs
+    cow_pages full_scan_ns dirty_scan_ns scan_speedup pages_scanned_dirty
+    pages_scanned_full check_ns (1e9 /. check_ns) combined_before
+    combined_after combined_speedup;
+  close_out oc;
+  Printf.printf "replay microbenchmark (FFT, %d snapshot pages)\n" snapshot_pages;
+  Printf.printf "  setup   legacy rebuild %10.0f ns   CoW clone %8.0f ns   %6.1fx\n"
+    legacy_ns clone_ns setup_speedup;
+  Printf.printf "  pages   legacy copies %d/replay;  clone refs %d, CoW-copies %d\n"
+    snapshot_pages cloned_refs cow_pages;
+  Printf.printf "  verify  full scan %12.0f ns  dirty scan %8.0f ns   %6.1fx\n"
+    full_scan_ns dirty_scan_ns scan_speedup;
+  Printf.printf "          pages scanned: %d dirty vs %d materialized\n"
+    pages_scanned_dirty pages_scanned_full;
+  Printf.printf "  check   %.0f ns end-to-end (%.1f verified replays/sec)\n"
+    check_ns (1e9 /. check_ns);
+  Printf.printf "  combined setup+verify speedup: %.1fx %s\n"
+    combined_speedup
+    (if combined_speedup >= 3.0 then "(meets the 3x target)"
+     else "(BELOW the 3x target)");
+  print_endline "wrote BENCH_replay.json"
+
 let () =
   let full = ref false in
   let eager = ref false in
@@ -211,6 +352,7 @@ let () =
     if !metrics then Repro_util.Trace.print_summary ()
   in
   if names = [ "bechamel" ] then bechamel_suite ()
+  else if names = [ "replay" ] then replay_bench ()
   else begin
     Fun.protect ~finally:export_observability (fun () ->
         run_all ~cfg ~eager:!eager ~jobs:!jobs ~cache:(not !no_cache) names;

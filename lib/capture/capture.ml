@@ -110,7 +110,7 @@ let capture_region ~app (ctx : Ctx.t) ~mid ~args ~run =
     @ Mem.touched_pages child ~kind:Mem.Rgc_aux
   in
   let program_pages =
-    List.sort_uniq compare (!recorded @ always_stored)
+    List.sort_uniq Int.compare (!recorded @ always_stored)
     |> List.filter_map image_of
   in
   let common_pages =

@@ -42,23 +42,22 @@ let run ?(fuel = default_fuel) ?cost ?record_vcall (dx : B.dexfile)
      | Interpreter -> "replay:interpreter"
      | Optimized _ -> "replay:optimized")
   @@ fun () ->
-  (* 1) rebuild the address space *)
-  let mem = Mem.create () in
-  List.iter
-    (fun m ->
-       Mem.map mem ~base:m.Mem.map_base ~npages:m.Mem.map_npages
-         ~kind:m.Mem.map_kind ~name:m.Mem.map_name)
-    snap.Snapshot.snap_maps;
-  (* 2-3) place pages; count collisions with the loader's own range *)
+  (* 1-3) rebuild the address space: a Copy-on-Write clone of the
+     snapshot's template — page installs happen once per (domain,
+     snapshot) inside [Snapshot.template]; each replay only duplicates
+     the page table and shares every frame until it writes. *)
+  let mem = Mem.clone (Snapshot.template snap) in
+  (* count captured pages landing in the loader's own range *)
   let loader_lo = loader_base / Mem.page_size in
   let loader_hi = loader_lo + loader_pages in
-  let collisions = ref 0 in
-  let place { Snapshot.pg_index; pg_data } =
-    if pg_index >= loader_lo && pg_index < loader_hi then incr collisions;
-    Mem.install_page mem ~page:pg_index pg_data
+  let count_collisions acc { Snapshot.pg_index; _ } =
+    if pg_index >= loader_lo && pg_index < loader_hi then acc + 1 else acc
   in
-  List.iter place snap.Snapshot.snap_common;
-  List.iter place snap.Snapshot.snap_pages;
+  let collisions =
+    List.fold_left count_collisions
+      (List.fold_left count_collisions 0 snap.Snapshot.snap_common)
+      snap.Snapshot.snap_pages
+  in
   Mem.reset_stats mem;
   (* restore allocator + GC accounting ("architectural state") *)
   let heap_map =
@@ -91,7 +90,7 @@ let run ?(fuel = default_fuel) ?cost ?record_vcall (dx : B.dexfile)
     | exception Exec.Segfault msg -> Crashed ("segfault: " ^ msg)
     | exception Ctx.Timeout -> Hung
   in
-  { outcome; ctx; loader_collisions = !collisions }
+  { outcome; ctx; loader_collisions = collisions }
 
 let cycles r =
   match r.outcome with

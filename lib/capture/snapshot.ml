@@ -1,5 +1,6 @@
 module Mem = Repro_os.Mem
 module Storage = Repro_os.Storage
+module Trace = Repro_util.Trace
 
 type page_image = { pg_index : int; pg_data : int64 array }
 
@@ -26,3 +27,43 @@ let store storage t =
     Storage.write storage ~label:boot_common_label ~bytes:(common_bytes t)
 
 let discard storage t = Storage.delete storage ~label:(t.snap_app ^ "/capture")
+
+(* ------------------------- snapshot templates ------------------------ *)
+
+(* One immutable address-space template per (domain, snapshot): mappings
+   recreated and every captured page installed once, after which each
+   replay takes an O(page-table) [Mem.clone] instead of re-copying every
+   page.  The cache is domain-local so template frames (plain-int
+   refcounts) are never shared across domains — each Evalpool worker
+   builds its own template, amortized over the replays it runs. *)
+let template_slot : (t * Mem.t) option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let build_template snap =
+  Trace.span ~cat:"replay" ~args:[ ("app", snap.snap_app) ]
+    "snapshot:build_template"
+  @@ fun () ->
+  Trace.incr "replay.template_builds";
+  let mem = Mem.create () in
+  List.iter
+    (fun m ->
+       Mem.map mem ~base:m.Mem.map_base ~npages:m.Mem.map_npages
+         ~kind:m.Mem.map_kind ~name:m.Mem.map_name)
+    snap.snap_maps;
+  let place { pg_index; pg_data } = Mem.install_page mem ~page:pg_index pg_data in
+  List.iter place snap.snap_common;
+  List.iter place snap.snap_pages;
+  mem
+
+let template snap =
+  match Domain.DLS.get template_slot with
+  | Some (s, mem) when s == snap -> mem
+  | Some _ | None ->
+    let mem = build_template snap in
+    Domain.DLS.set template_slot (Some (snap, mem));
+    mem
+
+let cached_template snap =
+  match Domain.DLS.get template_slot with
+  | Some (s, mem) when s == snap -> Some mem
+  | Some _ | None -> None

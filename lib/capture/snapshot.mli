@@ -30,3 +30,16 @@ val store : Repro_os.Storage.t -> t -> unit
 
 val discard : Repro_os.Storage.t -> t -> unit
 (** Release the app-specific blob after optimization finishes (§5.4). *)
+
+val template : t -> Repro_os.Mem.t
+(** The snapshot's address-space template: mappings recreated and every
+    captured page installed, built once per (domain, snapshot) and cached
+    in domain-local storage.  Replays [Repro_os.Mem.clone] it instead of
+    re-copying every page, making per-replay setup O(page table) and
+    verification O(dirty pages).  The template must be treated as
+    immutable; never write through it. *)
+
+val cached_template : t -> Repro_os.Mem.t option
+(** The calling domain's cached template for this exact snapshot, if one
+    exists — a cheap provenance check ([==] against
+    {!Repro_os.Mem.cloned_from}) that never builds anything. *)

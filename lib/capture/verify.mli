@@ -11,7 +11,20 @@ type t = {
 
 val diff_against_snapshot : Repro_vm.Exec_ctx.t -> Snapshot.t -> (int * int64) list
 (** All heap/static words whose post-replay value differs from the captured
-    original (absent pages read as zero). *)
+    original (absent pages read as zero).  When the context's memory is a
+    clone of this snapshot's template (the normal replay path) only the
+    pages the replay privatized are scanned — O(dirty pages), counted by
+    the [verify.pages_scanned] trace counter; otherwise every materialized
+    heap/static page is scanned (counted by [verify.full_scans]). *)
+
+val diff_against_snapshot_full : Repro_vm.Exec_ctx.t -> Snapshot.t -> (int * int64) list
+(** Reference implementation: always scan every materialized heap/static
+    page.  Used by tests to prove the dirty-page scan equivalent. *)
+
+val diff_matches : Repro_vm.Exec_ctx.t -> Snapshot.t -> (int * int64) list -> bool
+(** [diff_matches ctx snap writes] is
+    [diff_against_snapshot ctx snap = writes] with an early exit on the
+    first diverging word, without materializing the diff list. *)
 
 val collect : Repro_dex.Bytecode.dexfile -> Snapshot.t -> t
 (** Build the map through an interpreted replay.

@@ -102,3 +102,12 @@ let block_freq f g =
        Hashtbl.replace freq bid (10.0 ** float_of_int (Cfg.loop_depth g bid)))
     (Cfg.nodes g);
   freq
+
+(* Register pressure: the largest live-out set across the function's
+   blocks.  Pure — callers decide whether to cache it in
+   [Hir.f_pressure]; mutating that cache from worker domains is a data
+   race, so [Repro_lir.Binary.create] precomputes it once per binary. *)
+let pressure (f : Hir.func) =
+  let g = Hir.cfg f in
+  let live_out = liveness f g in
+  Hashtbl.fold (fun _ live acc -> max acc (ISet.cardinal live)) live_out 0

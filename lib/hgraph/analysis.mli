@@ -19,3 +19,9 @@ val def_count : Hir.func -> (int, int) Hashtbl.t
 
 val block_freq : Hir.func -> Repro_util.Cfg.t -> (int, float) Hashtbl.t
 (** Static execution-frequency estimate: 10^loop-depth. *)
+
+val pressure : Hir.func -> int
+(** Register pressure: the largest live-out set over all blocks.  Pure (no
+    caching); see [Hir.f_pressure] for the per-function cache that
+    [Repro_lir.Binary.create] fills exactly once, before a binary can be
+    shared across evaluation domains. *)

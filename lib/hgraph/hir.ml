@@ -89,7 +89,8 @@ type func = {
   mutable f_next_bid : bid;
   mutable f_pressure : int option;
   (* cached register-pressure estimate (max live across block boundaries),
-     filled in by the executor on first run; invalidated by [copy] *)
+     filled in by [Binary.create] before the binary can cross domains;
+     invalidated by [copy] *)
 }
 
 (* ------------------------------------------------------------------ *)

@@ -7,11 +7,21 @@ type t = {
 
 let create fs =
   let funcs = Hashtbl.create 16 in
-  List.iter (fun f -> Hashtbl.replace funcs f.Hir.f_mid f) fs;
+  List.iter
+    (fun f ->
+       (* Precompute the register-pressure cache while the binary is still
+          private to the building domain: executor reads of [f_pressure]
+          from concurrent Evalpool workers must never race a lazy fill. *)
+       if f.Hir.f_pressure = None then
+         f.Hir.f_pressure <- Some (Repro_hgraph.Analysis.pressure f);
+       Hashtbl.replace funcs f.Hir.f_mid f)
+    fs;
   { funcs; size = List.fold_left (fun acc f -> acc + Hir.size f) 0 fs }
 
 let find t mid = Hashtbl.find_opt t.funcs mid
-let mids t = Hashtbl.fold (fun mid _ acc -> mid :: acc) t.funcs [] |> List.sort compare
+let mids t =
+  Hashtbl.fold (fun mid _ acc -> mid :: acc) t.funcs []
+  |> List.sort Int.compare
 
 let recompute_size t =
   t.size <- Hashtbl.fold (fun _ f acc -> acc + Hir.size f) t.funcs 0

@@ -24,19 +24,14 @@ let icache_divisor = 150
 let physical_registers = 24
 let spill_divisor = 3
 
+(* Read-only: [Binary.create] fills the [f_pressure] cache before a binary
+   can cross domains, so the executor never writes shared function records
+   (the old lazy fill here raced between Evalpool worker domains).  A
+   function that bypassed [Binary.create] just recomputes. *)
 let pressure_of (f : Hir.func) =
   match f.Hir.f_pressure with
   | Some p -> p
-  | None ->
-    let g = Hir.cfg f in
-    let live_out = Repro_hgraph.Analysis.liveness f g in
-    let p =
-      Hashtbl.fold
-        (fun _ live acc -> max acc (Repro_hgraph.Analysis.ISet.cardinal live))
-        live_out 0
-    in
-    f.Hir.f_pressure <- Some p;
-    p
+  | None -> Repro_hgraph.Analysis.pressure f
 
 let binop_cost (c : Cost.model) op (a : Value.t) =
   let is_float = match a with Vfloat _ -> true | Vint _ | Vbool _ | Vref _ -> false in

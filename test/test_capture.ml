@@ -236,6 +236,80 @@ let test_loader_collision_tracking () =
   Alcotest.(check int) "no collisions with this layout" 0
     r.Replay.loader_collisions
 
+(* ----------------- dirty-page verification (CoW replay) ------------- *)
+
+module Trace = Repro_util.Trace
+
+let test_dirty_scan_counter () =
+  (* diff work must be proportional to the pages the replay dirtied, not
+     to snapshot size: asserted through the verify.pages_scanned counter *)
+  let cap = Lazy.force fft_capture in
+  let dx = App.dexfile (fft ()) in
+  let snap = cap.Pipeline.snapshot in
+  Trace.enable ();
+  Trace.reset ();
+  let r = Replay.run dx snap Replay.Interpreter in
+  let ctx = r.Replay.ctx in
+  let mem = ctx.Vm.Exec_ctx.mem in
+  let before = Trace.counter_value "verify.pages_scanned" in
+  let diffs = Verify.diff_against_snapshot ctx snap in
+  let scanned = Trace.counter_value "verify.pages_scanned" - before in
+  let dirty =
+    List.length (Mem.dirty_pages mem ~kind:Mem.Rheap)
+    + List.length (Mem.dirty_pages mem ~kind:Mem.Rstatics)
+  in
+  let snapshot_pages =
+    List.length snap.Snapshot.snap_pages + List.length snap.Snapshot.snap_common
+  in
+  Alcotest.(check int) "scanned exactly the dirty pages" dirty scanned;
+  Alcotest.(check bool) "way below snapshot size" true
+    (scanned < snapshot_pages / 4);
+  Alcotest.(check int) "no full-scan fallback" 0
+    (Trace.counter_value "verify.full_scans");
+  (* dirtying one more page costs exactly one more scanned page *)
+  let heap_map =
+    List.find (fun m -> m.Mem.map_kind = Mem.Rheap) snap.Snapshot.snap_maps
+  in
+  let fresh_addr =
+    heap_map.Mem.map_base + ((heap_map.Mem.map_npages - 1) * Mem.page_size)
+  in
+  Mem.write_int mem fresh_addr 1234;
+  let before2 = Trace.counter_value "verify.pages_scanned" in
+  ignore (Verify.diff_against_snapshot ctx snap);
+  Alcotest.(check int) "one extra dirty page, one extra scan" (scanned + 1)
+    (Trace.counter_value "verify.pages_scanned" - before2);
+  Trace.disable ();
+  Alcotest.(check bool) "same answer as the full scan" true
+    (Verify.diff_against_snapshot_full ctx snap
+     = List.merge compare [ (fresh_addr, 1234L) ] diffs)
+
+let prop_dirty_diff_equals_full_scan =
+  (* satellite (b): the dirty-page diff equals the old full scan on random
+     post-replay write patterns (zero-frame pages, CoW pages, clean pages) *)
+  QCheck.Test.make ~name:"dirty-page diff = full scan" ~count:20
+    QCheck.(list_of_size Gen.(int_range 0 40)
+              (triple (int_bound 299) (int_bound (Mem.words_per_page - 1)) int))
+    (fun writes ->
+       let cap = Lazy.force fft_capture in
+       let dx = App.dexfile (fft ()) in
+       let snap = cap.Pipeline.snapshot in
+       let r = Replay.run dx snap Replay.Interpreter in
+       let ctx = r.Replay.ctx in
+       let mem = ctx.Vm.Exec_ctx.mem in
+       let heap_map =
+         List.find (fun m -> m.Mem.map_kind = Mem.Rheap) snap.Snapshot.snap_maps
+       in
+       List.iter
+         (fun (page, word, v) ->
+            Mem.write_int mem
+              (heap_map.Mem.map_base + (page * Mem.page_size) + (word * 8))
+              v)
+         writes;
+       let fast = Verify.diff_against_snapshot ctx snap in
+       let full = Verify.diff_against_snapshot_full ctx snap in
+       fast = full && Verify.diff_matches ctx snap full
+       && not (Verify.diff_matches ctx snap ((0, 1L) :: full)))
+
 let test_replay_isolated_from_online_memory () =
   (* replays rebuild memory from the snapshot: mutating the replayed heap
      twice gives identical results (no cross-replay leakage) *)
@@ -270,5 +344,8 @@ let () =
          Alcotest.test_case "flags crash" `Quick test_verify_flags_crash;
          Alcotest.test_case "flags hang" `Quick test_verify_flags_hang;
          Alcotest.test_case "type profile" `Quick test_typeprof_collected ]);
+      ("dirty-scan",
+       [ Alcotest.test_case "pages_scanned counter" `Quick test_dirty_scan_counter;
+         QCheck_alcotest.to_alcotest prop_dirty_diff_equals_full_scan ]);
       ("storage",
        [ Alcotest.test_case "accounting" `Quick test_storage_accounting ]) ]

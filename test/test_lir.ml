@@ -585,6 +585,62 @@ let test_jni_to_intrinsic_speeds_up () =
   Alcotest.check value_opt "intrinsic correct" ri r2;
   Alcotest.(check bool) "intrinsics faster" true (c2 < c1)
 
+(* ------------- pressure cache (Evalpool data-race regression) -------- *)
+
+(* Binary.create must precompute every function's register-pressure cache:
+   the executor used to fill it lazily, which raced when Evalpool worker
+   domains shared one binary. *)
+let test_binary_precomputes_pressure () =
+  let dx = compile_src big_src in
+  let binary = Compile.android_binary dx (all_mids dx) in
+  List.iter
+    (fun mid ->
+       match Binary.find binary mid with
+       | Some f ->
+         Alcotest.(check bool)
+           (Printf.sprintf "pressure cached for mid %d" mid)
+           true (f.Hir.f_pressure <> None)
+       | None -> ())
+    (Binary.mids binary)
+
+let test_executor_never_fills_pressure () =
+  (* a func that bypasses Binary.create keeps f_pressure = None across a
+     run: the executor recomputes instead of mutating the shared record *)
+  let dx =
+    compile_src
+      "class Main { static int main() {
+         int s = 0;
+         for (int i = 0; i < 10; i = i + 1) { s = s + i; }
+         return s;
+       } }"
+  in
+  let f = Translate.func dx (Build.func dx dx.B.dx_main) in
+  f.Hir.f_pressure <- None;
+  let ctx = Vm.Image.build ~seed:7 dx in
+  Vm.Interp.install ctx;
+  let r = Exec.run_func ctx f [] in
+  Alcotest.(check value_opt) "loop result" (Some (Vm.Value.Vint 45)) r;
+  Alcotest.(check bool) "executor left the cache alone" true
+    (f.Hir.f_pressure = None)
+
+let test_pressure_safe_across_domains () =
+  (* hammer: four domains execute the same binary concurrently; results
+     must agree with the sequential run (no torn pressure cache) *)
+  let dx = compile_src big_src in
+  let binary = Compile.android_binary dx (all_mids dx) in
+  let expected = run_binary dx binary in
+  let domains =
+    List.init 4 (fun _ -> Domain.spawn (fun () -> run_binary dx binary))
+  in
+  List.iter
+    (fun d ->
+       let r, io, cycles = Domain.join d in
+       let er, eio, ecycles = expected in
+       Alcotest.(check value_opt) "same return" er r;
+       Alcotest.(check string) "same io" eio io;
+       Alcotest.(check int) "same cycles" ecycles cycles)
+    domains
+
 let () =
   Alcotest.run "lir"
     [ ("build",
@@ -623,4 +679,8 @@ let () =
          Alcotest.test_case "unknown pass" `Quick test_unknown_pass_is_compile_error ]);
       ("profile-guided",
        [ Alcotest.test_case "devirtualize" `Quick test_devirt_speeds_up_with_profile;
-         Alcotest.test_case "jni-to-intrinsic" `Quick test_jni_to_intrinsic_speeds_up ]) ]
+         Alcotest.test_case "jni-to-intrinsic" `Quick test_jni_to_intrinsic_speeds_up ]);
+      ("pressure-cache",
+       [ Alcotest.test_case "binary precomputes" `Quick test_binary_precomputes_pressure;
+         Alcotest.test_case "executor read-only" `Quick test_executor_never_fills_pressure;
+         Alcotest.test_case "cross-domain" `Quick test_pressure_safe_across_domains ]) ]

@@ -154,6 +154,90 @@ let test_page_data_and_touched () =
     (Mem.page_data mem ~page:(List.hd touched) <> None);
   Alcotest.(check int) "word count" (2 * Mem.words_per_page) (Mem.word_count mem)
 
+(* ------------------------------ clone/CoW --------------------------- *)
+
+let heap_page = 0x1000_0000 / Mem.page_size
+
+let test_clone_shares_then_isolates () =
+  let mem = fresh () in
+  Mem.write_int mem (addr 0) 41;
+  let c1 = Mem.clone mem in
+  let c2 = Mem.clone mem in
+  Alcotest.(check int) "clone reads template data" 41 (Mem.read_int c1 (addr 0));
+  Alcotest.(check bool) "frames shared before write" true
+    (Mem.shares_frame mem c1 ~page:heap_page);
+  Alcotest.(check (option int)) "template+2 clones" (Some 3)
+    (Mem.refcount mem ~page:heap_page);
+  Mem.write_int c1 (addr 0) 99;
+  Alcotest.(check int) "template unchanged" 41 (Mem.read_int mem (addr 0));
+  Alcotest.(check int) "sibling unchanged" 41 (Mem.read_int c2 (addr 0));
+  Alcotest.(check int) "clone sees its write" 99 (Mem.read_int c1 (addr 0));
+  Alcotest.(check bool) "unshared after write" false
+    (Mem.shares_frame mem c1 ~page:heap_page);
+  Alcotest.(check (option int)) "writer owns its copy" (Some 1)
+    (Mem.refcount c1 ~page:heap_page);
+  Alcotest.(check (option int)) "template+sibling still share" (Some 2)
+    (Mem.refcount mem ~page:heap_page)
+
+let test_clone_dirty_tracking () =
+  let mem = fresh () in
+  Mem.write_int mem (addr 0) 1;
+  Mem.write_int mem (0x1000_0000 + Mem.page_size) 2;
+  let c = Mem.clone mem in
+  Alcotest.(check (list int)) "clone starts clean" []
+    (Mem.dirty_pages c ~kind:Mem.Rheap);
+  ignore (Mem.read_int c (addr 5));
+  Alcotest.(check (list int)) "reads stay clean" []
+    (Mem.dirty_pages c ~kind:Mem.Rheap);
+  Mem.write_int c (addr 3) 7;
+  Mem.write_int c (addr 4) 8;
+  Alcotest.(check (list int)) "one dirty page, deduped" [ heap_page ]
+    (Mem.dirty_pages c ~kind:Mem.Rheap);
+  (* a cold page written directly in the clone is dirty too *)
+  Mem.write_int c (0x1000_0000 + (3 * Mem.page_size)) 9;
+  Alcotest.(check (list int)) "cold write dirty" [ heap_page; heap_page + 3 ]
+    (Mem.dirty_pages c ~kind:Mem.Rheap)
+
+let test_cold_reads_share_zero_frame () =
+  let mem = fresh () in
+  let c = Mem.clone mem in
+  Alcotest.(check int) "cold read zero" 0 (Mem.read_int c (addr 9));
+  ignore (Mem.read_int mem (addr 9));
+  Alcotest.(check bool) "both on the zero frame" true
+    (Mem.shares_frame mem c ~page:heap_page);
+  Alcotest.(check (option int)) "zero frame has no refcount" None
+    (Mem.refcount c ~page:heap_page);
+  Alcotest.(check int) "still counts as resident" Mem.words_per_page
+    (Mem.word_count c);
+  Mem.write_int c (addr 9) 5;
+  Alcotest.(check int) "write privatizes" 5 (Mem.read_int c (addr 9));
+  Alcotest.(check int) "template still zero" 0 (Mem.read_int mem (addr 9))
+
+let test_drop_releases_refcounts () =
+  let mem = fresh () in
+  Mem.write_int mem (addr 0) 1;
+  let c1 = Mem.clone mem in
+  let c2 = Mem.clone mem in
+  Alcotest.(check (option int)) "three holders" (Some 3)
+    (Mem.refcount mem ~page:heap_page);
+  Mem.drop c1;
+  Alcotest.(check (option int)) "two after drop" (Some 2)
+    (Mem.refcount mem ~page:heap_page);
+  Mem.write_int c2 (addr 0) 2;
+  Alcotest.(check (option int)) "template alone after CoW" (Some 1)
+    (Mem.refcount mem ~page:heap_page);
+  Alcotest.(check (option int)) "writer alone" (Some 1)
+    (Mem.refcount c2 ~page:heap_page)
+
+let test_cloned_from_provenance () =
+  let mem = fresh () in
+  let c = Mem.clone mem in
+  Alcotest.(check bool) "clone remembers source" true
+    (match Mem.cloned_from c with Some s -> s == mem | None -> false);
+  Alcotest.(check bool) "root has no source" true (Mem.cloned_from mem = None);
+  Alcotest.(check bool) "fork is not a clone" true
+    (Mem.cloned_from (Mem.fork mem) = None)
+
 (* ------------------------------ storage ----------------------------- *)
 
 let test_storage_replace_and_labels () =
@@ -189,6 +273,71 @@ let prop_fork_isolation =
        List.iter (fun (w, v) -> Mem.write_int mem (addr w) (v + 1)) writes;
        List.for_all (fun (w, v) -> Mem.read_int child (addr w) = v) snapshot)
 
+let prop_clone_isolation =
+  (* satellite (a): writes in one CoW clone are never visible in the
+     template or in sibling clones *)
+  QCheck.Test.make ~name:"clone isolation under random writes" ~count:100
+    QCheck.(pair
+              (list_of_size Gen.(int_range 1 20) (pair (int_bound 100) (int_bound 1000)))
+              (list_of_size Gen.(int_range 1 20) (pair (int_bound 100) (int_bound 1000))))
+    (fun (base_writes, clone_writes) ->
+       let mem = fresh () in
+       List.iter (fun (w, v) -> Mem.write_int mem (addr w) v) base_writes;
+       let before = List.map (fun (w, _) -> (w, Mem.read_int mem (addr w))) base_writes in
+       let c1 = Mem.clone mem in
+       let c2 = Mem.clone mem in
+       List.iter (fun (w, v) -> Mem.write_int c1 (addr w) (v + 7)) clone_writes;
+       let expected =
+         (* last write per word wins *)
+         List.fold_left
+           (fun acc (w, v) -> (w, v + 7) :: List.remove_assoc w acc)
+           [] clone_writes
+       in
+       List.for_all (fun (w, v) -> Mem.read_int mem (addr w) = v) before
+       && List.for_all (fun (w, v) -> Mem.read_int c2 (addr w) = v) before
+       && List.for_all (fun (w, v) -> Mem.read_int c1 (addr w) = v) expected)
+
+(* satellite (c): frame refcounts stay exact under arbitrary
+   clone/write/drop sequences.  The model: a frame's refcount must equal
+   the number of live spaces whose slot holds that very frame. *)
+let prop_refcounts_exact =
+  let apply_op live (op, a, b) =
+    match live with
+    | [] -> live
+    | _ ->
+      let pick xs k = List.nth xs (k mod List.length xs) in
+      (match op mod 3 with
+       | 0 when List.length live < 6 -> Mem.clone (pick live a) :: live
+       | 1 ->
+         Mem.write_int (pick live a) (addr ((b mod 8) * Mem.words_per_page)) b;
+         live
+       | 2 when List.length live > 1 ->
+         let victim = pick live a in
+         Mem.drop victim;
+         List.filter (fun m -> m != victim) live
+       | _ -> live)
+  in
+  QCheck.Test.make ~name:"refcounts exact under clone/write/drop" ~count:200
+    QCheck.(list_of_size Gen.(int_range 1 25)
+              (triple (int_bound 1000) (int_bound 1000) (int_bound 1000)))
+    (fun ops ->
+       let root = fresh () in
+       Mem.write_int root (addr 0) 1;
+       Mem.write_int root (addr Mem.words_per_page) 2;
+       let live = List.fold_left apply_op [ root ] ops in
+       List.for_all
+         (fun s ->
+            List.for_all
+              (fun page ->
+                 match Mem.refcount s ~page with
+                 | None -> true
+                 | Some rc ->
+                   rc
+                   = List.length
+                       (List.filter (fun s' -> Mem.shares_frame s s' ~page) live))
+              (List.init 8 (fun i -> heap_page + i)))
+         live)
+
 let () =
   Alcotest.run "os"
     [ ("mem",
@@ -208,8 +357,15 @@ let () =
       ("pages",
        [ Alcotest.test_case "install page" `Quick test_install_page;
          Alcotest.test_case "page data" `Quick test_page_data_and_touched ]);
+      ("clone",
+       [ Alcotest.test_case "shares then isolates" `Quick test_clone_shares_then_isolates;
+         Alcotest.test_case "dirty tracking" `Quick test_clone_dirty_tracking;
+         Alcotest.test_case "zero frame" `Quick test_cold_reads_share_zero_frame;
+         Alcotest.test_case "drop refcounts" `Quick test_drop_releases_refcounts;
+         Alcotest.test_case "provenance" `Quick test_cloned_from_provenance ]);
       ("storage",
        [ Alcotest.test_case "replace/labels" `Quick test_storage_replace_and_labels ]);
       ("os-properties",
        List.map QCheck_alcotest.to_alcotest
-         [ prop_read_after_write; prop_fork_isolation ]) ]
+         [ prop_read_after_write; prop_fork_isolation; prop_clone_isolation;
+           prop_refcounts_exact ]) ]
