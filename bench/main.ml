@@ -13,7 +13,10 @@
      bench/main.exe replay          CoW replay setup/verify microbenchmark
                                     (writes BENCH_replay.json)
      bench/main.exe --trace FILE    record a Chrome trace_event JSON trace
-     bench/main.exe --metrics       print a span/counter summary table *)
+     bench/main.exe --metrics       print a span/counter summary table
+     bench/main.exe --faults SPEC   arm deterministic fault injection
+                                    (seed=N,rate=F[,only=p1+p2]); prints the
+                                    injection totals and quarantine report *)
 
 module E = Repro_core.Experiments
 module Ga = Repro_search.Ga
@@ -308,11 +311,12 @@ let () =
   let no_cache = ref false in
   let trace = ref None in
   let metrics = ref false in
+  let faults = ref None in
   let names_rev = ref [] in
   let usage () =
     prerr_endline
       "usage: bench/main.exe [EXPERIMENT...] [--full] [--eager] [-j N] \
-       [--no-cache] [--trace FILE] [--metrics]";
+       [--no-cache] [--trace FILE] [--metrics] [--faults SPEC]";
     exit 2
   in
   let rec parse = function
@@ -324,6 +328,15 @@ let () =
     | "--trace" :: file :: rest -> trace := Some file; parse rest
     | [ "--trace" ] ->
       prerr_endline "bench: --trace expects a file name";
+      usage ()
+    | "--faults" :: spec :: rest ->
+      (match Repro_util.Faults.parse_spec spec with
+       | Ok cfg -> faults := Some cfg; parse rest
+       | Error msg ->
+         Printf.eprintf "bench: --faults: %s\n" msg;
+         usage ())
+    | [ "--faults" ] ->
+      prerr_endline "bench: --faults expects a specification";
       usage ()
     | ("-j" | "--jobs") :: n :: rest ->
       (match int_of_string_opt n with
@@ -343,13 +356,33 @@ let () =
   let names = List.rev !names_rev in
   let cfg = if !full then Ga.default_config else Ga.quick_config in
   if !trace <> None || !metrics then Repro_util.Trace.enable ();
+  (match !faults with
+   | Some cfg ->
+     Repro_util.Faults.enable cfg;
+     Repro_core.Pipeline.reset_quarantine ()
+   | None -> ());
   let export_observability () =
     (match !trace with
      | Some file ->
        Repro_util.Trace.write_chrome file;
        Printf.printf "trace written to %s\n" file
      | None -> ());
-    if !metrics then Repro_util.Trace.print_summary ()
+    if !metrics then Repro_util.Trace.print_summary ();
+    (match !faults with
+     | Some cfg ->
+       let module F = Repro_util.Faults in
+       Printf.printf "fault injection (%s): %d faults injected\n"
+         (F.spec_string cfg) (F.injected ());
+       List.iter
+         (fun (p, n) ->
+            if n > 0 then Printf.printf "  %-18s %d\n" (F.point_name p) n)
+         (F.injected_by_point ());
+       let entries = Repro_core.Pipeline.quarantine_summary () in
+       Printf.printf "quarantine: %d binary(ies) persistently failed \
+                      verification\n"
+         (List.length entries);
+       F.disable ()
+     | None -> ())
   in
   if names = [ "bechamel" ] then bechamel_suite ()
   else if names = [ "replay" ] then replay_bench ()

@@ -81,6 +81,71 @@ let with_trace trace metrics f =
 let print_pool_report () =
   Repro_search.Evalpool.print_stats (Repro_search.Evalpool.cumulative_stats ())
 
+(* --------------------------- fault injection ------------------------ *)
+
+module Faults = Repro_util.Faults
+
+let faults_conv =
+  let parse s =
+    match Faults.parse_spec s with
+    | Ok cfg -> Ok cfg
+    | Error msg -> Error (`Msg ("--faults: " ^ msg))
+  in
+  Arg.conv (parse, fun fmt cfg -> Format.pp_print_string fmt (Faults.spec_string cfg))
+
+let faults_arg =
+  Arg.(value & opt (some faults_conv) None
+       & info [ "faults" ] ~docv:"SPEC"
+         ~doc:"Arm deterministic fault injection for the run: \
+               $(docv) is seed=N,rate=FLOAT[,only=p1+p2]. Points: \
+               miscompile, replay-collision, replay-truncate, replay-regs, \
+               exec-crash, exec-hang, exec-wrong-ret. Candidate binaries \
+               that persistently fail verification are quarantined (worst \
+               fitness) and reported in a summary table; results remain \
+               byte-identical for every -j/--no-cache combination.")
+
+let print_fault_report cfg =
+  Printf.printf "fault injection (%s): %d faults injected\n"
+    (Faults.spec_string cfg) (Faults.injected ());
+  List.iter
+    (fun (p, n) ->
+       if n > 0 then Printf.printf "  %-18s %d\n" (Faults.point_name p) n)
+    (Faults.injected_by_point ());
+  match Pipeline.quarantine_summary () with
+  | [] ->
+    print_endline
+      "quarantine: empty (no binary persistently failed verification)"
+  | entries ->
+    Printf.printf "quarantine: %d binary(ies) discarded as deterministic \
+                   miscompiles\n" (List.length entries);
+    Repro_util.Table.print
+      ~aligns:[ Repro_util.Table.Left; Repro_util.Table.Left;
+                Repro_util.Table.Right ]
+      ~header:[ "Binary"; "Verdicts (first; retry)"; "Hits" ]
+      (List.map
+         (fun e ->
+            let key =
+              if String.length e.Pipeline.q_binary > 12 then
+                String.sub e.Pipeline.q_binary 0 12 ^ "..."
+              else e.Pipeline.q_binary
+            in
+            [ key; e.Pipeline.q_reason; string_of_int e.Pipeline.q_count ])
+         entries)
+
+(* Arm the registry for the command's body; report and disarm afterwards —
+   also on error exits, so a crashed search still prints its quarantine. *)
+let with_faults faults f =
+  match faults with
+  | None -> f ()
+  | Some cfg ->
+    Faults.enable cfg;
+    Pipeline.reset_quarantine ();
+    Fun.protect
+      ~finally:(fun () ->
+          print_fault_report cfg;
+          Faults.disable ())
+      f
+
 (* ------------------------------ list ------------------------------- *)
 
 let list_cmd =
@@ -232,8 +297,9 @@ let capture_cmd =
 (* ----------------------------- optimize ---------------------------- *)
 
 let optimize_cmd =
-  let run app seed full jobs no_cache trace metrics =
+  let run app seed full jobs no_cache trace metrics faults =
     with_trace trace metrics @@ fun () ->
+    with_faults faults @@ fun () ->
     let cfg = if full then Ga.default_config else Ga.quick_config in
     match Pipeline.capture_once ~seed app with
     | None -> print_endline "no replayable hot region: nothing to optimize"
@@ -264,7 +330,7 @@ let optimize_cmd =
     (Cmd.info "optimize"
        ~doc:"Run the full replay-based iterative compilation (Figure 6).")
     Term.(const run $ app_arg $ seed_arg $ full_arg $ jobs_arg $ no_cache_arg
-          $ trace_arg $ metrics_arg)
+          $ trace_arg $ metrics_arg $ faults_arg)
 
 (* ---------------------------- experiment --------------------------- *)
 
@@ -283,8 +349,9 @@ let experiment_cmd =
          & info [ "eager" ]
            ~doc:"Figure 10 ablation: CERE-style eager page copying.")
   in
-  let run name full eager jobs no_cache trace metrics =
+  let run name full eager jobs no_cache trace metrics faults =
     with_trace trace metrics @@ fun () ->
+    with_faults faults @@ fun () ->
     let cfg = if full then Ga.default_config else Ga.quick_config in
     let cache = not no_cache in
     (match name with
@@ -306,7 +373,7 @@ let experiment_cmd =
     (Cmd.info "experiment"
        ~doc:"Regenerate one of the paper's tables or figures.")
     Term.(const run $ name_arg $ full_arg $ eager_arg $ jobs_arg $ no_cache_arg
-          $ trace_arg $ metrics_arg)
+          $ trace_arg $ metrics_arg $ faults_arg)
 
 (* ----------------------------- disasm ------------------------------ *)
 

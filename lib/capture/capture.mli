@@ -13,21 +13,25 @@
     the online execution context in simulated milliseconds — that is the
     user-visible cost Figure 10 reports. *)
 
+(** Per-capture cost breakdown, in simulated milliseconds — the
+    user-visible online overhead reported by Figure 10. *)
 type overhead = {
-  fork_ms : float;
+  fork_ms : float;              (** the CoW fork of the live process *)
   preparation_ms : float;       (** maps parsing + page protection *)
   fault_cow_ms : float;         (** in-region page faults and CoW copies *)
-  n_faults : int;
-  n_cow : int;
-  n_map_entries : int;
-  n_protected : int;
+  n_faults : int;               (** protection faults taken in the region *)
+  n_cow : int;                  (** pages copied by the kernel CoW *)
+  n_map_entries : int;          (** address-space mappings walked *)
+  n_protected : int;            (** pages read-protected before the region *)
 }
 
 val total_ms : overhead -> float
+(** Sum of every [_ms] component: the total charge to the online run. *)
 
+(** What one capture produces. *)
 type result = {
-  snapshot : Snapshot.t;
-  overhead : overhead;
+  snapshot : Snapshot.t;                  (** the replayable snapshot *)
+  overhead : overhead;                    (** its online cost *)
   region_ret : Repro_vm.Value.t option;   (** the region's own result *)
 }
 

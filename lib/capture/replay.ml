@@ -7,6 +7,8 @@ module Value = Repro_vm.Value
 module Exec = Repro_lir.Exec
 module Binary = Repro_lir.Binary
 module Trace = Repro_util.Trace
+module Faults = Repro_util.Faults
+module Rng = Repro_util.Rng
 
 type code_version =
   | Android_code of Binary.t
@@ -33,14 +35,91 @@ let loader_pages = 64
 
 let default_fuel = 200_000_000
 
-let run ?(fuel = default_fuel) ?cost ?record_vcall (dx : B.dexfile)
-    (snap : Snapshot.t) version =
+(* --------------------- injected loader faults ---------------------- *)
+
+let perturb_value = function
+  | Value.Vint x -> Value.Vint (x + 1)
+  | Value.Vfloat x -> Value.Vfloat (x +. 1.0)
+  | Value.Vbool b -> Value.Vbool (not b)
+  | Value.Vref a -> Value.Vref (a + 8)
+
+(* Damage the rebuilt address space the way a broken loader would:
+   [Replay_truncate] loses the snapshot's highest captured page (reads as
+   zeroes, as if the spool file were cut short); [Replay_collision]
+   clobbers one word of a captured page (a page-restore collision with the
+   loader's own range that break-free relocation failed to fix up).
+
+   Both faults target the region's *observable* state — pages inside the
+   heap/statics mappings, the state the verification map covers.  Damage to
+   the other captured regions (boot-common runtime pages, stacks) is only
+   visible when the replay happens to read it; corrupting observable state
+   instead makes the fault either caught or genuinely behaviour-preserving,
+   which is the property the robustness net must establish. *)
+let inject_loader_faults ~key mem (snap : Snapshot.t) =
+  let observable =
+    List.filter
+      (fun { Snapshot.pg_index; _ } ->
+        List.exists
+          (fun m ->
+            (m.Mem.map_kind = Mem.Rheap || m.Mem.map_kind = Mem.Rstatics)
+            && pg_index >= m.Mem.map_base / Mem.page_size
+            && pg_index < (m.Mem.map_base / Mem.page_size) + m.Mem.map_npages)
+          snap.Snapshot.snap_maps)
+      (snap.Snapshot.snap_pages @ snap.Snapshot.snap_common)
+  in
+  (* a page of zeroes reads back as zeroes: truncation of it is a no-op *)
+  let nonzero { Snapshot.pg_data; _ } =
+    Array.exists (fun w -> w <> 0L) pg_data
+  in
+  let targets = List.filter nonzero observable in
+  if targets <> [] then begin
+    if Faults.fire Faults.Replay_truncate ~key then begin
+      let last =
+        List.fold_left
+          (fun acc { Snapshot.pg_index; _ } -> max acc pg_index)
+          (let { Snapshot.pg_index; _ } = List.hd targets in pg_index)
+          targets
+      in
+      let base = last * Mem.page_size in
+      for w = 0 to Mem.words_per_page - 1 do
+        Mem.write_word mem (base + (w * 8)) 0L
+      done;
+      Faults.record Faults.Replay_truncate
+    end;
+    if Faults.fire Faults.Replay_collision ~key then begin
+      let rng = Faults.rng Faults.Replay_collision ~key in
+      let { Snapshot.pg_index; _ } = Rng.pick rng (Array.of_list targets) in
+      let w = Rng.int rng Mem.words_per_page in
+      let addr = (pg_index * Mem.page_size) + (w * 8) in
+      Mem.write_word mem addr
+        (Int64.logxor (Mem.read_word mem addr) 0xDEADBEEFL);
+      Faults.record Faults.Replay_collision
+    end
+  end
+
+(* [Replay_regs]: corrupt one captured argument — the "architectural
+   state" restored by the loader. *)
+let perturb_args ~key args =
+  if args <> [] && Faults.fire Faults.Replay_regs ~key then begin
+    let rng = Faults.rng Faults.Replay_regs ~key in
+    let i = Rng.int rng (List.length args) in
+    Faults.record Faults.Replay_regs;
+    List.mapi (fun j v -> if j = i then perturb_value v else v) args
+  end
+  else args
+
+let run ?(fuel = default_fuel) ?cost ?record_vcall ?faults_key
+    (dx : B.dexfile) (snap : Snapshot.t) version =
   Trace.span ~cat:"replay"
     ~args:[ ("app", snap.Snapshot.snap_app) ]
     (match version with
      | Android_code _ -> "replay:android"
      | Interpreter -> "replay:interpreter"
      | Optimized _ -> "replay:optimized")
+  @@ fun () ->
+  (match faults_key with
+   | None -> fun body -> body ()
+   | Some key -> fun body -> Faults.scoped ~key body)
   @@ fun () ->
   (* 1-3) rebuild the address space: a Copy-on-Write clone of the
      snapshot's template — page installs happen once per (domain,
@@ -59,6 +138,9 @@ let run ?(fuel = default_fuel) ?cost ?record_vcall (dx : B.dexfile)
       snap.Snapshot.snap_pages
   in
   Mem.reset_stats mem;
+  (match faults_key with
+   | Some key -> inject_loader_faults ~key mem snap
+   | None -> ());
   (* restore allocator + GC accounting ("architectural state") *)
   let heap_map =
     List.find (fun m -> m.Mem.map_kind = Mem.Rheap) snap.Snapshot.snap_maps
@@ -82,8 +164,13 @@ let run ?(fuel = default_fuel) ?cost ?record_vcall (dx : B.dexfile)
   (match version with
    | Interpreter -> Interp.install ctx
    | Android_code binary | Optimized binary -> Exec.install ctx binary);
+  let region_args =
+    match faults_key with
+    | Some key -> perturb_args ~key snap.Snapshot.snap_args
+    | None -> snap.Snapshot.snap_args
+  in
   let outcome =
-    match Ctx.invoke ctx snap.Snapshot.snap_mid snap.Snapshot.snap_args with
+    match Ctx.invoke ctx snap.Snapshot.snap_mid region_args with
     | ret -> Finished (ret, ctx.Ctx.cycles)
     | exception Ctx.App_exception code ->
       Crashed (Printf.sprintf "uncaught exception %d" code)

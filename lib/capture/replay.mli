@@ -9,9 +9,9 @@
     binary. *)
 
 type code_version =
-  | Android_code of Repro_lir.Binary.t
-  | Interpreter
-  | Optimized of Repro_lir.Binary.t
+  | Android_code of Repro_lir.Binary.t   (** the device's default code *)
+  | Interpreter                          (** reference semantics (§3.4) *)
+  | Optimized of Repro_lir.Binary.t      (** a candidate search binary *)
 
 type outcome =
   | Finished of Repro_vm.Value.t option * int   (** result, cycles *)
@@ -25,14 +25,30 @@ type run = {
 }
 
 val loader_base : int
+(** Byte address of the loader program's own (fixed, low) range. *)
+
 val loader_pages : int
+(** Size of the loader's range in pages. *)
 
 val run :
   ?fuel:int -> ?cost:Repro_vm.Cost.model ->
   ?record_vcall:(Typeprof.site -> int -> unit) ->
+  ?faults_key:int ->
   Repro_dex.Bytecode.dexfile -> Snapshot.t -> code_version -> run
 (** Default fuel: 200M cycles (a replay that runs 100x longer than any
-    sensible region is declared hung, like a watchdog would). *)
+    sensible region is declared hung, like a watchdog would).
+
+    [faults_key] opts this replay into the fault-injection net
+    ([Repro_util.Faults]): the replay runs inside a fault scope with that
+    site key, arming the loader fault points (page-restore collision,
+    truncated snapshot, register-state corruption) and the executor fault
+    points (crash, hang-until-fuel, wrong return value).  Without it — the
+    default, and always the case for reference interpreted replays and
+    online runs — injected faults can never damage the replay.  Whether a
+    fault fires is a pure function of the armed fault seed and
+    [faults_key], so callers (see [Repro_core.Pipeline.verify_core]) vary
+    the key per retry attempt to distinguish transient replay faults from
+    deterministic miscompiles. *)
 
 val cycles : run -> int option
 (** Cycles if the replay finished. *)

@@ -8,6 +8,7 @@
     files are only logged as paths. *)
 
 type page_image = { pg_index : int; pg_data : int64 array }
+(** One captured page: its page-table index and original word contents. *)
 
 type t = {
   snap_app : string;
@@ -22,7 +23,12 @@ type t = {
 }
 
 val program_bytes : t -> int
+(** Storage footprint of the program-specific pages (Figure 11's
+    per-capture cost). *)
+
 val common_bytes : t -> int
+(** Storage footprint of the boot-common pages (paid once per boot,
+    shared by every capture). *)
 
 val store : Repro_os.Storage.t -> t -> unit
 (** Spool to device storage: program pages under an app-specific label,

@@ -3,11 +3,13 @@
     classes.  Drives speculative devirtualization and branch hints. *)
 
 type t
+(** A mutable profile: call-site histograms, filled in by {!record}. *)
 
 type site = int * int
 (** (defining method id, bytecode pc) *)
 
 val create : unit -> t
+(** A fresh, empty profile. *)
 
 val record : t -> site -> int -> unit
 (** Count one dispatch of class id at a site. *)
@@ -19,4 +21,7 @@ val install : t -> Repro_vm.Exec_ctx.t -> unit
 (** Hook the context so interpreted execution records into this profile. *)
 
 val sites : t -> site list
+(** Every site with at least one recorded dispatch (unordered). *)
+
 val total : t -> int
+(** Total dispatches recorded across all sites. *)

@@ -142,9 +142,9 @@ let ret_equal a b =
   | Some a, Some b -> Value.equal a b
   | None, Some _ | Some _, None -> false
 
-let check ?fuel dx snap reference binary =
+let check ?fuel ?faults_key dx snap reference binary =
   Trace.span ~cat:"verify" "verify" @@ fun () ->
-  let r = Replay.run ?fuel dx snap (Replay.Optimized binary) in
+  let r = Replay.run ?fuel ?faults_key dx snap (Replay.Optimized binary) in
   let result =
     match r.Replay.outcome with
     | Replay.Crashed msg -> Crashed msg

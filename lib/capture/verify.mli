@@ -32,14 +32,23 @@ val collect : Repro_dex.Bytecode.dexfile -> Snapshot.t -> t
 
 type check_result =
   | Passed of int                 (** cycles of the verified replay *)
-  | Wrong_output
-  | Crashed of string
-  | Hung
+  | Wrong_output                  (** write set or return value diverged *)
+  | Crashed of string             (** the candidate replay raised *)
+  | Hung                          (** the candidate replay exceeded its fuel *)
 
 val check :
   ?fuel:int ->
+  ?faults_key:int ->
   Repro_dex.Bytecode.dexfile -> Snapshot.t -> t -> Repro_lir.Binary.t ->
   check_result
 (** Replay the snapshot under a candidate binary and compare behaviour.
     [fuel] bounds the replay's cycle budget before it is declared [Hung]
-    (default {!Replay.default_fuel}). *)
+    (default {!Replay.default_fuel}).
+
+    [faults_key] is forwarded to {!Replay.run}: it opts the candidate
+    replay (never the reference map) into the fault-injection net, which is
+    how the robustness tests prove that every injected replay/executor
+    fault surfaces as a non-[Passed] verdict.  Anything but [Passed] means
+    the binary must be discarded — under fault injection the pipeline
+    {e quarantines} it (fitness = worst) after a one-retry check that
+    separates transient replay faults from deterministic miscompiles. *)

@@ -73,6 +73,9 @@ let fig1_of_core = function
   | Pipeline.Core_crashed _ -> (F1_runtime_crash, None)
   | Pipeline.Core_hung -> (F1_runtime_timeout, None)
   | Pipeline.Core_wrong_output -> (F1_wrong_output, None)
+  (* quarantined = persistently failed verification (fault-injection runs
+     only); for Figure 1 purposes that is a discarded wrong-output binary *)
+  | Pipeline.Core_quarantined _ -> (F1_wrong_output, None)
 
 (* A pool whose outcome is the Figure 1 classification (plus the raw replay
    cycle count, which Figure 2 turns into a noise-free speedup). *)

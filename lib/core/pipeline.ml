@@ -20,6 +20,7 @@ module Evalpool = Repro_search.Evalpool
 module Rng = Repro_util.Rng
 module Stats = Repro_util.Stats
 module Trace = Repro_util.Trace
+module Faults = Repro_util.Faults
 
 type online = {
   ctx : Ctx.t;
@@ -217,6 +218,7 @@ type eval_core =
   | Core_crashed of string
   | Core_hung
   | Core_wrong_output
+  | Core_quarantined of string
 
 let compile_core env genome =
   match
@@ -227,14 +229,95 @@ let compile_core env genome =
   | exception Compile.Compile_error msg -> Error (Core_compile_failed msg)
   | exception Compile.Compile_timeout -> Error Core_compile_timeout
 
+(* ----------------------- quarantine accounting ---------------------- *)
+
+(* Process-wide record of binaries discarded under fault injection: the
+   verify stage runs on worker domains, so the log is mutex-protected.
+   Trace counters mirror it ([verify.quarantined], [verify.retried]) but
+   the log itself is always on — the CLI's quarantine report must not
+   require --trace. *)
+type quarantine_entry = {
+  q_binary : string;
+  q_reason : string;
+  q_count : int;
+}
+
+let quarantine_mutex = Mutex.create ()
+let quarantine_log : (string, string * int) Hashtbl.t = Hashtbl.create 16
+
+let reset_quarantine () =
+  Mutex.lock quarantine_mutex;
+  Hashtbl.reset quarantine_log;
+  Mutex.unlock quarantine_mutex
+
+let record_quarantine key reason =
+  Mutex.lock quarantine_mutex;
+  (match Hashtbl.find_opt quarantine_log key with
+   | Some (r, n) -> Hashtbl.replace quarantine_log key (r, n + 1)
+   | None -> Hashtbl.add quarantine_log key (reason, 1));
+  Mutex.unlock quarantine_mutex;
+  Trace.incr "verify.quarantined"
+
+let quarantine_summary () =
+  Mutex.lock quarantine_mutex;
+  let entries =
+    Hashtbl.fold
+      (fun key (reason, n) acc ->
+         { q_binary = key; q_reason = reason; q_count = n } :: acc)
+      quarantine_log []
+  in
+  Mutex.unlock quarantine_mutex;
+  List.sort (fun a b -> String.compare a.q_binary b.q_binary) entries
+
+let reason_of_check = function
+  | Verify.Passed _ -> "passed"
+  | Verify.Wrong_output -> "wrong output"
+  | Verify.Crashed msg -> "crashed: " ^ msg
+  | Verify.Hung -> "hung"
+
 let verify_core env binary =
-  match Verify.check env.dx env.capture.snapshot env.vmap binary with
-  | Verify.Passed cycles ->
+  let measured cycles =
     Core_measured
       { cycles; size = binary.Binary.size; key = binary_key binary }
-  | Verify.Wrong_output -> Core_wrong_output
-  | Verify.Crashed msg -> Core_crashed msg
-  | Verify.Hung -> Core_hung
+  in
+  if not (Faults.active ()) then
+    (* Fault injection off (the normal pipeline): single attempt, and a
+       failed verification keeps its precise verdict. *)
+    match Verify.check env.dx env.capture.snapshot env.vmap binary with
+    | Verify.Passed cycles -> measured cycles
+    | Verify.Wrong_output -> Core_wrong_output
+    | Verify.Crashed msg -> Core_crashed msg
+    | Verify.Hung -> Core_hung
+  else begin
+    (* Fault injection on: the candidate replay runs inside a fault scope
+       keyed by (binary, attempt).  A first failure is retried once under
+       attempt 1 — transient replay/loader/executor faults are keyed by the
+       scope and (almost surely) don't re-fire, while a deterministic
+       miscompile (the fault is in the binary) fails again and the binary
+       is quarantined.  All decisions are pure functions of the fault seed
+       and the binary, so results stay byte-identical across -jN/cache. *)
+    let key = binary_key binary in
+    let site attempt = Faults.combine (Faults.hash_string key) attempt in
+    match
+      Verify.check ~faults_key:(site 0) env.dx env.capture.snapshot env.vmap
+        binary
+    with
+    | Verify.Passed cycles -> measured cycles
+    | first ->
+      Trace.incr "verify.retried";
+      (match
+         Verify.check ~faults_key:(site 1) env.dx env.capture.snapshot
+           env.vmap binary
+       with
+       | Verify.Passed cycles -> measured cycles   (* transient fault *)
+       | second ->
+         let reason =
+           Printf.sprintf "%s; retry: %s" (reason_of_check first)
+             (reason_of_check second)
+         in
+         record_quarantine key reason;
+         Core_quarantined reason)
+  end
 
 let outcome_of_core env ~ev_index core =
   match core with
@@ -245,6 +328,7 @@ let outcome_of_core env ~ev_index core =
   | Core_crashed msg -> Ga.Runtime_crashed msg
   | Core_hung -> Ga.Runtime_hung
   | Core_wrong_output -> Ga.Wrong_output
+  | Core_quarantined msg -> Ga.Quarantined msg
 
 let make_pool ?jobs ?cache env =
   Evalpool.create ?jobs ?cache ~canon:Genome.to_string

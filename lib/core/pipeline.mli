@@ -69,6 +69,10 @@ type eval_core =
   | Core_crashed of string
   | Core_hung
   | Core_wrong_output
+  | Core_quarantined of string
+  (** persistently failed verification under fault injection (failed, then
+      failed the retry too): discarded as a deterministic miscompile.
+      Only produced while [Repro_util.Faults] is armed. *)
 
 val compile_core :
   evaluation_env -> Repro_search.Genome.t ->
@@ -78,7 +82,33 @@ val compile_core :
 
 val verify_core : evaluation_env -> Repro_lir.Binary.t -> eval_core
 (** Verified replay of a compiled binary against the capture.  Pure
-    per-call: safe to run on worker domains. *)
+    per-call: safe to run on worker domains.
+
+    While [Repro_util.Faults] is armed, the candidate replay runs inside a
+    fault scope keyed by [(binary, attempt)] and a failed verification is
+    retried once under a different scope key: a transient injected
+    replay/executor fault does not re-fire on the retry (the binary is
+    measured normally, counted by the [verify.retried] trace counter),
+    while a deterministic miscompile fails again and the binary is
+    {e quarantined} ({!Core_quarantined}, the [verify.quarantined] counter,
+    and the process-wide {!quarantine_summary} log).  Every decision is a
+    pure function of the fault seed and the binary, preserving the
+    [-j N]/[--no-cache] determinism contract. *)
+
+(** One row of the quarantine report: a binary discarded as a
+    deterministic miscompile under fault injection. *)
+type quarantine_entry = {
+  q_binary : string;    (** {!binary_key} of the discarded binary *)
+  q_reason : string;    (** first verdict and retry verdict *)
+  q_count : int;        (** times it was (re-)verified into quarantine *)
+}
+
+val quarantine_summary : unit -> quarantine_entry list
+(** Process-wide quarantine log since the last {!reset_quarantine}, sorted
+    by binary key (deterministic across worker counts). *)
+
+val reset_quarantine : unit -> unit
+(** Clear the quarantine log (call between independent runs/tests). *)
 
 val outcome_of_core :
   evaluation_env -> ev_index:int -> eval_core -> Repro_search.Ga.outcome

@@ -3,6 +3,7 @@ module Hir = Repro_hgraph.Hir
 module Build = Repro_hgraph.Build
 module Android = Repro_hgraph.Android
 module Trace = Repro_util.Trace
+module Faults = Repro_util.Faults
 
 exception Compile_error of string
 exception Compile_timeout
@@ -33,6 +34,20 @@ let android_binary dx mids =
   in
   Binary.create funcs
 
+(* Site key for the [Miscompile] fault point: depends only on the method
+   and the (canonical) pass specification, so whether a given compile is
+   sabotaged is a pure function of the genome — deterministic across
+   worker domains, cache states and retries, exactly like a real
+   miscompiling optimization sequence. *)
+let spec_hash spec =
+  Faults.hash_string
+    (String.concat ";"
+       (List.map
+          (fun (name, args) ->
+             name ^ ":"
+             ^ String.concat "," (List.map string_of_int (Array.to_list args)))
+          spec))
+
 let llvm_binary ?profile dx spec mids =
   Trace.span ~cat:"compile" "compile:llvm" @@ fun () ->
   let env = pass_env ?profile dx in
@@ -45,6 +60,7 @@ let llvm_binary ?profile dx spec mids =
       spec
   in
   let work = ref 0 in
+  let shash = spec_hash spec in
   let compile_one mid =
     match translated_unopt dx mid with
     | None -> None
@@ -65,6 +81,19 @@ let llvm_binary ?profile dx spec mids =
              if !work > work_limit then raise Compile_timeout;
              f)
           f0 resolved
+      in
+      (* Fault injection: with the registry armed, a fired [Miscompile]
+         plants one semantic mutation in the optimized function — the
+         miscompiled binary the verification net must later discard. *)
+      let key = Faults.combine mid shash in
+      let f =
+        if Faults.fire Faults.Miscompile ~key then
+          match Passes.mutate (Faults.rng Faults.Miscompile ~key) f with
+          | Some (_, f') ->
+            Faults.record Faults.Miscompile;
+            f'
+          | None -> f
+        else f
       in
       Some f
   in

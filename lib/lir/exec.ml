@@ -7,6 +7,7 @@ module Value = Repro_vm.Value
 module Cost = Repro_vm.Cost
 module Interp = Repro_vm.Interp
 module Jni = Repro_vm.Jni
+module Faults = Repro_util.Faults
 open Repro_vm.Value
 
 exception Segfault of string
@@ -57,11 +58,40 @@ let zero_like = function
   | Vbool _ -> Vbool false
   | Vref _ -> Vref 0
 
+(* A corrupted return value must stay the same shape (the callers' cost
+   model switches on it) but differ under [Value.equal]. *)
+let perturb_value = function
+  | Vint x -> Vint (x + 1)
+  | Vfloat x -> Vfloat (x +. 1.0)
+  | Vbool b -> Vbool (not b)
+  | Vref a -> Vref (a + 8)
+
 let run_func (ctx : Ctx.t) (f : Hir.func) args =
   let c = ctx.Ctx.cost in
   let mem = ctx.Ctx.mem in
   let regs = Array.make (max f.Hir.f_nregs 1) (Vint 0) in
   List.iteri (fun i v -> regs.(i) <- v) args;
+  (* Executor fault points: armed only inside a [Faults.scoped] replay (a
+     verified candidate replay), keyed by (scope, method) — the same
+     function faults the same way on every call of that replay. *)
+  let fault_wrong_ret =
+    match Faults.scope_key () with
+    | None -> false
+    | Some sk ->
+      let key = Faults.combine sk f.Hir.f_mid in
+      if Faults.fire Faults.Exec_crash ~key then begin
+        Faults.record Faults.Exec_crash;
+        raise (Segfault "injected executor fault")
+      end;
+      if Faults.fire Faults.Exec_hang ~key then begin
+        Faults.record Faults.Exec_hang;
+        (* spin until the replay fuel declares the execution hung *)
+        while true do
+          Ctx.charge ctx 1_000_000
+        done
+      end;
+      Faults.fire Faults.Exec_wrong_ret ~key
+  in
   let fetch_penalty =
     max 0 ((Hir.size f - icache_budget) / icache_divisor)
     + max 0 ((pressure_of f - physical_registers) / spill_divisor)
@@ -241,6 +271,11 @@ let run_func (ctx : Ctx.t) (f : Hir.func) args =
      | Hir.Ret r ->
        charge c.Cost.int_alu;
        result := Option.map (fun r -> regs.(r)) r;
+       (match !result with
+        | Some v when fault_wrong_ret ->
+          Faults.record Faults.Exec_wrong_ret;
+          result := Some (perturb_value v)
+        | Some _ | None -> ());
        running := false
      | Hir.ThrowT r ->
        charge c.Cost.throw_cost;

@@ -1099,3 +1099,136 @@ let run env pass args f =
                  pr.pmin pr.pmax)))
     pass.params;
   pass.apply env args f
+
+(* ------------------------------------------------------------------ *)
+(* Fault-injection mutators (the adversary for the verification net)   *)
+(* ------------------------------------------------------------------ *)
+
+module Rng = Repro_util.Rng
+
+type mutator = {
+  m_name : string;
+  m_descr : string;
+  m_apply : Rng.t -> Hir.func -> Hir.func option;
+}
+
+(* Deterministic site enumeration: blocks in ascending bid order,
+   instructions in list order, so a given rng stream always lands on the
+   same site whatever produced the function. *)
+let instr_sites pred f =
+  List.concat_map
+    (fun bid ->
+       let b = Hir.block f bid in
+       List.concat
+         (List.mapi (fun i ins -> if pred ins then [ (bid, i) ] else []) b.insns))
+    (all_bids f)
+
+let pick rng xs = List.nth xs (Rng.int rng (List.length xs))
+
+let split_at n xs =
+  let rec go k acc = function
+    | rest when k = 0 -> (List.rev acc, rest)
+    | [] -> (List.rev acc, [])
+    | x :: tl -> go (k - 1) (x :: acc) tl
+  in
+  go n [] xs
+
+let mutate_flip_branch rng f =
+  let candidates =
+    List.filter
+      (fun bid ->
+         match (Hir.block f bid).term with
+         | If _ -> true
+         | Goto _ | Ret _ | ThrowT _ -> false)
+      (all_bids f)
+  in
+  match candidates with
+  | [] -> None
+  | _ ->
+    let f = Hir.copy f in
+    let b = Hir.block f (pick rng candidates) in
+    (match b.term with
+     | If (c, a, o, bt, be, h) -> b.term <- If (c, a, o, be, bt, h)
+     | Goto _ | Ret _ | ThrowT _ -> assert false);
+    Some f
+
+let mutate_drop_store rng f =
+  let is_store = function
+    | StoreElem _ | StoreField _ | SPut _ -> true
+    | _ -> false
+  in
+  match instr_sites is_store f with
+  | [] -> None
+  | sites ->
+    let f = Hir.copy f in
+    let bid, idx = pick rng sites in
+    let b = Hir.block f bid in
+    b.insns <- List.filteri (fun i _ -> i <> idx) b.insns;
+    Some f
+
+let mutate_corrupt_const rng f =
+  let is_const = function Const _ -> true | _ -> false in
+  match instr_sites is_const f with
+  | [] -> None
+  | sites ->
+    let f = Hir.copy f in
+    let bid, idx = pick rng sites in
+    let b = Hir.block f bid in
+    b.insns <-
+      List.mapi
+        (fun i ins ->
+           match ins with
+           | Const (d, c) when i = idx ->
+             let c' =
+               match c with
+               | B.Cint k -> B.Cint (k + 1 + Rng.int rng 7)
+               | B.Cfloat x -> B.Cfloat (x +. 1.0 +. float_of_int (Rng.int rng 7))
+               | B.Cbool b -> B.Cbool (not b)
+               | B.Cnull -> B.Cint (1 + Rng.int rng 7)
+             in
+             Const (d, c')
+           | ins -> ins)
+        b.insns;
+    Some f
+
+let mutate_reorder_suspend rng f =
+  let is_suspend = function SuspendCheck -> true | _ -> false in
+  match instr_sites is_suspend f with
+  | [] -> None
+  | sites ->
+    let f = Hir.copy f in
+    let bid, idx = pick rng sites in
+    let b = Hir.block f bid in
+    let without = List.filteri (fun i _ -> i <> idx) b.insns in
+    let pos = Rng.int rng (List.length without + 1) in
+    let before, after = split_at pos without in
+    b.insns <- before @ (SuspendCheck :: after);
+    Some f
+
+let mutators = [
+  { m_name = "flip-branch";
+    m_descr = "swap the taken/not-taken successors of one conditional branch";
+    m_apply = mutate_flip_branch };
+  { m_name = "drop-store";
+    m_descr = "delete one heap/static store instruction";
+    m_apply = mutate_drop_store };
+  { m_name = "corrupt-const";
+    m_descr = "perturb the value of one constant load";
+    m_apply = mutate_corrupt_const };
+  { m_name = "reorder-suspend";
+    m_descr = "move one GC suspend check to another point in its block";
+    m_apply = mutate_reorder_suspend };
+]
+
+let mutate rng f =
+  let n = List.length mutators in
+  let start = Rng.int rng n in
+  let rec attempt k =
+    if k = n then None
+    else
+      let m = List.nth mutators ((start + k) mod n) in
+      match m.m_apply rng f with
+      | Some f' -> Some (m.m_name, f')
+      | None -> attempt (k + 1)
+  in
+  attempt 0

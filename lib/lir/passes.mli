@@ -43,3 +43,31 @@ val find : string -> t
 
 val run : env -> t -> int array -> Hir.func -> Hir.func
 (** Validate parameters then apply.  @raise Bad_param. *)
+
+(** {2 Fault-injection mutators}
+
+    Semantic-miscompilation generators for the robustness net
+    ([Repro_util.Faults], injected by {!Compile.llvm_binary} at the
+    [Miscompile] point): each takes a decomposed-dialect function and
+    returns a damaged copy, or [None] when the function has no applicable
+    site.  The input function is never modified.  Site selection is
+    deterministic in the supplied rng stream (blocks in ascending id
+    order), so the same stream always plants the same fault. *)
+
+type mutator = {
+  m_name : string;   (** stable name, e.g. ["flip-branch"] *)
+  m_descr : string;
+  m_apply : Repro_util.Rng.t -> Hir.func -> Hir.func option;
+}
+
+val mutators : mutator list
+(** The four mutator classes: [flip-branch] (swap a conditional's
+    successors), [drop-store] (delete a heap/static store),
+    [corrupt-const] (perturb a constant), [reorder-suspend] (move a GC
+    suspend check within its block — typically benign for the
+    verification map, which is exactly what the differential tests must
+    establish). *)
+
+val mutate : Repro_util.Rng.t -> Hir.func -> (string * Hir.func) option
+(** Apply one applicable mutator (chosen by the rng stream), returning its
+    name and the damaged copy; [None] if no mutator applies. *)

@@ -65,6 +65,8 @@ val evaluate_batch : ('bin, 'core, 'out) t -> (int * Genome.t) array -> 'out arr
     touches the caches; workers run pure [compile]/[verify] stages. *)
 
 val jobs : _ t -> int
+(** The pool's worker-domain count, as resolved at {!create} time. *)
+
 val stats : _ t -> stats
 (** Snapshot of this pool's counters. *)
 
@@ -73,6 +75,7 @@ val cumulative_stats : unit -> stats
     reports in the CLI and benchmark harness). *)
 
 val reset_cumulative : unit -> unit
+(** Zero the process-wide totals (between independent runs/tests). *)
 
 val print_stats : ?label:string -> stats -> unit
 (** Human-readable cache and per-worker timing report on stdout. *)

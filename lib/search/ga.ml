@@ -8,6 +8,7 @@ type outcome =
   | Runtime_crashed of string
   | Runtime_hung
   | Wrong_output
+  | Quarantined of string
 
 type config = {
   population : int;
@@ -82,9 +83,12 @@ let better cfg a b =
       false
     else if ma.size <> mb.size then ma.size < mb.size
     else fa <= fb
-  | Measured _, (Compile_failed _ | Runtime_crashed _ | Runtime_hung | Wrong_output) ->
+  | Measured _,
+    (Compile_failed _ | Runtime_crashed _ | Runtime_hung | Wrong_output
+    | Quarantined _) ->
     true
-  | (Compile_failed _ | Runtime_crashed _ | Runtime_hung | Wrong_output), _ ->
+  | (Compile_failed _ | Runtime_crashed _ | Runtime_hung | Wrong_output
+    | Quarantined _), _ ->
     false
 
 let sort_population cfg pop =
@@ -136,12 +140,14 @@ let run rng cfg ~evaluate_batch ?baseline_ms ?o3_ms () =
              halted := Some "identical-binaries limit reached"
          end
          else Hashtbl.replace seen_keys m.key ()
-       | Compile_failed _ | Runtime_crashed _ | Runtime_hung | Wrong_output ->
+       | Compile_failed _ | Runtime_crashed _ | Runtime_hung | Wrong_output
+       | Quarantined _ ->
          ());
       let fitness =
         match outcome with
         | Measured m -> Some (fitness_of_times m.times)
-        | Compile_failed _ | Runtime_crashed _ | Runtime_hung | Wrong_output ->
+        | Compile_failed _ | Runtime_crashed _ | Runtime_hung | Wrong_output
+        | Quarantined _ ->
           None
       in
       history :=
@@ -306,7 +312,8 @@ let hill_climb_batch ?(ev_base = 0) rng ~evaluate_batch (genome0, fit0)
       | Measured m ->
         let f = fitness_of_times m.times in
         if f < snd !best then best := (snd tasks.(i), f)
-      | Compile_failed _ | Runtime_crashed _ | Runtime_hung | Wrong_output ->
+      | Compile_failed _ | Runtime_crashed _ | Runtime_hung | Wrong_output
+      | Quarantined _ ->
         ()
     done
   done;

@@ -12,10 +12,16 @@ type outcome =
   | Measured of { times : float array; size : int; key : string }
   (** replay times in ms; [key] identifies the produced binary so the
       identical-binaries halting rule can fire *)
-  | Compile_failed of string
-  | Runtime_crashed of string
-  | Runtime_hung
-  | Wrong_output
+  | Compile_failed of string    (** the compiler rejected the sequence *)
+  | Runtime_crashed of string   (** the verified replay crashed *)
+  | Runtime_hung                (** the verified replay exceeded its fuel *)
+  | Wrong_output                (** the verification map rejected the binary *)
+  | Quarantined of string
+  (** the binary persistently failed verification under fault injection
+      (failed once and again on the retry): a deterministic miscompile,
+      discarded with worst fitness like every other failure — the paper's
+      §3.4 "discard miscompiled binaries" mechanism made observable.
+      Produced only while [Repro_util.Faults] is armed. *)
 
 type config = {
   population : int;          (** 50 *)
@@ -32,13 +38,15 @@ type config = {
 }
 
 val default_config : config
+(** The paper's §4 search parameters. *)
 
 val quick_config : config
 (** Reduced search (fewer genomes/generations) for fast harness runs. *)
 
+(** One line of the evaluation history (the Figure 9 evolution data). *)
 type eval_record = {
-  ev_index : int;
-  ev_generation : int;
+  ev_index : int;              (** dense, increasing evaluation id *)
+  ev_generation : int;         (** generation the genome belonged to *)
   ev_genome : Genome.t;
   ev_outcome : outcome;
   ev_fitness : float option;   (** mean filtered replay ms, when measured *)
@@ -47,8 +55,8 @@ type eval_record = {
 type result = {
   best : (Genome.t * float) option;    (** best genome and its fitness *)
   history : eval_record list;          (** in evaluation order *)
-  evaluations : int;
-  halted_early : string option;
+  evaluations : int;                   (** total evaluations performed *)
+  halted_early : string option;        (** halting rule that fired, if any *)
 }
 
 val run :

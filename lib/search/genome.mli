@@ -2,11 +2,16 @@
     variable-length sequence of passes with their parameters and flags. *)
 
 type gene = { g_pass : string; g_params : int array }
+(** One optimization decision: a pass-catalog name and its parameters. *)
 
 type t = gene list
+(** A genome is the ordered pass sequence handed to the compiler. *)
 
 val min_length : int
+(** Shortest genome the genetic operators will produce. *)
+
 val max_length : int
+(** Longest genome {!random} will draw. *)
 
 val random : Repro_util.Rng.t -> t
 (** Random genome with uniformly drawn length and parameters.  With a small
@@ -18,6 +23,7 @@ val random_gene : Repro_util.Rng.t -> gene
 (** Always-valid single gene. *)
 
 val to_spec : t -> Repro_lir.Compile.spec
+(** The compiler-facing pass sequence (the genome's phenotype input). *)
 
 val mutate : Repro_util.Rng.t -> gene_prob:float -> t -> t
 (** Per-gene mutation: tweak a parameter, replace a pass, delete, or insert
@@ -33,3 +39,4 @@ val dedup_adjacent : t -> t
     passes" step applied to the first generation). *)
 
 val to_string : t -> string
+(** Compact human-readable rendering, e.g. for logs and reports. *)

@@ -23,19 +23,25 @@
 type phase = B | E
 (** Span begin/end, mirroring the Chrome [ph] field. *)
 
+(** One recorded span edge, in Chrome [trace_event] vocabulary. *)
 type event = {
-  ev_name : string;
-  ev_cat : string;
-  ev_ph : phase;
+  ev_name : string;                (** span name *)
+  ev_cat : string;                 (** category (Chrome [cat] field) *)
+  ev_ph : phase;                   (** begin or end *)
   ev_ts : float;                   (** seconds since [enable]/[reset] *)
   ev_tid : int;                    (** OCaml domain id of the emitter *)
   ev_seq : int;                    (** per-domain emission order *)
-  ev_args : (string * string) list;
+  ev_args : (string * string) list; (** free-form key/value annotations *)
 }
 
 val enabled : unit -> bool
+(** Whether probes currently record anything. *)
+
 val enable : unit -> unit
+(** Start recording (resets the clock epoch on first use). *)
+
 val disable : unit -> unit
+(** Stop recording; already-recorded data stays readable/exportable. *)
 
 val reset : unit -> unit
 (** Drop all recorded events, counters and gauges and restart the clock

@@ -324,6 +324,71 @@ let test_replay_isolated_from_online_memory () =
   Alcotest.(check bool) "sort twice, same answer" true
     (Vm.Value.equal (once ()) (once ()))
 
+(* ------------------ verification edge cases (pinned) ----------------- *)
+
+(* The verification map's return-value comparison is bit-exact on floats
+   (Value.equal compares IEEE bits): NaNs are equal only with identical
+   payloads, and negative zero differs from positive zero even though
+   OCaml's (=) on floats conflates them.  Pin this — a candidate binary
+   that "fixes" -0.0 to 0.0 must be rejected, not silently accepted. *)
+let test_verify_float_edge_cases () =
+  let eq a b = Vm.Value.equal (Vm.Value.Vfloat a) (Vm.Value.Vfloat b) in
+  Alcotest.(check bool) "NaN = NaN (same payload)" true (eq Float.nan Float.nan);
+  let other_bits = Int64.logxor (Int64.bits_of_float Float.nan) 2L in
+  let other_nan = Int64.float_of_bits other_bits in
+  Alcotest.(check bool) "other NaN is still a NaN" true (Float.is_nan other_nan);
+  Alcotest.(check bool) "NaN payloads distinguished" false (eq Float.nan other_nan);
+  Alcotest.(check bool) "-0.0 <> +0.0 under the verifier" false (eq (-0.0) 0.0);
+  Alcotest.(check bool) "(=) would conflate the zeroes" true (-0.0 = 0.0);
+  (* the bit-exactness survives the memory encoding used for write sets *)
+  Alcotest.(check bool) "NaN payload survives to_word" true
+    (Vm.Value.to_word (Vm.Value.Vfloat other_nan) = other_bits);
+  Alcotest.(check bool) "-0.0 survives to_word" true
+    (Vm.Value.to_word (Vm.Value.Vfloat (-0.0)) = Int64.min_int)
+
+(* A context whose memory is a fresh clone of the snapshot template has an
+   empty dirty-page set: the diff must be empty, must equal the full scan,
+   and must match exactly the empty write set. *)
+let test_verify_empty_dirty_page_set () =
+  let cap = Lazy.force fft_capture in
+  let snap = cap.Pipeline.snapshot in
+  let dx = App.dexfile (fft ()) in
+  let mem = Mem.clone (Snapshot.template snap) in
+  let heap_map =
+    List.find (fun m -> m.Mem.map_kind = Mem.Rheap) snap.Snapshot.snap_maps
+  in
+  let statics_map =
+    List.find (fun m -> m.Mem.map_kind = Mem.Rstatics) snap.Snapshot.snap_maps
+  in
+  let heap =
+    Vm.Heap.restore mem ~base:heap_map.Mem.map_base
+      ~npages:heap_map.Mem.map_npages ~next:snap.Snapshot.snap_heap_next
+  in
+  let ctx =
+    Vm.Exec_ctx.create ~seed:0 ~fuel:1000 dx mem heap
+      ~statics_base:statics_map.Mem.map_base
+  in
+  Alcotest.(check bool) "no dirty pages -> empty diff" true
+    (Verify.diff_against_snapshot ctx snap = []);
+  Alcotest.(check bool) "full scan agrees" true
+    (Verify.diff_against_snapshot_full ctx snap = []);
+  Alcotest.(check bool) "empty diff matches empty write set" true
+    (Verify.diff_matches ctx snap []);
+  Alcotest.(check bool) "empty diff rejects non-empty reference" false
+    (Verify.diff_matches ctx snap [ (heap_map.Mem.map_base, 1L) ])
+
+(* Conversely a real replay has a non-empty write set, and an empty
+   reference map must reject it. *)
+let test_verify_empty_write_set_rejects_writer () =
+  let cap = Lazy.force fft_capture in
+  let snap = cap.Pipeline.snapshot in
+  let dx = App.dexfile (fft ()) in
+  let r = Replay.run dx snap Replay.Interpreter in
+  Alcotest.(check bool) "region writes are observed" true
+    (Verify.diff_against_snapshot r.Replay.ctx snap <> []);
+  Alcotest.(check bool) "writer cannot match the empty map" false
+    (Verify.diff_matches r.Replay.ctx snap [])
+
 let () =
   Alcotest.run "capture"
     [ ("capture",
@@ -343,6 +408,10 @@ let () =
          Alcotest.test_case "flags wrong output" `Quick test_verify_flags_wrong_output;
          Alcotest.test_case "flags crash" `Quick test_verify_flags_crash;
          Alcotest.test_case "flags hang" `Quick test_verify_flags_hang;
+         Alcotest.test_case "float edge cases" `Quick test_verify_float_edge_cases;
+         Alcotest.test_case "empty dirty-page set" `Quick test_verify_empty_dirty_page_set;
+         Alcotest.test_case "empty write set rejects writer" `Quick
+           test_verify_empty_write_set_rejects_writer;
          Alcotest.test_case "type profile" `Quick test_typeprof_collected ]);
       ("dirty-scan",
        [ Alcotest.test_case "pages_scanned counter" `Quick test_dirty_scan_counter;
