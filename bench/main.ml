@@ -12,6 +12,9 @@
      bench/main.exe bechamel        micro-benchmarks via bechamel
      bench/main.exe replay          CoW replay setup/verify microbenchmark
                                     (writes BENCH_replay.json)
+     bench/main.exe storage         content-addressed store microbenchmark:
+                                    spool/read throughput, FFT+LU dedup
+                                    ratio, save/load (BENCH_storage.json)
      bench/main.exe --trace FILE    record a Chrome trace_event JSON trace
      bench/main.exe --metrics       print a span/counter summary table
      bench/main.exe --faults SPEC   arm deterministic fault injection
@@ -165,6 +168,13 @@ let bechamel_suite () =
        | Some [] | None -> Printf.printf "bechamel %-42s (no estimate)\n%!" name)
     (List.sort compare rows)
 
+(* one warm-up call, then the mean wall-clock over [iters] runs *)
+let time_ns ~iters f =
+  f ();
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to iters do f () done;
+  (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int iters
+
 (* ------------------------ replay micro-benchmark -------------------- *)
 
 (* Quantifies the CoW-template replay path against the legacy
@@ -188,12 +198,6 @@ let replay_bench () =
   let snap = capture.Repro_core.Pipeline.snapshot in
   let binary = Repro_lir.Compile.android_binary dx mids in
   let vmap = Verify.collect dx snap in
-  let time_ns ~iters f =
-    f ();                         (* warm up *)
-    let t0 = Unix.gettimeofday () in
-    for _ = 1 to iters do f () done;
-    (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int iters
-  in
   let snapshot_pages =
     List.length snap.Snapshot.snap_pages + List.length snap.Snapshot.snap_common
   in
@@ -304,6 +308,121 @@ let replay_bench () =
      else "(BELOW the 3x target)");
   print_endline "wrote BENCH_replay.json"
 
+(* ----------------------- storage micro-benchmark --------------------- *)
+
+(* Quantifies the content-addressed device store on the Figure 11-style
+   workload: FFT and LU captured into one store.  Measures idle-spool
+   throughput (enqueue + hash + dedup per page), the cross-app dedup
+   ratio, validated (checksummed) read throughput, and the on-disk
+   save/load round-trip.  Writes BENCH_storage.json for CI. *)
+
+let storage_bench () =
+  let module Storage = Repro_os.Storage in
+  let module Snapshot = Repro_capture.Snapshot in
+  let snaps =
+    List.filter_map
+      (fun name ->
+         let app = Option.get (Repro_apps.Registry.find name) in
+         Option.map
+           (fun c -> (app, c.Repro_core.Pipeline.snapshot))
+           (Repro_core.Pipeline.capture_once app))
+      [ "FFT"; "LU" ]
+  in
+  let fill storage =
+    List.iter (fun (_, snap) -> Snapshot.store storage snap) snaps
+  in
+  (* spool path: enqueue both captures, then hash+dedup+store every page *)
+  let reference = Storage.create () in
+  fill reference;
+  let total_pages = Storage.pending reference in
+  Storage.flush reference;
+  let spool_ns =
+    time_ns ~iters:5 (fun () ->
+        let storage = Storage.create () in
+        fill storage;
+        Storage.flush storage)
+    /. float_of_int total_pages
+  in
+  (* dedup accounting across the two apps (paper Figure 11 sharing) *)
+  let ac = Storage.accounting reference in
+  let dedup_ratio =
+    float_of_int ac.Storage.ac_logical_bytes
+    /. float_of_int ac.Storage.ac_physical_bytes
+  in
+  (* validated read: every page of every blob re-checksummed on the way out *)
+  let read_ns =
+    time_ns ~iters:10 (fun () ->
+        List.iter
+          (fun label ->
+             match Storage.read reference ~label with
+             | Ok _ -> ()
+             | Error e -> failwith (Storage.describe e))
+          (Storage.labels reference))
+    /. float_of_int total_pages
+  in
+  (* on-disk round-trip: deterministic serialization, degradation-checked
+     load *)
+  let file = Filename.temp_file "repro_store" ".bin" in
+  let save_ns = time_ns ~iters:5 (fun () -> Storage.save reference file) in
+  let file_bytes =
+    In_channel.with_open_bin file In_channel.length |> Int64.to_int
+  in
+  let load_warnings = ref 0 in
+  let load_ns =
+    time_ns ~iters:5 (fun () ->
+        let _, warnings = Storage.load file in
+        load_warnings := List.length warnings)
+  in
+  Sys.remove file;
+  let mb bytes = float_of_int bytes /. 1048576. in
+  let oc = open_out "BENCH_storage.json" in
+  Printf.fprintf oc
+    {|{
+  "workload": "FFT+LU captures into one content-addressed store",
+  "pages": %d,
+  "spool": {
+    "ns_per_page": %.0f,
+    "pages_per_sec": %.0f
+  },
+  "dedup": {
+    "logical_bytes": %d,
+    "physical_bytes": %d,
+    "ratio": %.2f,
+    "shared_bytes": %d,
+    "saved_bytes": %d
+  },
+  "read": {
+    "ns_per_page": %.0f,
+    "pages_per_sec": %.0f
+  },
+  "disk": {
+    "file_bytes": %d,
+    "save_ns": %.0f,
+    "load_ns": %.0f,
+    "load_warnings": %d
+  }
+}
+|}
+    total_pages spool_ns (1e9 /. spool_ns) ac.Storage.ac_logical_bytes
+    ac.Storage.ac_physical_bytes dedup_ratio ac.Storage.ac_shared_bytes
+    ac.Storage.ac_dedup_saved_bytes read_ns (1e9 /. read_ns) file_bytes
+    save_ns load_ns !load_warnings;
+  close_out oc;
+  Printf.printf "storage microbenchmark (FFT+LU, %d pages)\n" total_pages;
+  Printf.printf "  spool   %8.0f ns/page  (%.0f pages/sec hashed+deduped)\n"
+    spool_ns (1e9 /. spool_ns);
+  Printf.printf
+    "  dedup   logical %.2f MB stored as %.2f MB  (%.2fx; %.2f MB shared \
+     across apps)\n"
+    (mb ac.Storage.ac_logical_bytes) (mb ac.Storage.ac_physical_bytes)
+    dedup_ratio (mb ac.Storage.ac_shared_bytes);
+  Printf.printf "  read    %8.0f ns/page validated (%.0f pages/sec)\n"
+    read_ns (1e9 /. read_ns);
+  Printf.printf
+    "  disk    %.2f MB file; save %.1f ms, load+verify %.1f ms, %d warnings\n"
+    (mb file_bytes) (save_ns /. 1e6) (load_ns /. 1e6) !load_warnings;
+  print_endline "wrote BENCH_storage.json"
+
 let () =
   let full = ref false in
   let eager = ref false in
@@ -386,6 +505,7 @@ let () =
   in
   if names = [ "bechamel" ] then bechamel_suite ()
   else if names = [ "replay" ] then replay_bench ()
+  else if names = [ "storage" ] then storage_bench ()
   else begin
     Fun.protect ~finally:export_observability (fun () ->
         run_all ~cfg ~eager:!eager ~jobs:!jobs ~cache:(not !no_cache) names;

@@ -81,6 +81,67 @@ let with_trace trace metrics f =
 let print_pool_report () =
   Repro_search.Evalpool.print_stats (Repro_search.Evalpool.cumulative_stats ())
 
+(* ----------------------------- device store ------------------------- *)
+
+module Storage = Repro_os.Storage
+module Snapshot = Repro_capture.Snapshot
+
+let mb bytes = float_of_int bytes /. 1048576.
+
+(* Figure 11-style storage accounting: one row per blob (an app's
+   program-specific capture or its boot-common page set), with the bytes
+   its frames share with other blobs broken out — the cross-app sharing
+   that keeps the paper's footprint at ~5 MB program-specific plus one
+   copy of the boot-common pages. *)
+let print_storage_table storage =
+  Storage.flush storage;
+  let rows = Storage.blob_accounting storage in
+  Repro_util.Table.print
+    ~aligns:[ Repro_util.Table.Left; Repro_util.Table.Right;
+              Repro_util.Table.Right; Repro_util.Table.Right;
+              Repro_util.Table.Right ]
+    ~header:[ "Blob"; "Pages"; "MB"; "Shared MB"; "Exclusive MB" ]
+    (List.map
+       (fun r ->
+          [ r.Storage.ba_label;
+            string_of_int r.Storage.ba_pages;
+            Repro_util.Table.fmt_f (mb r.Storage.ba_bytes);
+            Repro_util.Table.fmt_f (mb r.Storage.ba_shared_bytes);
+            Repro_util.Table.fmt_f (mb r.Storage.ba_exclusive_bytes) ])
+       rows);
+  let ac = Storage.accounting storage in
+  Printf.printf
+    "store: %d blobs, %d pages; logical %.2f MB stored as %.2f MB \
+     (%.2f MB shared across blobs, dedup saves %.2f MB)\n"
+    ac.Storage.ac_blobs ac.Storage.ac_pages
+    (mb ac.Storage.ac_logical_bytes) (mb ac.Storage.ac_physical_bytes)
+    (mb ac.Storage.ac_shared_bytes) (mb ac.Storage.ac_dedup_saved_bytes)
+
+let store_arg =
+  Arg.(value & flag
+       & info [ "store" ]
+         ~doc:"Attach a content-addressed device store for the run: \
+               captured pages are spooled to it at idle priority (drained \
+               between GA evaluation batches), replay templates \
+               materialize from checksum-validated store reads, and a \
+               storage accounting table is printed at the end. Results \
+               are byte-identical with and without the store.")
+
+(* Attach a fresh device store for the command's body; print the
+   accounting table and detach afterwards — also on error exits. *)
+let with_store enabled f =
+  if not enabled then f ()
+  else begin
+    let storage = Storage.create () in
+    Snapshot.set_store (Some storage);
+    Fun.protect
+      ~finally:(fun () ->
+          print_storage_table storage;
+          Snapshot.set_store None;
+          Snapshot.invalidate_templates ())
+      f
+  end
+
 (* --------------------------- fault injection ------------------------ *)
 
 module Faults = Repro_util.Faults
@@ -99,7 +160,10 @@ let faults_arg =
          ~doc:"Arm deterministic fault injection for the run: \
                $(docv) is seed=N,rate=FLOAT[,only=p1+p2]. Points: \
                miscompile, replay-collision, replay-truncate, replay-regs, \
-               exec-crash, exec-hang, exec-wrong-ret. Candidate binaries \
+               exec-crash, exec-hang, exec-wrong-ret, store-corrupt, \
+               store-truncate (the store-* points need --store and damage \
+               the snapshot blob on its read path, caught by per-page \
+               checksums). Candidate binaries \
                that persistently fail verification are quarantined (worst \
                fitness) and reported in a summary table; results remain \
                byte-identical for every -j/--no-cache combination.")
@@ -297,8 +361,9 @@ let capture_cmd =
 (* ----------------------------- optimize ---------------------------- *)
 
 let optimize_cmd =
-  let run app seed full jobs no_cache trace metrics faults =
+  let run app seed full jobs no_cache trace metrics faults store =
     with_trace trace metrics @@ fun () ->
+    with_store store @@ fun () ->
     with_faults faults @@ fun () ->
     let cfg = if full then Ga.default_config else Ga.quick_config in
     match Pipeline.capture_once ~seed app with
@@ -330,7 +395,82 @@ let optimize_cmd =
     (Cmd.info "optimize"
        ~doc:"Run the full replay-based iterative compilation (Figure 6).")
     Term.(const run $ app_arg $ seed_arg $ full_arg $ jobs_arg $ no_cache_arg
-          $ trace_arg $ metrics_arg $ faults_arg)
+          $ trace_arg $ metrics_arg $ faults_arg $ store_arg)
+
+(* ----------------------------- storage ----------------------------- *)
+
+let storage_cmd =
+  let apps_arg =
+    Arg.(value & pos_all app_conv []
+         & info [] ~docv:"APP"
+           ~doc:"Applications to capture into one shared store \
+                 (default: FFT LU).")
+  in
+  let save_arg =
+    Arg.(value & opt (some string) None
+         & info [ "save" ] ~docv:"FILE"
+           ~doc:"Serialize the store to $(docv) (deterministic byte \
+                 layout), then reload it and report any degradation \
+                 warnings — an end-to-end check of the on-disk format.")
+  in
+  let run apps seed save trace metrics =
+    with_trace trace metrics @@ fun () ->
+    let apps =
+      match apps with
+      | [] ->
+        List.filter_map App.find [ "FFT"; "LU" ]
+      | apps -> apps
+    in
+    let storage = Storage.create () in
+    Snapshot.set_store (Some storage);
+    Fun.protect
+      ~finally:(fun () ->
+          Snapshot.set_store None;
+          Snapshot.invalidate_templates ())
+      (fun () ->
+         List.iter
+           (fun app ->
+              match Pipeline.capture_once ~seed app with
+              | None ->
+                Printf.printf "%s: no replayable hot region, skipped\n"
+                  app.App.name
+              | Some cap ->
+                let snap = cap.Pipeline.snapshot in
+                Printf.printf
+                  "%s: captured %d program-specific + %d boot-common pages \
+                   (%d queued for idle spooling)\n"
+                  app.App.name
+                  (List.length snap.Repro_capture.Snapshot.snap_pages)
+                  (List.length snap.Repro_capture.Snapshot.snap_common)
+                  (Storage.pending storage))
+           apps;
+         print_endline
+           "\nFigure 11-style storage accounting (content-addressed, \
+            deduplicated):";
+         print_storage_table storage;
+         match save with
+         | None -> ()
+         | Some file ->
+           Storage.save storage file;
+           let size =
+             In_channel.with_open_bin file In_channel.length
+             |> Int64.to_int
+           in
+           Printf.printf "saved to %s (%.2f MB on disk)\n" file (mb size);
+           let reloaded, warnings = Storage.load file in
+           List.iter (fun w -> Printf.printf "  load warning: %s\n" w) warnings;
+           Printf.printf "reload: %d blobs, %.2f MB physical, %d warnings\n"
+             (List.length (Storage.labels reloaded))
+             (mb (Storage.physical_bytes reloaded))
+             (List.length warnings))
+  in
+  Cmd.v
+    (Cmd.info "storage"
+       ~doc:"Capture several apps into one content-addressed device store \
+             and print the Figure 11-style accounting table (shared vs \
+             program-specific bytes).")
+    Term.(const run $ apps_arg $ seed_arg $ save_arg $ trace_arg
+          $ metrics_arg)
 
 (* ---------------------------- experiment --------------------------- *)
 
@@ -412,4 +552,4 @@ let () =
     (Cmd.eval
        (Cmd.group (Cmd.info "repro" ~doc)
           [ list_cmd; passes_cmd; run_cmd; hot_cmd; capture_cmd; optimize_cmd;
-            experiment_cmd; disasm_cmd ]))
+            storage_cmd; experiment_cmd; disasm_cmd ]))

@@ -6,6 +6,7 @@ module Interp = Repro_vm.Interp
 module Value = Repro_vm.Value
 module Exec = Repro_lir.Exec
 module Binary = Repro_lir.Binary
+module Storage = Repro_os.Storage
 module Trace = Repro_util.Trace
 module Faults = Repro_util.Faults
 module Rng = Repro_util.Rng
@@ -97,6 +98,51 @@ let inject_loader_faults ~key mem (snap : Snapshot.t) =
     end
   end
 
+(* Storage faults: the loader's read of the snapshot blob from the device
+   store comes back damaged — one stored page truncated (partial flash
+   write) or with a byte flipped (media corruption).  The damage goes
+   through [Storage.read ?damage], i.e. through the very checksum
+   machinery that guards real corruption: the injected fault is only
+   observed if the store *detects* it, and the resulting error string
+   (prefix "storage:") is what the quarantine policy keys on.  Only
+   meaningful when a store is attached and holds this snapshot's blob. *)
+let inject_store_faults ~key (snap : Snapshot.t) =
+  match Snapshot.current_store () with
+  | None -> None
+  | Some storage ->
+    let label = Snapshot.program_label snap in
+    if not (Storage.contains storage ~label) then None
+    else
+      let attempt point damage =
+        if not (Faults.fire point ~key) then None
+        else
+          match Storage.read storage ~label ~damage with
+          | Ok _ -> None (* blob empty: nothing to damage *)
+          | Error e ->
+            Faults.record point;
+            Some ("storage: " ^ Storage.describe e)
+      in
+      let npages = max 1 (List.length snap.Snapshot.snap_pages) in
+      let truncate =
+        attempt Faults.Store_truncate (fun pos b ->
+            let rng = Faults.rng Faults.Store_truncate ~key in
+            let victim = Rng.int rng npages in
+            if pos = victim then Bytes.sub b 0 (Rng.int rng (Bytes.length b))
+            else b)
+      in
+      match truncate with
+      | Some _ as r -> r
+      | None ->
+        attempt Faults.Store_corrupt (fun pos b ->
+            let rng = Faults.rng Faults.Store_corrupt ~key in
+            let victim = Rng.int rng npages in
+            if pos = victim && Bytes.length b > 0 then begin
+              let i = Rng.int rng (Bytes.length b) in
+              Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0xFF));
+              b
+            end
+            else b)
+
 (* [Replay_regs]: corrupt one captured argument — the "architectural
    state" restored by the loader. *)
 let perturb_args ~key args =
@@ -124,8 +170,35 @@ let run ?(fuel = default_fuel) ?cost ?record_vcall ?faults_key
   (* 1-3) rebuild the address space: a Copy-on-Write clone of the
      snapshot's template — page installs happen once per (domain,
      snapshot) inside [Snapshot.template]; each replay only duplicates
-     the page table and shares every frame until it writes. *)
-  let mem = Mem.clone (Snapshot.template snap) in
+     the page table and shares every frame until it writes.  When the
+     template materializes from the device store and a stored page fails
+     its checksum, the loader cannot rebuild the space: fall back to an
+     empty (mappings-only) space and report a crashed replay, which the
+     pipeline's quarantine policy turns into a discarded artifact instead
+     of an aborted search. *)
+  let storage_broken = ref None in
+  let mem =
+    match Mem.clone (Snapshot.template snap) with
+    | mem -> mem
+    | exception Storage.Integrity e ->
+      storage_broken := Some ("storage: " ^ Storage.describe e);
+      Trace.incr "replay.storage_failures";
+      let mem = Mem.create () in
+      List.iter
+        (fun m ->
+           Mem.map mem ~base:m.Mem.map_base ~npages:m.Mem.map_npages
+             ~kind:m.Mem.map_kind ~name:m.Mem.map_name)
+        snap.Snapshot.snap_maps;
+      mem
+  in
+  (match faults_key with
+   | Some key when !storage_broken = None ->
+     (match inject_store_faults ~key snap with
+      | Some _ as broken ->
+        Trace.incr "replay.storage_failures";
+        storage_broken := broken
+      | None -> ())
+   | _ -> ());
   (* count captured pages landing in the loader's own range *)
   let loader_lo = loader_base / Mem.page_size in
   let loader_hi = loader_lo + loader_pages in
@@ -170,12 +243,15 @@ let run ?(fuel = default_fuel) ?cost ?record_vcall ?faults_key
     | None -> snap.Snapshot.snap_args
   in
   let outcome =
-    match Ctx.invoke ctx snap.Snapshot.snap_mid region_args with
-    | ret -> Finished (ret, ctx.Ctx.cycles)
-    | exception Ctx.App_exception code ->
-      Crashed (Printf.sprintf "uncaught exception %d" code)
-    | exception Exec.Segfault msg -> Crashed ("segfault: " ^ msg)
-    | exception Ctx.Timeout -> Hung
+    match !storage_broken with
+    | Some msg -> Crashed msg
+    | None -> (
+        match Ctx.invoke ctx snap.Snapshot.snap_mid region_args with
+        | ret -> Finished (ret, ctx.Ctx.cycles)
+        | exception Ctx.App_exception code ->
+          Crashed (Printf.sprintf "uncaught exception %d" code)
+        | exception Exec.Segfault msg -> Crashed ("segfault: " ^ msg)
+        | exception Ctx.Timeout -> Hung)
   in
   { outcome; ctx; loader_collisions = collisions }
 

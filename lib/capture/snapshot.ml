@@ -19,14 +19,27 @@ type t = {
 let program_bytes t = List.length t.snap_pages * Mem.page_size
 let common_bytes t = List.length t.snap_common * Mem.page_size
 
-let boot_common_label = "boot-common-pages"
+let program_label t = t.snap_app ^ "/capture"
+let common_label t = t.snap_app ^ "/boot-common"
+
+let page_list images =
+  List.map (fun { pg_index; pg_data } -> (pg_index, pg_data)) images
 
 let store storage t =
-  Storage.write storage ~label:(t.snap_app ^ "/capture") ~bytes:(program_bytes t);
-  if Storage.size storage ~label:boot_common_label = None then
-    Storage.write storage ~label:boot_common_label ~bytes:(common_bytes t)
+  (* enqueue only; the idle-priority spooler (Storage.drain between GA
+     evaluation batches) does the hashing.  Boot-common pages get their own
+     per-app blob: identical runtime pages dedup to shared frames in the
+     content-addressed store, which is exactly the Figure 11 sharing. *)
+  Storage.write storage ~label:(program_label t) ~pages:(page_list t.snap_pages);
+  Storage.write storage ~label:(common_label t) ~pages:(page_list t.snap_common)
 
-let discard storage t = Storage.delete storage ~label:(t.snap_app ^ "/capture")
+let discard storage t = Storage.delete storage ~label:(program_label t)
+
+(* The device store, when one is attached (bin/repro --store, fig11).  Set
+   on the main domain before any workers spawn; workers only read it. *)
+let store_ref : Storage.t option Atomic.t = Atomic.make None
+let set_store s = Atomic.set store_ref s
+let current_store () = Atomic.get store_ref
 
 (* ------------------------- snapshot templates ------------------------ *)
 
@@ -39,20 +52,37 @@ let discard storage t = Storage.delete storage ~label:(t.snap_app ^ "/capture")
 let template_slot : (t * Mem.t) option Domain.DLS.key =
   Domain.DLS.new_key (fun () -> None)
 
+let invalidate_templates () = Domain.DLS.set template_slot None
+
+(* page images for the template: from the attached store when this
+   snapshot's blobs are in it (checksum-validated read; failures raise
+   [Storage.Integrity], which the replay loader converts into a crashed
+   replay for the quarantine policy), else the in-memory lists *)
+let template_pages snap =
+  match current_store () with
+  | Some storage when Storage.contains storage ~label:(program_label snap) ->
+    Trace.incr "storage.template_reads";
+    let fetch label =
+      match Storage.read storage ~label with
+      | Ok pages -> pages
+      | Error e -> raise (Storage.Integrity e)
+    in
+    fetch (common_label snap) @ fetch (program_label snap)
+  | _ -> page_list snap.snap_common @ page_list snap.snap_pages
+
 let build_template snap =
   Trace.span ~cat:"replay" ~args:[ ("app", snap.snap_app) ]
     "snapshot:build_template"
   @@ fun () ->
   Trace.incr "replay.template_builds";
+  let pages = template_pages snap in
   let mem = Mem.create () in
   List.iter
     (fun m ->
        Mem.map mem ~base:m.Mem.map_base ~npages:m.Mem.map_npages
          ~kind:m.Mem.map_kind ~name:m.Mem.map_name)
     snap.snap_maps;
-  let place { pg_index; pg_data } = Mem.install_page mem ~page:pg_index pg_data in
-  List.iter place snap.snap_common;
-  List.iter place snap.snap_pages;
+  List.iter (fun (page, data) -> Mem.install_page mem ~page data) pages;
   mem
 
 let template snap =

@@ -30,12 +30,36 @@ val common_bytes : t -> int
 (** Storage footprint of the boot-common pages (paid once per boot,
     shared by every capture). *)
 
+val program_label : t -> string
+(** Store label of the program-specific page blob (["app/capture"]). *)
+
+val common_label : t -> string
+(** Store label of this app's boot-common page blob (["app/boot-common"]).
+    Labels are per-app, but the content-addressed store dedups identical
+    runtime pages across apps into shared frames — Figure 11's sharing. *)
+
 val store : Repro_os.Storage.t -> t -> unit
-(** Spool to device storage: program pages under an app-specific label,
-    common pages under the shared per-boot label (written once). *)
+(** Spool both page sets to device storage (enqueue only; the
+    idle-priority drain between GA evaluation batches does the hashing).
+    Replaces any previous blobs under the same labels. *)
 
 val discard : Repro_os.Storage.t -> t -> unit
-(** Release the app-specific blob after optimization finishes (§5.4). *)
+(** Release the app-specific capture blob after optimization finishes
+    (§5.4); boot-common frames survive while other captures share them. *)
+
+val set_store : Repro_os.Storage.t option -> unit
+(** Attach (or detach, with [None]) the process-wide device store.  While
+    one is attached and holds a snapshot's blobs, {!template} materializes
+    from the store — checksum-validating every page — instead of from the
+    in-memory page lists.  Set it on the main domain before worker domains
+    spawn. *)
+
+val current_store : unit -> Repro_os.Storage.t option
+
+val invalidate_templates : unit -> unit
+(** Drop the calling domain's cached template so the next {!template}
+    call rebuilds from the (possibly mutated) store — used by the
+    corruption tests and fault campaigns. *)
 
 val template : t -> Repro_os.Mem.t
 (** The snapshot's address-space template: mappings recreated and every

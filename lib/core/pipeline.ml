@@ -19,6 +19,7 @@ module Ga = Repro_search.Ga
 module Evalpool = Repro_search.Evalpool
 module Rng = Repro_util.Rng
 module Stats = Repro_util.Stats
+module Storage = Repro_os.Storage
 module Trace = Repro_util.Trace
 module Faults = Repro_util.Faults
 
@@ -98,6 +99,12 @@ let capture_once ?(seed = 42) ?(capture_at = 2) app =
     (match !result with
      | None -> None
      | Some r ->
+       (* spool the captured pages to the device store, when one is
+          attached; hashing/dedup happens at the idle-priority drains
+          between GA evaluation batches *)
+       (match Snapshot.current_store () with
+        | Some storage -> Snapshot.store storage r.Capture.snapshot
+        | None -> ());
        Some
          { snapshot = r.Capture.snapshot;
            overhead = r.Capture.overhead;
@@ -369,15 +376,32 @@ let compile_genome env genome =
   | b -> Some b
   | exception (Compile.Compile_error _ | Compile.Compile_timeout) -> None
 
+(* Idle-priority spooler model (paper §3.2): the device hashes and stores
+   captured pages while the search is otherwise idle — in the gaps between
+   GA evaluation batches.  A bounded chunk per gap keeps the model honest
+   (the spool drains over time, not instantly); results cannot depend on
+   it, because the store's contents are a pure function of what was
+   captured — never of when the drain ran. *)
+let idle_drain_chunk = 256
+
+let idle_drain () =
+  match Snapshot.current_store () with
+  | None -> ()
+  | Some storage -> ignore (Storage.drain ~max_pages:idle_drain_chunk storage)
+
 let optimize ?(seed = 99) ?(cfg = Ga.quick_config) ?jobs ?cache app capture =
   Trace.span ~cat:"pipeline" ~args:[ ("app", app.App.name) ] "optimize"
   @@ fun () ->
   let env = make_eval_env ~seed:(seed + 1) app capture in
   let pool = make_pool ?jobs ?cache env in
   let rng = Rng.create seed in
+  let evaluate_batch tasks =
+    let out = Evalpool.evaluate_batch pool tasks in
+    idle_drain ();
+    out
+  in
   let ga =
-    Ga.run rng cfg
-      ~evaluate_batch:(Evalpool.evaluate_batch pool)
+    Ga.run rng cfg ~evaluate_batch
       ?baseline_ms:
         (if Float.is_nan env.android_region_ms then None
          else Some env.android_region_ms)
@@ -390,7 +414,7 @@ let optimize ?(seed = 99) ?(cfg = Ga.quick_config) ?jobs ?cache app capture =
     | Some (genome, fit) ->
       Some
         (Ga.hill_climb_batch ~ev_base:ga.Ga.evaluations rng
-           ~evaluate_batch:(Evalpool.evaluate_batch pool) (genome, fit)
+           ~evaluate_batch (genome, fit)
            ~rounds:2)
   in
   let best_genome = Option.map fst best in

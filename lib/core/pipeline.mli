@@ -36,7 +36,10 @@ val capture_once : ?seed:int -> ?capture_at:int -> App.t -> captured option
 (** Run online under the Android binary with a capture scheduled for the
     [capture_at]-th entry into the hot region (default 2: captures warm
     state, after first-call initialization); [None] when no replayable hot
-    region exists. *)
+    region exists.  When a device store is attached
+    ({!Repro_capture.Snapshot.set_store}), the captured pages are enqueued
+    to it — content hashing and dedup happen later, at the idle-priority
+    drains between GA evaluation batches. *)
 
 type evaluation_env = {
   dx : Repro_dex.Bytecode.dexfile;
@@ -150,7 +153,12 @@ val optimize :
 (** The full search, including the final hill-climbing step.  [jobs]
     (default 1) evaluates each generation on that many domains; [cache]
     (default true) memoizes repeated genomes and binaries.  Results are
-    identical for every [jobs]/[cache] combination. *)
+    identical for every [jobs]/[cache] combination.
+
+    When a device store is attached, a bounded chunk of the spool queue is
+    drained between evaluation batches — the paper's idle-priority flash
+    writer.  Stored contents are a pure function of what was captured, so
+    spool timing cannot affect search results. *)
 
 val final_binary : optimized -> Repro_lir.Binary.t
 (** Android code with the GA-optimized region installed on top. *)

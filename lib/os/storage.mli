@@ -1,15 +1,191 @@
-(** Device flash storage model: tracks the bytes each capture spools out, so
-    the storage-overhead experiment (Figure 11) can account for
-    program-specific pages vs. boot-common pages stored once per boot. *)
+(** Content-addressed snapshot page store with cross-snapshot dedup,
+    per-page checksums and an idle-priority spooler (paper §3.2/Figure 11).
+
+    The capture mechanism spools the original contents of every recorded
+    page to device flash at idle priority; the footprint stays practical
+    because pages are {e shared}: boot-common runtime pages are identical
+    across applications and must be stored once per boot.  This module
+    models that store faithfully:
+
+    - {b Content addressing.}  A stored page ("frame") is keyed by the
+      digest of its serialized bytes and refcounted; writing the same page
+      content again — from the same blob or from another application's
+      capture — stores nothing new.  The digest doubles as the frame's
+      checksum.
+    - {b Blobs.}  A labeled blob is an ordered manifest of
+      [(page index, frame digest)] entries — one blob per capture region
+      (program-specific pages) or per app boot image (boot-common pages).
+      Replacing or deleting a blob decrements the refcounts of the frames
+      it referenced; frames are reclaimed at zero.
+    - {b Spooling.}  {!write} only enqueues; {!drain} (bounded) and
+      {!flush} perform the actual hashing and storage, modelling the
+      idle-priority writer.  {!read} of a blob with pages still queued
+      spools those pages through first, so readers never observe a torn
+      blob.
+    - {b Integrity.}  Every {!read} re-validates each frame against its
+      content address: a frame whose bytes are not exactly page-sized is
+      reported as truncated, one whose digest no longer matches its key as
+      corrupt.  Errors are returned as data (or raised as {!Integrity} by
+      the template-materialization path) so the pipeline can quarantine
+      the damaged artifact instead of crashing.
+    - {b Persistence.}  {!save}/{!load} serialize the store; the load path
+      degrades gracefully on partial or damaged files, keeping every
+      record that parses and validates, and reporting the rest as
+      warnings.
+
+    {b Domain safety.}  Every operation takes the store's internal mutex:
+    worker domains materializing replay templates may read concurrently
+    with the main domain's idle drains.
+
+    Trace counters (under [storage.*]): [pages_enqueued], [pages_spooled],
+    [pages_deduped], [bytes_written], [drains], [reads], [read_flushes],
+    [checksum_failures], [load_warnings]. *)
 
 type t
 
+val page_bytes : int
+(** Serialized size of one page: {!Repro_os.Mem.page_size} bytes. *)
+
+type error =
+  | Missing_blob of { label : string }
+  | Missing_page of { label : string; index : int; hash : string }
+      (** The manifest references a frame that is no longer present. *)
+  | Truncated_page of
+      { label : string; index : int; hash : string; expected : int; got : int }
+      (** The frame's bytes are shorter (or longer) than one page. *)
+  | Corrupt_page of { label : string; index : int; hash : string }
+      (** The frame's digest no longer matches its content address. *)
+
+exception Integrity of error
+(** Raised by the snapshot-template materialization path
+    ({!Repro_capture.Snapshot.template}) when a stored page fails
+    validation; the replay loader turns it into a crashed replay that the
+    verification net quarantines. *)
+
+val describe : error -> string
+(** One-line human-readable rendering (always starts with the label). *)
+
 val create : unit -> t
 
-val write : t -> label:string -> bytes:int -> unit
-(** Append a blob.  Writing the same label again replaces it. *)
+(** {1 Write path (spooler)} *)
+
+val write : t -> label:string -> pages:(int * int64 array) list -> unit
+(** [write t ~label ~pages] replaces the blob under [label]: frames of the
+    previous manifest are released and [pages] — [(page index, word
+    contents)], caller must not mutate the arrays afterwards — are
+    enqueued for spooling.  No hashing happens until {!drain}/{!flush} (or
+    a {!read} of this label). *)
 
 val delete : t -> label:string -> unit
-val size : t -> label:string -> int option
-val total_bytes : t -> int
+(** Drop the blob and release its frames (shared frames survive while any
+    other blob references them).  Pages of [label] still queued are
+    discarded. *)
+
+val drain : ?max_pages:int -> t -> int
+(** Spool up to [max_pages] queued pages (default: all), oldest first:
+    serialize, hash, dedup against existing frames, append to the owning
+    blob's manifest.  Returns the number of pages actually stored.  The
+    pipeline calls this between GA evaluation batches — the idle-priority
+    model. *)
+
+val flush : t -> unit
+(** [drain] everything. *)
+
+val pending : t -> int
+(** Pages enqueued but not yet spooled. *)
+
+(** {1 Read path} *)
+
+val read :
+  ?damage:(int -> Bytes.t -> Bytes.t) ->
+  t -> label:string -> ((int * int64 array) list, error) result
+(** Read a blob back, validating every frame against its content address;
+    the first failure is returned.  Pages of this label still queued are
+    spooled through first.  [damage], used by the fault-injection net and
+    the corruption tests, is applied to a {e copy} of each frame's bytes
+    (argument: position within the blob) before validation — so an
+    injected single-byte flip or truncation must be caught by the same
+    checksum machinery that guards real corruption. *)
+
+val validate : t -> label:string -> (unit, error) result
+(** {!read} without materializing the pages. *)
+
+val contains : t -> label:string -> bool
+
+val manifest : t -> label:string -> (int * string) list option
+(** The blob's [(page index, frame digest)] entries in page order, after
+    spooling its queued pages.  Digests are raw 16-byte strings (hex them
+    with [Digest.to_hex]). *)
+
+val page_hash : int64 array -> string
+(** Content address a page image would be stored under. *)
+
+val frame_refs : t -> hash:string -> int option
+(** Reference count of a frame: the number of manifest entries (across all
+    blobs) pointing at it.  [None] once reclaimed. *)
+
+(** {1 Accounting (Figure 11)} *)
+
 val labels : t -> string list
+(** All blob labels, sorted. *)
+
+val blob_bytes : t -> label:string -> int option
+(** Logical size of a blob: (stored + queued pages) × {!page_bytes}. *)
+
+val total_bytes : t -> int
+(** Logical bytes across all blobs — what a store without sharing would
+    pay. *)
+
+val physical_bytes : t -> int
+(** Bytes actually held after dedup: one copy per distinct frame. *)
+
+type accounting = {
+  ac_blobs : int;
+  ac_pages : int;              (** manifest entries across all blobs *)
+  ac_logical_bytes : int;      (** {!total_bytes} *)
+  ac_frames : int;             (** distinct frames *)
+  ac_physical_bytes : int;     (** {!physical_bytes} *)
+  ac_shared_bytes : int;       (** physical bytes of frames referenced by
+                                   two or more distinct blobs — the
+                                   boot-common sharing of Figure 11 *)
+  ac_dedup_saved_bytes : int;  (** logical - physical *)
+  ac_pending_pages : int;
+}
+
+val accounting : t -> accounting
+
+type blob_accounting = {
+  ba_label : string;
+  ba_pages : int;
+  ba_bytes : int;             (** logical *)
+  ba_shared_bytes : int;      (** its frames also referenced by other blobs *)
+  ba_exclusive_bytes : int;   (** frames only this blob references *)
+}
+
+val blob_accounting : t -> blob_accounting list
+(** One row per blob, sorted by label. *)
+
+(** {1 Damage hooks (tests, fault campaigns)} *)
+
+val corrupt : t -> hash:string -> byte:int -> unit
+(** Persistently flip one byte of a stored frame (position taken modulo
+    the frame's length).  Every subsequent read of any blob referencing
+    the frame fails its checksum. *)
+
+val truncate : t -> hash:string -> keep:int -> unit
+(** Persistently cut a stored frame to its first [keep] bytes. *)
+
+(** {1 On-disk format} *)
+
+val save : t -> string -> unit
+(** Serialize the store (after flushing the spool queue) to [file].  The
+    byte layout is deterministic: frames sorted by digest, blobs by
+    label. *)
+
+val load : string -> t * string list
+(** Rebuild a store from a file written by {!save}.  Partial writes and
+    damaged records degrade gracefully: parsing stops at the first
+    truncated record, frames whose bytes fail their checksum are dropped,
+    manifest entries pointing at missing frames are kept (their blobs
+    read back as {!Missing_page} and get quarantined downstream), and
+    every such event is reported in the returned warning list. *)

@@ -20,17 +20,22 @@ let classify dx ~region (mid, native) =
   else Cold
 
 let of_profile dx ~region (profile : Profile.t) =
-  let counts = Hashtbl.create 8 in
-  List.iter
-    (fun sample ->
-       let c = classify dx ~region sample in
-       Hashtbl.replace counts c
-         (1 + Option.value ~default:0 (Hashtbl.find_opt counts c)))
-    profile.Profile.samples;
-  let total = max profile.Profile.total 1 in
-  List.map
-    (fun c ->
-       (c,
-        float_of_int (Option.value ~default:0 (Hashtbl.find_opt counts c))
-        /. float_of_int total))
-    all_categories
+  (* No samples means there is nothing to apportion: return the empty
+     breakdown rather than a table of 0/0 fractions. *)
+  if profile.Profile.samples = [] then []
+  else begin
+    let counts = Hashtbl.create 8 in
+    List.iter
+      (fun sample ->
+         let c = classify dx ~region sample in
+         Hashtbl.replace counts c
+           (1 + Option.value ~default:0 (Hashtbl.find_opt counts c)))
+      profile.Profile.samples;
+    let total = max profile.Profile.total 1 in
+    List.map
+      (fun c ->
+         (c,
+          float_of_int (Option.value ~default:0 (Hashtbl.find_opt counts c))
+          /. float_of_int total))
+      all_categories
+  end

@@ -18,4 +18,6 @@ val classify :
 val of_profile :
   Repro_dex.Bytecode.dexfile -> region:int list -> Profile.t ->
   (category * float) list
-(** Fraction of samples per category (all five present, possibly 0). *)
+(** Fraction of samples per category (all five present, possibly 0), or
+    the empty list when the profile holds no samples — there is nothing
+    to apportion, and no 0/0 division. *)

@@ -24,5 +24,10 @@ let hottest t =
          Hashtbl.replace counts m
            (1 + Option.value ~default:0 (Hashtbl.find_opt counts m)))
     t.samples;
+  (* Sort by count descending, then method id ascending: Hashtbl.fold
+     enumerates in unspecified order, so without the id tie-break, equal
+     counts would reach Regions.hot_region in nondeterministic order and
+     its [>=] tie-break would pick whichever came first. *)
   Hashtbl.fold (fun m n acc -> (m, n) :: acc) counts []
-  |> List.sort (fun (_, a) (_, b) -> compare b a)
+  |> List.sort (fun (m1, a) (m2, b) ->
+      match Int.compare b a with 0 -> Int.compare m1 m2 | c -> c)

@@ -15,4 +15,7 @@ val exclusive : t -> int -> int
 val native_samples : t -> int
 
 val hottest : t -> (int * int) list
-(** (method id, exclusive samples) sorted descending. *)
+(** (method id, exclusive samples) sorted by sample count descending, ties
+    broken by ascending method id — the order is a deterministic function
+    of the profile, so downstream region selection never depends on hash
+    iteration order. *)

@@ -57,7 +57,7 @@ let reachable dx root =
     end
   in
   go root;
-  Hashtbl.fold (fun mid () acc -> mid :: acc) seen [] |> List.sort compare
+  Hashtbl.fold (fun mid () acc -> mid :: acc) seen [] |> List.sort Int.compare
 
 let region_replayable dx root =
   List.for_all (replayable dx) (reachable dx root)
@@ -72,7 +72,7 @@ let compilable_region dx root =
     end
   in
   inner root;
-  Hashtbl.fold (fun mid () acc -> mid :: acc) seen [] |> List.sort compare
+  Hashtbl.fold (fun mid () acc -> mid :: acc) seen [] |> List.sort Int.compare
 
 let estimate dx profile root =
   if not (region_replayable dx root) then None

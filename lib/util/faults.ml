@@ -21,10 +21,12 @@ type point =
   | Exec_crash
   | Exec_hang
   | Exec_wrong_ret
+  | Store_corrupt
+  | Store_truncate
 
 let all_points =
   [ Miscompile; Replay_collision; Replay_truncate; Replay_regs; Exec_crash;
-    Exec_hang; Exec_wrong_ret ]
+    Exec_hang; Exec_wrong_ret; Store_corrupt; Store_truncate ]
 
 let point_name = function
   | Miscompile -> "miscompile"
@@ -34,6 +36,8 @@ let point_name = function
   | Exec_crash -> "exec-crash"
   | Exec_hang -> "exec-hang"
   | Exec_wrong_ret -> "exec-wrong-ret"
+  | Store_corrupt -> "store-corrupt"
+  | Store_truncate -> "store-truncate"
 
 let point_of_name s = List.find_opt (fun p -> point_name p = s) all_points
 
@@ -45,6 +49,8 @@ let point_index = function
   | Exec_crash -> 4
   | Exec_hang -> 5
   | Exec_wrong_ret -> 6
+  | Store_corrupt -> 7
+  | Store_truncate -> 8
 
 let n_points = List.length all_points
 

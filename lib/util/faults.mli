@@ -29,6 +29,10 @@ type point =
   | Exec_crash         (** executor: segfault on function entry *)
   | Exec_hang          (** executor: spin until the replay fuel runs out *)
   | Exec_wrong_ret     (** executor: perturb the function's return value *)
+  | Store_corrupt      (** snapshot store: one byte of a stored page blob
+                           read back flipped (caught by its checksum) *)
+  | Store_truncate     (** snapshot store: a stored page blob read back
+                           short, as after a partial flash write *)
 
 val all_points : point list
 (** Every injection point, in declaration order. *)

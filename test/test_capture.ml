@@ -195,27 +195,122 @@ let test_typeprof_collected () =
   Alcotest.(check bool) "virtual sites profiled" true
     (Typeprof.total env.Pipeline.typeprof > 0)
 
+module Storage = Repro_os.Storage
+
 let test_storage_accounting () =
   let cap = Lazy.force fft_capture in
   let snap = cap.Pipeline.snapshot in
-  let storage = Repro_os.Storage.create () in
+  let storage = Storage.create () in
   Snapshot.store storage snap;
-  let total = Repro_os.Storage.total_bytes storage in
-  Alcotest.(check int) "program + common"
-    (Snapshot.program_bytes snap + Snapshot.common_bytes snap) total;
-  (* a second capture of another app shares the boot-common blob *)
+  Alcotest.(check int) "logical = program + common"
+    (Snapshot.program_bytes snap + Snapshot.common_bytes snap)
+    (Storage.total_bytes storage);
+  Storage.flush storage;
+  (* a second capture of another app: its boot-common pages dedup against
+     the frames app 1 already stored — each shared page is stored once *)
   let cap2 = capture_app (lu ()) in
-  Snapshot.store storage cap2.Pipeline.snapshot;
-  let both =
-    Snapshot.program_bytes snap
-    + Snapshot.program_bytes cap2.Pipeline.snapshot
-    + Snapshot.common_bytes snap
+  let snap2 = cap2.Pipeline.snapshot in
+  Snapshot.store storage snap2;
+  Storage.flush storage;
+  let hashes label =
+    match Storage.manifest storage ~label with
+    | Some entries -> List.map snd entries
+    | None -> Alcotest.failf "blob %s missing" label
   in
-  Alcotest.(check int) "common stored once" both
-    (Repro_os.Storage.total_bytes storage);
+  let common1 = hashes (Snapshot.common_label snap) in
+  let common2 = hashes (Snapshot.common_label snap2) in
+  let shared_frames =
+    List.filter (fun h -> List.mem h common2) common1
+  in
+  Alcotest.(check bool) "boot-common pages shared across apps" true
+    (List.length shared_frames > 100);
+  List.iter
+    (fun h ->
+       match Storage.frame_refs storage ~hash:h with
+       | Some rc -> Alcotest.(check bool) "stored once, referenced twice" true (rc >= 2)
+       | None -> Alcotest.fail "shared frame missing")
+    shared_frames;
+  let ac = Storage.accounting storage in
+  Alcotest.(check bool) "dedup saves physical bytes" true
+    (ac.Storage.ac_physical_bytes < ac.Storage.ac_logical_bytes);
+  Alcotest.(check bool) "Figure 11 shape: shared bytes visible" true
+    (ac.Storage.ac_shared_bytes >= List.length shared_frames * Storage.page_bytes);
+  (* finishing app 1's optimization releases its program-specific blob;
+     frames shared with app 2 survive *)
   Snapshot.discard storage snap;
-  Alcotest.(check bool) "release space after optimizing" true
-    (Repro_os.Storage.total_bytes storage < both)
+  Alcotest.(check bool) "program blob released" false
+    (Storage.contains storage ~label:(Snapshot.program_label snap));
+  (match Storage.read storage ~label:(Snapshot.common_label snap2) with
+   | Ok pages ->
+     Alcotest.(check int) "app 2 intact after app 1 discard"
+       (List.length snap2.Snapshot.snap_common) (List.length pages)
+   | Error e -> Alcotest.fail (Storage.describe e))
+
+(* with a device store attached, templates materialize from the store and
+   a corrupted stored page surfaces as a crashed (quarantinable) replay —
+   never an abort *)
+let with_attached_store snap f =
+  let storage = Storage.create () in
+  Snapshot.set_store (Some storage);
+  Fun.protect
+    ~finally:(fun () ->
+        Snapshot.set_store None;
+        Snapshot.invalidate_templates ())
+    (fun () ->
+       Snapshot.store storage snap;
+       Storage.flush storage;
+       Snapshot.invalidate_templates ();
+       f storage)
+
+let test_store_backed_template_equivalent () =
+  let cap = Lazy.force fft_capture in
+  let snap = cap.Pipeline.snapshot in
+  let app = fft () in
+  let dx = App.dexfile app in
+  let plain =
+    match (Replay.run dx snap Replay.Interpreter).Replay.outcome with
+    | Replay.Finished (ret, _) -> ret
+    | _ -> Alcotest.fail "plain replay failed"
+  in
+  with_attached_store snap (fun storage ->
+      Alcotest.(check bool) "templates read from the store" true
+        (Storage.contains storage ~label:(Snapshot.program_label snap));
+      match (Replay.run dx snap Replay.Interpreter).Replay.outcome with
+      | Replay.Finished (ret, _) ->
+        Alcotest.(check bool) "store-backed replay agrees" true
+          (match ret, plain with
+           | Some a, Some b -> Vm.Value.equal a b
+           | None, None -> true
+           | _ -> false)
+      | _ -> Alcotest.fail "store-backed replay failed")
+
+let test_store_corruption_quarantines_not_crashes () =
+  let cap = Lazy.force fft_capture in
+  let snap = cap.Pipeline.snapshot in
+  let app = fft () in
+  let dx = App.dexfile app in
+  with_attached_store snap (fun storage ->
+      let hash =
+        match Storage.manifest storage ~label:(Snapshot.program_label snap) with
+        | Some ((_, h) :: _) -> h
+        | _ -> Alcotest.fail "program blob empty"
+      in
+      Storage.corrupt storage ~hash ~byte:123;
+      Snapshot.invalidate_templates ();
+      (* the loader cannot rebuild the space: a crashed replay with the
+         storage error, not an exception out of Replay.run *)
+      (match (Replay.run dx snap Replay.Interpreter).Replay.outcome with
+       | Replay.Crashed msg ->
+         Alcotest.(check bool) "storage-prefixed verdict" true
+           (String.length msg >= 8 && String.sub msg 0 8 = "storage:")
+       | _ -> Alcotest.fail "corrupt store page not detected");
+      (* un-corrupting is impossible (content-addressed); deleting the blob
+         falls back to in-memory pages and replay works again *)
+      Storage.delete storage ~label:(Snapshot.program_label snap);
+      Snapshot.invalidate_templates ();
+      match (Replay.run dx snap Replay.Interpreter).Replay.outcome with
+      | Replay.Finished _ -> ()
+      | _ -> Alcotest.fail "fallback to in-memory pages failed")
 
 let test_eager_mode_costs_more () =
   let app = fft () in
@@ -417,4 +512,8 @@ let () =
        [ Alcotest.test_case "pages_scanned counter" `Quick test_dirty_scan_counter;
          QCheck_alcotest.to_alcotest prop_dirty_diff_equals_full_scan ]);
       ("storage",
-       [ Alcotest.test_case "accounting" `Quick test_storage_accounting ]) ]
+       [ Alcotest.test_case "accounting" `Quick test_storage_accounting;
+         Alcotest.test_case "store-backed template" `Quick
+           test_store_backed_template_equivalent;
+         Alcotest.test_case "corruption quarantines" `Quick
+           test_store_corruption_quarantines_not_crashes ]) ]

@@ -312,6 +312,43 @@ let check_point_caught point expected_verdict () =
        | _ -> false))
     ()
 
+(* Storage fault points: the snapshot blob reads back damaged from the
+   device store.  The injected damage travels through [Storage.read
+   ?damage] — the same checksum machinery that guards real corruption —
+   and must surface as a Crashed verdict with a "storage:"-prefixed
+   reason, which the quarantine policy then treats like any other
+   persistent failure. *)
+let check_store_point_caught point () =
+  clean (fun () ->
+    let fx = Lazy.force fixture in
+    let storage = Repro_os.Storage.create () in
+    Snapshot.set_store (Some storage);
+    Fun.protect
+      ~finally:(fun () ->
+          Snapshot.set_store None;
+          Snapshot.invalidate_templates ())
+      (fun () ->
+         Snapshot.store storage fx.snap;
+         Repro_os.Storage.flush storage;
+         Snapshot.invalidate_templates ();
+         Faults.enable (cfg ~seed:3 ~rate:1.0 ~only:[ point ] ());
+         (match Verify.check ~faults_key:11 fx.dx fx.snap fx.vmap fx.binary with
+          | Verify.Crashed msg ->
+            Alcotest.(check bool) "storage-prefixed reason" true
+              (String.length msg >= 8 && String.sub msg 0 8 = "storage:")
+          | _ ->
+            Alcotest.failf "%s did not crash the replay"
+              (Faults.point_name point));
+         Alcotest.(check bool) "fired" true (Faults.injected () > 0);
+         (* the store itself is undamaged: injection happens on the read
+            path, so an unscoped replay still verifies *)
+         Faults.disable ();
+         Snapshot.invalidate_templates ();
+         match Verify.check fx.dx fx.snap fx.vmap fx.binary with
+         | Verify.Passed _ -> ()
+         | _ -> Alcotest.fail "store left damaged by read-path injection"))
+    ()
+
 let test_unscoped_replay_immune () =
   clean (fun () ->
     let fx = Lazy.force fixture in
@@ -467,6 +504,10 @@ let () =
             (check_point_caught Faults.Exec_hang "hung");
           Alcotest.test_case "wrong return caught" `Quick
             (check_point_caught Faults.Exec_wrong_ret "wrong-output");
+          Alcotest.test_case "store corruption caught" `Quick
+            (check_store_point_caught Faults.Store_corrupt);
+          Alcotest.test_case "store truncation caught" `Quick
+            (check_store_point_caught Faults.Store_truncate);
           Alcotest.test_case "unscoped replay immune" `Quick
             test_unscoped_replay_immune ] );
       ( "quarantine",

@@ -240,15 +240,235 @@ let test_cloned_from_provenance () =
 
 (* ------------------------------ storage ----------------------------- *)
 
+(* Deterministic distinct page images: page [k] differs from page [k'] in
+   every word unless k = k'. *)
+let page_of k =
+  Array.init Mem.words_per_page (fun w -> Int64.of_int ((k * 8_191) + w))
+
+let pages_of ks = List.mapi (fun i k -> (i, page_of k)) ks
+
+let write_pages s label ks = Storage.write s ~label ~pages:(pages_of ks)
+
+let check_err name expect = function
+  | Ok _ -> Alcotest.failf "%s: read unexpectedly succeeded" name
+  | Error e ->
+    let got =
+      match e with
+      | Storage.Missing_blob _ -> "missing-blob"
+      | Storage.Missing_page _ -> "missing-page"
+      | Storage.Truncated_page _ -> "truncated"
+      | Storage.Corrupt_page _ -> "corrupt"
+    in
+    Alcotest.(check string) name expect got
+
 let test_storage_replace_and_labels () =
   let s = Storage.create () in
-  Storage.write s ~label:"a" ~bytes:100;
-  Storage.write s ~label:"b" ~bytes:50;
-  Storage.write s ~label:"a" ~bytes:70;
-  Alcotest.(check int) "replace" 120 (Storage.total_bytes s);
+  write_pages s "a" [ 1; 2 ];
+  write_pages s "b" [ 3 ];
+  write_pages s "a" [ 4 ];          (* replaces the first "a" *)
+  Alcotest.(check int) "replace" (2 * Storage.page_bytes)
+    (Storage.total_bytes s);
   Alcotest.(check (list string)) "labels" [ "a"; "b" ] (Storage.labels s);
+  Alcotest.(check (option int)) "blob bytes" (Some Storage.page_bytes)
+    (Storage.blob_bytes s ~label:"a");
   Storage.delete s ~label:"a";
-  Alcotest.(check (option int)) "gone" None (Storage.size s ~label:"a")
+  Alcotest.(check bool) "gone" false (Storage.contains s ~label:"a");
+  Alcotest.(check (option int)) "no bytes" None (Storage.blob_bytes s ~label:"a")
+
+let test_storage_spooler_is_lazy () =
+  let s = Storage.create () in
+  write_pages s "a" [ 1; 2; 3; 4; 5 ];
+  Alcotest.(check int) "all queued" 5 (Storage.pending s);
+  Alcotest.(check int) "logical counts queued pages" (5 * Storage.page_bytes)
+    (Storage.total_bytes s);
+  Alcotest.(check int) "nothing hashed yet" 0 (Storage.physical_bytes s);
+  Alcotest.(check int) "bounded drain" 2 (Storage.drain ~max_pages:2 s);
+  Alcotest.(check int) "three left" 3 (Storage.pending s);
+  Alcotest.(check int) "rest" 3 (Storage.drain s);
+  Alcotest.(check int) "queue empty" 0 (Storage.pending s);
+  Alcotest.(check int) "all stored" (5 * Storage.page_bytes)
+    (Storage.physical_bytes s)
+
+let test_storage_read_settles_queue () =
+  (* a read of a label with queued pages spools them first — and only
+     them: other labels stay queued for the idle drain *)
+  let s = Storage.create () in
+  write_pages s "a" [ 1; 2 ];
+  write_pages s "b" [ 3 ];
+  (match Storage.read s ~label:"a" with
+   | Ok pages ->
+     Alcotest.(check int) "both pages back" 2 (List.length pages);
+     List.iteri
+       (fun i (index, data) ->
+          Alcotest.(check int) "page index" i index;
+          Alcotest.(check bool) "page words" true (data = page_of (i + 1)))
+       pages
+   | Error e -> Alcotest.fail (Storage.describe e));
+  Alcotest.(check int) "b still queued" 1 (Storage.pending s)
+
+let test_storage_dedup_and_refcounts () =
+  let s = Storage.create () in
+  (* page 7 appears in both blobs; page 1/2 are exclusive *)
+  write_pages s "app1" [ 1; 7 ];
+  write_pages s "app2" [ 2; 7 ];
+  Storage.flush s;
+  Alcotest.(check int) "logical: 4 pages" (4 * Storage.page_bytes)
+    (Storage.total_bytes s);
+  Alcotest.(check int) "physical: 3 frames" (3 * Storage.page_bytes)
+    (Storage.physical_bytes s);
+  let shared = Storage.page_hash (page_of 7) in
+  Alcotest.(check (option int)) "shared frame refcount" (Some 2)
+    (Storage.frame_refs s ~hash:shared);
+  (* deleting one snapshot keeps the shared frame alive *)
+  Storage.delete s ~label:"app1";
+  Alcotest.(check (option int)) "survives one delete" (Some 1)
+    (Storage.frame_refs s ~hash:shared);
+  Alcotest.(check (option int)) "exclusive frame reclaimed" None
+    (Storage.frame_refs s ~hash:(Storage.page_hash (page_of 1)));
+  (match Storage.read s ~label:"app2" with
+   | Ok pages -> Alcotest.(check int) "app2 intact" 2 (List.length pages)
+   | Error e -> Alcotest.fail (Storage.describe e));
+  Storage.delete s ~label:"app2";
+  Alcotest.(check (option int)) "reclaimed at zero" None
+    (Storage.frame_refs s ~hash:shared);
+  Alcotest.(check int) "store empty" 0 (Storage.physical_bytes s)
+
+let test_storage_accounting_shared_bytes () =
+  let s = Storage.create () in
+  write_pages s "app1" [ 1; 7; 8 ];
+  write_pages s "app2" [ 2; 7; 8 ];
+  Storage.flush s;
+  let ac = Storage.accounting s in
+  Alcotest.(check int) "blobs" 2 ac.Storage.ac_blobs;
+  Alcotest.(check int) "pages" 6 ac.Storage.ac_pages;
+  Alcotest.(check int) "frames" 4 ac.Storage.ac_frames;
+  Alcotest.(check int) "shared = the two common frames"
+    (2 * Storage.page_bytes) ac.Storage.ac_shared_bytes;
+  Alcotest.(check int) "saved = logical - physical"
+    (ac.Storage.ac_logical_bytes - ac.Storage.ac_physical_bytes)
+    ac.Storage.ac_dedup_saved_bytes;
+  match Storage.blob_accounting s with
+  | [ a1; a2 ] ->
+    Alcotest.(check string) "sorted by label" "app1" a1.Storage.ba_label;
+    Alcotest.(check int) "app1 shared" (2 * Storage.page_bytes)
+      a1.Storage.ba_shared_bytes;
+    Alcotest.(check int) "app1 exclusive" Storage.page_bytes
+      a1.Storage.ba_exclusive_bytes;
+    Alcotest.(check int) "app2 shared" (2 * Storage.page_bytes)
+      a2.Storage.ba_shared_bytes
+  | rows -> Alcotest.failf "expected 2 rows, got %d" (List.length rows)
+
+let test_storage_corruption_detected () =
+  let s = Storage.create () in
+  write_pages s "a" [ 1; 2 ];
+  Storage.flush s;
+  Storage.corrupt s ~hash:(Storage.page_hash (page_of 2)) ~byte:17;
+  check_err "flip caught" "corrupt" (Storage.read s ~label:"a");
+  check_err "validate agrees" "corrupt" (Storage.validate s ~label:"a")
+
+let test_storage_truncation_detected () =
+  let s = Storage.create () in
+  write_pages s "a" [ 1 ];
+  Storage.flush s;
+  Storage.truncate s ~hash:(Storage.page_hash (page_of 1)) ~keep:100;
+  (match Storage.read s ~label:"a" with
+   | Error (Storage.Truncated_page { got = 100; _ }) -> ()
+   | Error e -> Alcotest.fail ("wrong error: " ^ Storage.describe e)
+   | Ok _ -> Alcotest.fail "truncated page read back")
+
+let test_storage_every_byte_flip_detected () =
+  (* exhaustive: no single-byte corruption of a stored page escapes the
+     content-address check, whatever the position *)
+  let s = Storage.create () in
+  write_pages s "a" [ 5 ];
+  Storage.flush s;
+  for i = 0 to Storage.page_bytes - 1 do
+    let damage _pos b =
+      Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x01));
+      b
+    in
+    match Storage.read ~damage s ~label:"a" with
+    | Ok _ -> Alcotest.failf "flip at byte %d escaped the checksum" i
+    | Error (Storage.Corrupt_page _) -> ()
+    | Error e -> Alcotest.failf "byte %d: wrong error: %s" i (Storage.describe e)
+  done
+
+let test_storage_save_load_roundtrip () =
+  let file = Filename.temp_file "repro-store" ".bin" in
+  Fun.protect ~finally:(fun () -> Sys.remove file) @@ fun () ->
+  let s = Storage.create () in
+  write_pages s "app1" [ 1; 7 ];
+  write_pages s "app2" [ 2; 7 ];
+  Storage.save s file;
+  let s', warnings = Storage.load file in
+  Alcotest.(check (list string)) "clean load" [] warnings;
+  Alcotest.(check (list string)) "labels" [ "app1"; "app2" ]
+    (Storage.labels s');
+  Alcotest.(check int) "physical preserved" (Storage.physical_bytes s)
+    (Storage.physical_bytes s');
+  Alcotest.(check (option int)) "refcounts recomputed" (Some 2)
+    (Storage.frame_refs s' ~hash:(Storage.page_hash (page_of 7)));
+  (match Storage.read s' ~label:"app1" with
+   | Ok pages ->
+     Alcotest.(check bool) "pages roundtrip" true
+       (pages = [ (0, page_of 1); (1, page_of 7) ])
+   | Error e -> Alcotest.fail (Storage.describe e));
+  (* the byte layout is deterministic: saving the reloaded store
+     reproduces the file exactly *)
+  let file2 = Filename.temp_file "repro-store" ".bin" in
+  Fun.protect ~finally:(fun () -> Sys.remove file2) @@ fun () ->
+  Storage.save s' file2;
+  let slurp f = In_channel.with_open_bin f In_channel.input_all in
+  Alcotest.(check bool) "deterministic byte layout" true
+    (String.equal (slurp file) (slurp file2))
+
+let test_storage_load_degrades_on_partial_write () =
+  let file = Filename.temp_file "repro-store" ".bin" in
+  Fun.protect ~finally:(fun () -> Sys.remove file) @@ fun () ->
+  let s = Storage.create () in
+  write_pages s "app1" [ 1; 2 ];
+  write_pages s "app2" [ 3 ];
+  Storage.save s file;
+  let full = In_channel.with_open_bin file In_channel.input_all in
+  (* cut the file mid-way through the blob section: frames parse, some
+     manifests are lost, and the loader reports — not raises *)
+  let cut = String.length full - 7 in
+  Out_channel.with_open_bin file (fun oc ->
+      Out_channel.output_string oc (String.sub full 0 cut));
+  let s', warnings = Storage.load file in
+  Alcotest.(check bool) "truncation reported" true (warnings <> []);
+  List.iter
+    (fun label ->
+       match Storage.read s' ~label with
+       | Ok _ -> ()
+       | Error e ->
+         Alcotest.failf "surviving blob %s unreadable: %s" label
+           (Storage.describe e))
+    (Storage.labels s')
+
+let test_storage_load_drops_corrupt_frames () =
+  let file = Filename.temp_file "repro-store" ".bin" in
+  Fun.protect ~finally:(fun () -> Sys.remove file) @@ fun () ->
+  let s = Storage.create () in
+  write_pages s "a" [ 1 ];
+  Storage.save s file;
+  (* flip one byte of the frame data on disk; the loader must drop the
+     frame (reported) and the blob must degrade to Missing_page *)
+  let full = Bytes.of_string (In_channel.with_open_bin file In_channel.input_all) in
+  (* layout: magic, frame count (4), then hash (4+16) and data (4+bytes);
+     offset 100 into the frame's data bytes *)
+  let pos = String.length "REPRO-STORE v1\n" + 4 + 4 + 16 + 4 + 100 in
+  Bytes.set full pos (Char.chr (Char.code (Bytes.get full pos) lxor 0xFF));
+  Out_channel.with_open_bin file (fun oc ->
+      Out_channel.output_bytes oc full);
+  let s', warnings = Storage.load file in
+  Alcotest.(check bool) "frame drop reported" true (warnings <> []);
+  check_err "blob degrades to missing page" "missing-page"
+    (Storage.read s' ~label:"a")
+
+let test_storage_missing_blob () =
+  let s = Storage.create () in
+  check_err "missing blob" "missing-blob" (Storage.read s ~label:"nope")
 
 (* ------------------------------ qcheck ------------------------------ *)
 
@@ -338,6 +558,117 @@ let prop_refcounts_exact =
               (List.init 8 (fun i -> heap_page + i)))
          live)
 
+(* -------------------------- storage qcheck -------------------------- *)
+
+(* random stores: up to 4 blobs, each a short list of page keys drawn from
+   a small pool so cross-blob (and in-blob) sharing is common *)
+let blobs_gen =
+  QCheck.(list_of_size Gen.(int_range 1 4)
+            (list_of_size Gen.(int_range 1 6) (int_bound 7)))
+
+let labelled blobs = List.mapi (fun i ks -> ("blob" ^ string_of_int i, ks)) blobs
+
+let build_store blobs =
+  let s = Storage.create () in
+  List.iter (fun (label, ks) -> write_pages s label ks) (labelled blobs);
+  s
+
+let prop_storage_roundtrip =
+  QCheck.Test.make ~name:"storage: write/read round-trip" ~count:200
+    blobs_gen
+    (fun blobs ->
+       let s = build_store blobs in
+       List.for_all
+         (fun (label, ks) ->
+            match Storage.read s ~label with
+            | Ok pages -> pages = pages_of ks
+            | Error _ -> false)
+         (labelled blobs))
+
+let prop_storage_refcounts_exact =
+  (* a frame's refcount equals the number of manifest entries pointing at
+     it, across arbitrary write/replace sequences; deleting one blob
+     decrements exactly its own references and shared pages survive *)
+  QCheck.Test.make ~name:"storage: dedup refcounts exact" ~count:200
+    QCheck.(pair blobs_gen (int_bound 3))
+    (fun (blobs, victim) ->
+       let s = build_store blobs in
+       Storage.flush s;
+       let entries_of blobs =
+         List.concat_map (fun (_, ks) -> ks) (labelled blobs)
+       in
+       let refs_ok blobs =
+         let entries = entries_of blobs in
+         List.for_all
+           (fun k ->
+              let expected =
+                List.length (List.filter (fun k' -> k' = k) entries)
+              in
+              match Storage.frame_refs s ~hash:(Storage.page_hash (page_of k)) with
+              | Some rc -> rc = expected
+              | None -> expected = 0)
+           (List.init 8 Fun.id)
+       in
+       refs_ok blobs
+       && begin
+         (* delete one blob: survivors keep every shared page readable *)
+         let all = labelled blobs in
+         let victim_label, _ = List.nth all (victim mod List.length all) in
+         Storage.delete s ~label:victim_label;
+         let rest = List.filter (fun (l, _) -> l <> victim_label) all in
+         refs_ok (List.map snd rest)
+         && List.for_all
+              (fun (label, ks) ->
+                 match Storage.read s ~label with
+                 | Ok pages -> pages = pages_of ks
+                 | Error _ -> false)
+              rest
+       end)
+
+let prop_storage_flip_detected =
+  QCheck.Test.make ~name:"storage: any single-byte flip detected" ~count:300
+    QCheck.(triple blobs_gen (int_bound 10_000) (int_range 1 255))
+    (fun (blobs, pos, mask) ->
+       let s = build_store blobs in
+       Storage.flush s;
+       let label, ks = List.hd (labelled blobs) in
+       let victim_page = pos mod List.length ks in
+       let victim_byte = pos mod Storage.page_bytes in
+       let damage p b =
+         if p = victim_page then begin
+           Bytes.set b victim_byte
+             (Char.chr (Char.code (Bytes.get b victim_byte) lxor mask));
+           b
+         end
+         else b
+       in
+       match Storage.read ~damage s ~label with
+       | Error (Storage.Corrupt_page _) -> true
+       | Ok _ | Error _ -> false)
+
+let prop_storage_totals_dedup_adjusted =
+  QCheck.Test.make ~name:"storage: totals equal dedup-adjusted sum" ~count:200
+    blobs_gen
+    (fun blobs ->
+       let s = build_store blobs in
+       Storage.flush s;
+       let entries = List.concat blobs in
+       let distinct = List.sort_uniq Int.compare entries in
+       let ac = Storage.accounting s in
+       ac.Storage.ac_logical_bytes
+       = List.length entries * Storage.page_bytes
+       && ac.Storage.ac_physical_bytes
+          = List.length distinct * Storage.page_bytes
+       && ac.Storage.ac_dedup_saved_bytes
+          = ac.Storage.ac_logical_bytes - ac.Storage.ac_physical_bytes
+       && Storage.total_bytes s = ac.Storage.ac_logical_bytes
+       && Storage.physical_bytes s = ac.Storage.ac_physical_bytes
+       && ac.Storage.ac_shared_bytes <= ac.Storage.ac_physical_bytes
+       (* per-blob rows are consistent with the totals *)
+       && List.fold_left (fun acc r -> acc + r.Storage.ba_bytes) 0
+            (Storage.blob_accounting s)
+          = ac.Storage.ac_logical_bytes)
+
 let () =
   Alcotest.run "os"
     [ ("mem",
@@ -364,8 +695,25 @@ let () =
          Alcotest.test_case "drop refcounts" `Quick test_drop_releases_refcounts;
          Alcotest.test_case "provenance" `Quick test_cloned_from_provenance ]);
       ("storage",
-       [ Alcotest.test_case "replace/labels" `Quick test_storage_replace_and_labels ]);
+       [ Alcotest.test_case "replace/labels" `Quick test_storage_replace_and_labels;
+         Alcotest.test_case "spooler is lazy" `Quick test_storage_spooler_is_lazy;
+         Alcotest.test_case "read settles queue" `Quick test_storage_read_settles_queue;
+         Alcotest.test_case "dedup refcounts" `Quick test_storage_dedup_and_refcounts;
+         Alcotest.test_case "shared-bytes accounting" `Quick
+           test_storage_accounting_shared_bytes;
+         Alcotest.test_case "corruption detected" `Quick test_storage_corruption_detected;
+         Alcotest.test_case "truncation detected" `Quick test_storage_truncation_detected;
+         Alcotest.test_case "every byte flip detected" `Slow
+           test_storage_every_byte_flip_detected;
+         Alcotest.test_case "save/load roundtrip" `Quick test_storage_save_load_roundtrip;
+         Alcotest.test_case "load degrades on partial write" `Quick
+           test_storage_load_degrades_on_partial_write;
+         Alcotest.test_case "load drops corrupt frames" `Quick
+           test_storage_load_drops_corrupt_frames;
+         Alcotest.test_case "missing blob" `Quick test_storage_missing_blob ]);
       ("os-properties",
        List.map QCheck_alcotest.to_alcotest
          [ prop_read_after_write; prop_fork_isolation; prop_clone_isolation;
-           prop_refcounts_exact ]) ]
+           prop_refcounts_exact; prop_storage_roundtrip;
+           prop_storage_refcounts_exact; prop_storage_flip_detected;
+           prop_storage_totals_dedup_adjusted ]) ]

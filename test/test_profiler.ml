@@ -150,6 +150,37 @@ let test_droidfish_is_jni_heavy () =
   let jni = List.assoc Breakdown.Jni fractions in
   Alcotest.(check bool) "JNI > 25%" true (jni > 0.25)
 
+let test_hottest_tie_break_deterministic () =
+  (* Tied sample counts must come back in ascending method-id order, not
+     hash-table iteration order: Regions.hot_region's [>=] tie-break keeps
+     the first candidate, so an unspecified order here would make region
+     selection nondeterministic. *)
+  let sample mid n = List.init n (fun _ -> (mid, false)) in
+  let samples = sample 9 2 @ sample 3 2 @ sample 12 5 @ sample 5 2 in
+  let profile = { Profile.samples; total = List.length samples } in
+  Alcotest.(check (list (pair int int)))
+    "count desc, then method id asc"
+    [ (12, 5); (3, 2); (5, 2); (9, 2) ]
+    (Profile.hottest profile);
+  (* native samples never count toward hotness *)
+  let with_native =
+    { Profile.samples = (7, true) :: samples;
+      total = 1 + List.length samples }
+  in
+  Alcotest.(check (list (pair int int))) "native excluded"
+    [ (12, 5); (3, 2); (5, 2); (9, 2) ]
+    (Profile.hottest with_native)
+
+let test_breakdown_empty_profile () =
+  let dx = compile src_with_io_and_pure in
+  let empty = { Profile.samples = []; total = 0 } in
+  Alcotest.(check int) "empty profile -> empty breakdown" 0
+    (List.length (Breakdown.of_profile dx ~region:[] empty));
+  List.iter
+    (fun (_, f) ->
+       if Float.is_nan f then Alcotest.fail "NaN fraction leaked")
+    (Breakdown.of_profile dx ~region:[] empty)
+
 let test_profile_exclusive_counts () =
   let dx = compile src_with_io_and_pure in
   let ctx = Vm.Image.build dx in
@@ -171,7 +202,10 @@ let () =
            test_compilable_region_cuts_at_uncompilable ]);
       ("algorithm1",
        [ Alcotest.test_case "biggest region" `Quick test_algorithm1_picks_biggest_region;
-         Alcotest.test_case "exclusive counts" `Quick test_profile_exclusive_counts ]);
+         Alcotest.test_case "exclusive counts" `Quick test_profile_exclusive_counts;
+         Alcotest.test_case "hottest tie-break deterministic" `Quick
+           test_hottest_tie_break_deterministic ]);
       ("breakdown",
        [ Alcotest.test_case "sums to one" `Quick test_breakdown_sums_to_one;
-         Alcotest.test_case "droidfish jni-heavy" `Quick test_droidfish_is_jni_heavy ]) ]
+         Alcotest.test_case "droidfish jni-heavy" `Quick test_droidfish_is_jni_heavy;
+         Alcotest.test_case "empty profile" `Quick test_breakdown_empty_profile ]) ]
