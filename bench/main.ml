@@ -15,6 +15,9 @@
      bench/main.exe storage         content-addressed store microbenchmark:
                                     spool/read throughput, FFT+LU dedup
                                     ratio, save/load (BENCH_storage.json)
+     bench/main.exe corpus          unsafe-pass survival vs corpus size K,
+                                    plus corpus capture/verify overhead
+                                    (writes BENCH_corpus.json)
      bench/main.exe --trace FILE    record a Chrome trace_event JSON trace
      bench/main.exe --metrics       print a span/counter summary table
      bench/main.exe --faults SPEC   arm deterministic fault injection
@@ -423,6 +426,135 @@ let storage_bench () =
     (mb file_bytes) (save_ns /. 1e6) (load_ns /. 1e6) !load_warnings;
   print_endline "wrote BENCH_storage.json"
 
+(* ----------------------- corpus benchmark --------------------------- *)
+
+(* The cross-input verification experiment: unsafe-pass survival rate as a
+   function of corpus size K (the headline table), plus the *measured* cost
+   of a corpus — wall-clock capture time, per-candidate verification time
+   with and without the corpus, and how far content-addressed dedup
+   compresses K snapshots of the same app.  Writes BENCH_corpus.json. *)
+
+let corpus_bench () =
+  let module Storage = Repro_os.Storage in
+  let module Snapshot = Repro_capture.Snapshot in
+  let module Verify = Repro_capture.Verify in
+  let module P = Repro_core.Pipeline in
+  let s = E.survival () in
+  E.print_survival s;
+  (* wall-clock corpus capture on FFT: primary alone vs a K=4 corpus *)
+  let app = Option.get (Repro_apps.Registry.find "FFT") in
+  let k = 4 in
+  let primary_ns =
+    time_ns ~iters:3 (fun () -> ignore (P.capture_once app))
+  in
+  let corpus_ns =
+    time_ns ~iters:3 (fun () -> ignore (P.capture_corpus ~k app))
+  in
+  let co = Option.get (P.capture_corpus ~k app) in
+  let env =
+    P.make_eval_env ~corpus:co.P.co_entries app co.P.co_primary
+  in
+  let binary = P.android_binary_for app in
+  (* per-candidate verification: primary-only vs full-corpus (the Android
+     binary passes everywhere, so this is the no-short-circuit worst case) *)
+  let verify1_ns =
+    time_ns ~iters:10 (fun () ->
+        ignore (Verify.check env.P.dx env.P.capture.P.snapshot env.P.vmap binary))
+  in
+  let verifyk_ns =
+    time_ns ~iters:10 (fun () -> ignore (P.verify_core env binary))
+  in
+  (* storage cost of the corpus: K snapshots of one app, deduped *)
+  let storage = Storage.create () in
+  Snapshot.store storage co.P.co_primary.P.snapshot;
+  List.iter (fun ce -> Snapshot.store storage ce.P.ce_snapshot) co.P.co_entries;
+  Storage.flush storage;
+  let ac = Storage.accounting storage in
+  let dedup_ratio =
+    float_of_int ac.Storage.ac_logical_bytes
+    /. float_of_int (max 1 ac.Storage.ac_physical_bytes)
+  in
+  let n_entries = List.length co.P.co_entries in
+  let oc = open_out "BENCH_corpus.json" in
+  let points_json =
+    String.concat ",\n    "
+      (List.map
+         (fun p ->
+            Printf.sprintf
+              {|{ "k": %d, "tested": %d, "survived": %d, "rate": %.4f }|}
+              p.E.sp_k p.E.sp_tested p.E.sp_survived
+              (float_of_int p.E.sp_survived
+               /. float_of_int (max 1 p.E.sp_tested)))
+         s.E.su_points)
+  in
+  let genomes_json =
+    String.concat ",\n    "
+      (List.map
+         (fun g ->
+            Printf.sprintf {|{ "app": %S, "genome": %S, "killed_at": %s }|}
+              g.E.sg_app g.E.sg_label
+              (match g.E.sg_killed_at with
+               | Some k -> string_of_int k
+               | None -> "null"))
+         s.E.su_genomes)
+  in
+  Printf.fprintf oc
+    {|{
+  "workload": "unsafe-pass survival vs corpus size (five Scimark kernels)",
+  "seed": %d,
+  "kmax": %d,
+  "survival": [
+    %s
+  ],
+  "genomes": [
+    %s
+  ],
+  "pinned_killed_at": %s,
+  "corpus_entries": %d,
+  "corpus_checks": %d,
+  "capture": {
+    "simulated_ms_per_entry": %.2f,
+    "primary_only_ns": %.0f,
+    "corpus_k%d_ns": %.0f,
+    "overhead_ratio": %.2f
+  },
+  "verify": {
+    "primary_only_ns": %.0f,
+    "corpus_k%d_ns": %.0f,
+    "overhead_ratio": %.2f
+  },
+  "storage": {
+    "snapshots": %d,
+    "logical_bytes": %d,
+    "physical_bytes": %d,
+    "dedup_ratio": %.2f
+  }
+}
+|}
+    s.E.su_seed s.E.su_kmax points_json genomes_json
+    (match s.E.su_pinned_killed_at with
+     | Some k -> string_of_int k
+     | None -> "null")
+    s.E.su_corpus_entries s.E.su_corpus_checks s.E.su_capture_ms primary_ns
+    k corpus_ns (corpus_ns /. primary_ns) verify1_ns k verifyk_ns
+    (verifyk_ns /. verify1_ns) (1 + n_entries) ac.Storage.ac_logical_bytes
+    ac.Storage.ac_physical_bytes dedup_ratio;
+  close_out oc;
+  Printf.printf "\ncorpus cost (FFT, K=%d: primary + %d secondaries)\n"
+    k n_entries;
+  Printf.printf "  capture  primary %8.1f ms   corpus %8.1f ms   %.2fx\n"
+    (primary_ns /. 1e6) (corpus_ns /. 1e6) (corpus_ns /. primary_ns);
+  Printf.printf "  verify   primary %8.2f ms   corpus %8.2f ms   %.2fx \
+                 (pass-everywhere worst case)\n"
+    (verify1_ns /. 1e6) (verifyk_ns /. 1e6) (verifyk_ns /. verify1_ns);
+  Printf.printf "  storage  %d snapshots: %.2f MB logical -> %.2f MB \
+                 physical (%.2fx dedup)\n"
+    (1 + n_entries)
+    (float_of_int ac.Storage.ac_logical_bytes /. 1048576.)
+    (float_of_int ac.Storage.ac_physical_bytes /. 1048576.)
+    dedup_ratio;
+  print_endline "wrote BENCH_corpus.json"
+
 let () =
   let full = ref false in
   let eager = ref false in
@@ -506,6 +638,7 @@ let () =
   if names = [ "bechamel" ] then bechamel_suite ()
   else if names = [ "replay" ] then replay_bench ()
   else if names = [ "storage" ] then storage_bench ()
+  else if names = [ "corpus" ] then corpus_bench ()
   else begin
     Fun.protect ~finally:export_observability (fun () ->
         run_all ~cfg ~eager:!eager ~jobs:!jobs ~cache:(not !no_cache) names;

@@ -360,18 +360,43 @@ let capture_cmd =
 
 (* ----------------------------- optimize ---------------------------- *)
 
+let corpus_arg =
+  let pos_int =
+    let parse s =
+      match int_of_string_opt s with
+      | Some n when n >= 1 -> Ok n
+      | Some _ | None -> Error (`Msg "expected a corpus size >= 1")
+    in
+    Arg.conv (parse, Format.pp_print_int)
+  in
+  Arg.(value & opt pos_int 1
+       & info [ "corpus" ] ~docv:"K"
+         ~doc:"Capture a $(docv)-input corpus and verify every candidate \
+               against all of it (cross-input verification). $(docv)=1 is \
+               the classic single-capture pipeline; larger $(docv) adds \
+               adversarial inputs that retire guard-stripping binaries. \
+               Fitness always comes from the primary capture.")
+
 let optimize_cmd =
-  let run app seed full jobs no_cache trace metrics faults store =
+  let run app seed full jobs no_cache trace metrics faults store corpus_k =
     with_trace trace metrics @@ fun () ->
     with_store store @@ fun () ->
     with_faults faults @@ fun () ->
     let cfg = if full then Ga.default_config else Ga.quick_config in
-    match Pipeline.capture_once ~seed app with
+    match Pipeline.capture_corpus ~seed ~k:corpus_k app with
     | None -> print_endline "no replayable hot region: nothing to optimize"
-    | Some cap ->
+    | Some co ->
+      let cap = co.Pipeline.co_primary in
+      if co.Pipeline.co_entries <> [] then
+        Printf.printf "corpus: %d secondary capture(s): %s\n"
+          (List.length co.Pipeline.co_entries)
+          (String.concat ", "
+             (List.map
+                (fun ce -> ce.Pipeline.ce_input.App.in_label)
+                co.Pipeline.co_entries));
       let opt =
         Pipeline.optimize ~seed:(seed + 13) ~cfg ~jobs ~cache:(not no_cache)
-          app cap
+          ~corpus:co.Pipeline.co_entries app cap
       in
       Printf.printf "replay baselines: Android %.3f ms, LLVM -O3 %.3f ms\n"
         opt.Pipeline.env.Pipeline.android_region_ms
@@ -395,7 +420,7 @@ let optimize_cmd =
     (Cmd.info "optimize"
        ~doc:"Run the full replay-based iterative compilation (Figure 6).")
     Term.(const run $ app_arg $ seed_arg $ full_arg $ jobs_arg $ no_cache_arg
-          $ trace_arg $ metrics_arg $ faults_arg $ store_arg)
+          $ trace_arg $ metrics_arg $ faults_arg $ store_arg $ corpus_arg)
 
 (* ----------------------------- storage ----------------------------- *)
 
@@ -477,7 +502,7 @@ let storage_cmd =
 let experiment_cmd =
   let names =
     [ "table1"; "fig1"; "fig2"; "fig3"; "fig7"; "fig8"; "fig9"; "fig10";
-      "fig11" ]
+      "fig11"; "survival" ]
   in
   let name_arg =
     Arg.(required
@@ -504,6 +529,7 @@ let experiment_cmd =
      | "fig9" -> E.print_fig9 (E.fig9 ~cfg ~jobs ~cache ())
      | "fig10" -> E.print_fig10 (E.fig10 ~eager ())
      | "fig11" -> E.print_fig11 (E.fig11 ())
+     | "survival" -> E.print_survival (E.survival ())
      | _ -> assert false);
     (match name with
      | "fig1" | "fig2" | "fig7" | "fig9" -> print_pool_report ()

@@ -22,5 +22,30 @@ val class_name : app_class -> string
 val dexfile : t -> Repro_dex.Bytecode.dexfile
 (** Compile (memoized) the app's source. *)
 
-val build_ctx : ?seed:int -> ?fuel:int -> t -> Repro_vm.Exec_ctx.t
-(** Fresh process image for one online run of the app. *)
+(** One online input: named static fields poked with raw words after the
+    image is built (sizes, shapes, adversarial edge values).  The encoding
+    matches {!Repro_vm.Image.build}'s static initializers: [Int64.of_int]
+    for ints, [Int64.bits_of_float] for floats. *)
+type input = {
+  in_label : string;                    (** deterministic description *)
+  in_statics : (string * int64) list;   (** "Class.field" -> raw word *)
+}
+
+val default_input : input
+(** Pokes nothing: the app's own static initializers. *)
+
+val input_variants : t -> seed:int -> k:int -> input list
+(** [k] distinct deterministic inputs for one app; element 0 is always
+    {!default_input}.  The rest lead with curated adversarial edges —
+    including shapes on which the app's {e reference} execution traps
+    (non-power-of-two FFT sizes, out-of-range sparse columns), the inputs
+    that expose guard-stripping miscompiles — followed by seeded draws on
+    the app's LCG state or size statics.  Apps with no usable axis yield
+    fewer than [k] variants.  Pure in [(app, seed, k)], and a prefix:
+    [input_variants ~k] is the first [k] elements of [input_variants ~k:n]
+    for any [n >= k]. *)
+
+val build_ctx :
+  ?seed:int -> ?fuel:int -> ?input:input -> t -> Repro_vm.Exec_ctx.t
+(** Fresh process image for one online run of the app, with [input]'s
+    static pokes applied (default: none). *)

@@ -73,9 +73,10 @@ class FFT {
 class Main {
   static int size = 256;
   static int rounds = 5;
+  static float bias = 0.0;
   static float[] makeSignal() {
     float[] x = new float[size];
-    for (int i = 0; i < size; i = i + 1) { x[i] = Lcg.nextFloat(); }
+    for (int i = 0; i < size; i = i + 1) { x[i] = Lcg.nextFloat() + bias; }
     return x;
   }
   static int main() {
@@ -95,12 +96,13 @@ let sor = lcg ^ {|
 class SOR {
   static float execute(float omega, float[] g, int m, int n, int iters) {
     float omf = 1.0 - omega;
+    int jmax = n - 1 + Main.skew / 4;
     for (int p = 0; p < iters; p = p + 1) {
       for (int i = 1; i < m - 1; i = i + 1) {
         int row = i * n;
         int rowm = row - n;
         int rowp = row + n;
-        for (int j = 1; j < n - 1; j = j + 1) {
+        for (int j = 1; j < jmax; j = j + 1) {
           g[row + j] = omega * 0.25
               * (g[rowm + j] + g[rowp + j] + g[row + j - 1] + g[row + j + 1])
               + omf * g[row + j];
@@ -115,12 +117,14 @@ class SOR {
 class Main {
   static int dim = 48;
   static int rounds = 4;
+  static int stride = 0;
+  static int skew = 0;
   static int main() {
     float acc = 0.0;
     for (int r = 0; r < rounds; r = r + 1) {
       float[] g = new float[dim * dim];
       for (int i = 0; i < g.length; i = i + 1) { g[i] = Lcg.nextFloat(); }
-      acc = acc + SOR.execute(1.25, g, dim, dim, 6);
+      acc = acc + SOR.execute(1.25, g, dim, dim + stride, 6);
       Sys.print((int) acc);
     }
     return (int) acc;
@@ -159,7 +163,7 @@ let sparse_matmult = lcg ^ {|
 class Sparse {
   static float matmult(float[] y, float[] val, int[] row, int[] col, float[] x,
                        int iters) {
-    int m = row.length - 1;
+    int m = row.length - 1 + Main.shift / 4;
     for (int p = 0; p < iters; p = p + 1) {
       for (int r = 0; r < m; r = r + 1) {
         float sum = 0.0;
@@ -180,6 +184,8 @@ class Main {
   static int n = 600;
   static int nz = 3000;
   static int rounds = 4;
+  static int colBump = 0;
+  static int shift = 0;
   static int main() {
     float[] x = new float[n];
     float[] y = new float[n];
@@ -193,7 +199,7 @@ class Main {
       for (int k = 0; k < perRow; k = k + 1) {
         int idx = r * perRow + k;
         val[idx] = Lcg.nextFloat();
-        col[idx] = Lcg.next() % n;
+        col[idx] = Lcg.next() % n + colBump;
       }
     }
     row[n] = n * perRow;
@@ -244,17 +250,20 @@ class LU {
       }
     }
     float s = 0.0;
-    for (int i = 0; i < n; i = i + 1) { s = s + a[i * n + i]; }
+    int lim = n + Main.fuzz / 4;
+    for (int i = 0; i < lim; i = i + 1) { s = s + a[i * n + i]; }
     return s;
   }
 }
 class Main {
   static int n = 40;
   static int rounds = 4;
+  static int trim = 0;
+  static int fuzz = 0;
   static int main() {
     float acc = 0.0;
     for (int r = 0; r < rounds; r = r + 1) {
-      float[] a = new float[n * n];
+      float[] a = new float[n * n - trim];
       int[] pivot = new int[n];
       for (int i = 0; i < a.length; i = i + 1) { a[i] = Lcg.nextFloat() + 0.01; }
       acc = acc + LU.factor(a, n, pivot);

@@ -20,6 +20,7 @@ type result = {
   snapshot : Snapshot.t;
   overhead : overhead;
   region_ret : Repro_vm.Value.t option;
+  region_exn : exn option;
 }
 
 let eager_mode = ref false
@@ -40,7 +41,7 @@ let charge_ms (ctx : Ctx.t) ms =
 
 let materialized_pages mem = Mem.word_count mem / Mem.words_per_page
 
-let capture_region ~app (ctx : Ctx.t) ~mid ~args ~run =
+let capture_region ~app ?(harvest_on_exn = false) (ctx : Ctx.t) ~mid ~args ~run =
   Trace.span ~cat:"capture" ~args:[ ("app", app) ] "capture" @@ fun () ->
   let mem = ctx.Ctx.mem in
   let st = Mem.stats mem in
@@ -83,14 +84,19 @@ let capture_region ~app (ctx : Ctx.t) ~mid ~args ~run =
     Mem.set_fault_handler mem None;
     List.iter (fun page -> Mem.unprotect mem ~page) protected_pages
   in
-  let region_ret =
+  (* The forked child holds the pristine pre-region pages, so the snapshot
+     is valid even when the region raises: with [harvest_on_exn] the
+     exception is recorded and harvesting proceeds — that is how trap-
+     inducing corpus inputs are captured.  Otherwise exceptions propagate
+     after teardown, as before. *)
+  let region_ret, region_exn =
     match run () with
     | v ->
       teardown ();
-      v
+      (v, None)
     | exception e ->
       teardown ();
-      raise e
+      if harvest_on_exn then (None, Some e) else raise e
   in
   (* 5-6) wake the child; spool the original contents of recorded pages *)
   let n_faults = st.Mem.n_faults - faults0 in
@@ -142,4 +148,4 @@ let capture_region ~app (ctx : Ctx.t) ~mid ~args ~run =
     overhead =
       { fork_ms; preparation_ms; fault_cow_ms; n_faults; n_cow; n_map_entries;
         n_protected };
-    region_ret }
+    region_ret; region_exn }

@@ -33,10 +33,14 @@ type result = {
   snapshot : Snapshot.t;                  (** the replayable snapshot *)
   overhead : overhead;                    (** its online cost *)
   region_ret : Repro_vm.Value.t option;   (** the region's own result *)
+  region_exn : exn option;
+  (** the exception the region raised, when captured with
+      [harvest_on_exn] (otherwise always [None]) *)
 }
 
 val capture_region :
   app:string ->
+  ?harvest_on_exn:bool ->
   Repro_vm.Exec_ctx.t -> mid:int -> args:Repro_vm.Value.t list ->
   run:(unit -> Repro_vm.Value.t option) ->
   result
@@ -44,7 +48,11 @@ val capture_region :
     region execution (through whatever dispatcher is installed); the
     capture machinery forks, protects, observes and then harvests the
     snapshot from the child.  Exceptions from [run] propagate after the
-    capture state is torn down. *)
+    capture state is torn down — unless [harvest_on_exn] (default false)
+    is set, in which case the snapshot is still harvested (the forked
+    child's pages predate the region, so the trap cannot corrupt them)
+    and the exception is returned in [region_exn].  Corpus capture uses
+    this for adversarial inputs on which the region itself traps. *)
 
 val eager_mode : bool ref
 (** Ablation (CERE-style capture, §6): when set, every recorded page is

@@ -48,11 +48,19 @@ let current_store () = Atomic.get store_ref
    replay takes an O(page-table) [Mem.clone] instead of re-copying every
    page.  The cache is domain-local so template frames (plain-int
    refcounts) are never shared across domains — each Evalpool worker
-   builds its own template, amortized over the replays it runs. *)
-let template_slot : (t * Mem.t) option Domain.DLS.key =
-  Domain.DLS.new_key (fun () -> None)
+   builds its own template, amortized over the replays it runs.
 
-let invalidate_templates () = Domain.DLS.set template_slot None
+   The cache holds a small MRU list rather than a single entry: corpus
+   verification cycles through K snapshots per candidate, and a
+   one-entry cache would rebuild every template K times per evaluation —
+   O(snapshot), not O(dirty pages).  The cap bounds the per-domain
+   footprint (a template pins every captured page of its snapshot). *)
+let max_cached_templates = 12
+
+let template_slot : (t * Mem.t) list Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> [])
+
+let invalidate_templates () = Domain.DLS.set template_slot []
 
 (* page images for the template: from the attached store when this
    snapshot's blobs are in it (checksum-validated read; failures raise
@@ -86,14 +94,22 @@ let build_template snap =
   mem
 
 let template snap =
-  match Domain.DLS.get template_slot with
-  | Some (s, mem) when s == snap -> mem
-  | Some _ | None ->
+  let entries = Domain.DLS.get template_slot in
+  match List.find_opt (fun (s, _) -> s == snap) entries with
+  | Some (_, mem) ->
+    (match entries with
+     | (s0, _) :: _ when s0 == snap -> ()   (* already most recent *)
+     | _ ->
+       Domain.DLS.set template_slot
+         ((snap, mem) :: List.filter (fun (s, _) -> s != snap) entries));
+    mem
+  | None ->
     let mem = build_template snap in
-    Domain.DLS.set template_slot (Some (snap, mem));
+    let entries = (snap, mem) :: entries in
+    let entries = List.filteri (fun i _ -> i < max_cached_templates) entries in
+    Domain.DLS.set template_slot entries;
     mem
 
 let cached_template snap =
-  match Domain.DLS.get template_slot with
-  | Some (s, mem) when s == snap -> Some mem
-  | Some _ | None -> None
+  List.find_opt (fun (s, _) -> s == snap) (Domain.DLS.get template_slot)
+  |> Option.map snd

@@ -13,14 +13,27 @@ type t = {
    Building the table walks the whole snapshot, so it is cached per domain
    keyed by snapshot identity (snapshots are immutable, and the table only
    holds references to their page images): repeat verifications against the
-   same snapshot — the GA loop — pay O(dirty pages), not O(snapshot). *)
-let original_slot : (Snapshot.t * (int, int64 array) Hashtbl.t) option Domain.DLS.key =
-  Domain.DLS.new_key (fun () -> None)
+   same snapshot — the GA loop — pay O(dirty pages), not O(snapshot).
+   A small MRU list rather than one entry, for the same reason as
+   [Snapshot.template_slot]: corpus verification cycles through K
+   snapshots per candidate, and a single slot would rebuild the table K
+   times per evaluation. *)
+let max_cached_originals = 12
+
+let original_slot : (Snapshot.t * (int, int64 array) Hashtbl.t) list Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> [])
 
 let original_of_snapshot (snap : Snapshot.t) =
-  match Domain.DLS.get original_slot with
-  | Some (s, original) when s == snap -> original
-  | Some _ | None ->
+  let entries = Domain.DLS.get original_slot in
+  match List.find_opt (fun (s, _) -> s == snap) entries with
+  | Some (_, original) ->
+    (match entries with
+     | (s0, _) :: _ when s0 == snap -> ()
+     | _ ->
+       Domain.DLS.set original_slot
+         ((snap, original) :: List.filter (fun (s, _) -> s != snap) entries));
+    original
+  | None ->
     let original = Hashtbl.create 64 in
     List.iter
       (fun { Snapshot.pg_index; pg_data } ->
@@ -30,7 +43,9 @@ let original_of_snapshot (snap : Snapshot.t) =
       (fun { Snapshot.pg_index; pg_data } ->
          Hashtbl.replace original pg_index pg_data)
       snap.Snapshot.snap_pages;
-    Domain.DLS.set original_slot (Some (snap, original));
+    let entries = (snap, original) :: entries in
+    let entries = List.filteri (fun i _ -> i < max_cached_originals) entries in
+    Domain.DLS.set original_slot entries;
     original
 
 (* Pages a replay could have changed.  When [mem] is a clone of this very
@@ -142,6 +157,11 @@ let ret_equal a b =
   | Some a, Some b -> Value.equal a b
   | None, Some _ | Some _, None -> false
 
+let count_result result =
+  match result with
+  | Passed _ -> Trace.incr "verify.passed"
+  | Wrong_output | Crashed _ | Hung -> Trace.incr "verify.rejected"
+
 let check ?fuel ?faults_key dx snap reference binary =
   Trace.span ~cat:"verify" "verify" @@ fun () ->
   let r = Replay.run ?fuel ?faults_key dx snap (Replay.Optimized binary) in
@@ -156,7 +176,42 @@ let check ?fuel ?faults_key dx snap reference binary =
       then Passed cycles
       else Wrong_output
   in
-  (match result with
-   | Passed _ -> Trace.incr "verify.passed"
-   | Wrong_output | Crashed _ | Hung -> Trace.incr "verify.rejected");
+  count_result result;
   result
+
+(* ------------------------ corpus references ------------------------- *)
+
+type reference =
+  | Ref_map of t
+  | Ref_crash of string
+
+let collect_ref ?record_vcall dx snap =
+  let r = Replay.run ?record_vcall dx snap Replay.Interpreter in
+  match r.Replay.outcome with
+  | Replay.Finished (ret, _) ->
+    Ref_map { writes = diff_against_snapshot r.Replay.ctx snap; ret }
+  | Replay.Crashed msg -> Ref_crash msg
+  | Replay.Hung -> failwith "Verify.collect_ref: interpreted replay hung"
+
+let check_ref ?fuel ?faults_key dx snap reference binary =
+  match reference with
+  | Ref_map m -> check ?fuel ?faults_key dx snap m binary
+  | Ref_crash msg ->
+    (* The reference itself traps on this input.  A correct binary must
+       reproduce the exact trap; one that silently finishes read or wrote
+       past where the reference stopped — the guard-stripping signature —
+       and is Wrong_output.  Partial write sets at the trap are *not*
+       compared: legal optimizations may reorder stores ahead of the
+       faulting access, and killing those would be a false positive. *)
+    Trace.span ~cat:"verify" "verify:crash-ref" @@ fun () ->
+    let r = Replay.run ?fuel ?faults_key dx snap (Replay.Optimized binary) in
+    let result =
+      match r.Replay.outcome with
+      | Replay.Crashed m when String.equal m msg ->
+        Passed r.Replay.ctx.Ctx.cycles
+      | Replay.Crashed m -> Crashed m
+      | Replay.Finished _ -> Wrong_output
+      | Replay.Hung -> Hung
+    in
+    count_result result;
+    result

@@ -52,3 +52,34 @@ val check :
     the binary must be discarded — under fault injection the pipeline
     {e quarantines} it (fitness = worst) after a one-retry check that
     separates transient replay faults from deterministic miscompiles. *)
+
+(** A cross-input verification reference: what the {e reference}
+    (interpreted) execution of one captured input does.  Most inputs
+    finish and yield a verification map; adversarial corpus inputs may
+    make the reference itself trap (e.g. a bounds exception on a
+    non-power-of-two FFT size), and those are exactly the inputs that
+    expose guard-stripping miscompiles. *)
+type reference =
+  | Ref_map of t            (** reference finished with this map *)
+  | Ref_crash of string     (** reference trapped with this message *)
+
+val collect_ref :
+  ?record_vcall:(Typeprof.site -> int -> unit) ->
+  Repro_dex.Bytecode.dexfile -> Snapshot.t -> reference
+(** Like {!collect}, but a reference trap is a legitimate [Ref_crash]
+    outcome rather than a capture bug.  [record_vcall] feeds the replay's
+    dispatch sites to a type profile, as in {!Repro_capture.Replay.run}.
+    @raise Failure if the interpreted replay hangs. *)
+
+val check_ref :
+  ?fuel:int ->
+  ?faults_key:int ->
+  Repro_dex.Bytecode.dexfile -> Snapshot.t -> reference ->
+  Repro_lir.Binary.t -> check_result
+(** {!check} against a corpus reference.  For a [Ref_map] this is exactly
+    {!check}.  For a [Ref_crash] the candidate passes only when it traps
+    with the identical message ([Passed] carries its replay cycles); a
+    candidate that {e finishes} on a trapping input executed past the
+    reference's faulting access — the guard-stripping signature — and is
+    [Wrong_output].  Partial write sets at the trap are not compared:
+    legal optimizations may reorder stores ahead of the faulting access. *)

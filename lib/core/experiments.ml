@@ -639,3 +639,180 @@ let print_fig11 rows =
        rows);
   Printf.printf "AVERAGE program-specific: %.2f MB\n"
     (average (List.map (fun r -> r.f11_program_mb) rows))
+
+(* ------------------ unsafe-pass survival vs corpus size ------------- *)
+
+(* The experiment the paper does not have: how many unsafe binaries does
+   single-input verification let through, and how fast does a multi-input
+   corpus close the hole?  For every Scimark app and a fixed family of
+   unsafe genomes, find the smallest corpus size K at which verification
+   rejects the binary.  Fitness never enters: this is purely about the
+   verification net. *)
+
+type survival_genome = {
+  sg_app : string;
+  sg_label : string;
+  sg_killed_at : int option;
+  (* smallest K whose corpus rejects it: 1 = primary capture already
+     catches it; None = survives the whole corpus *)
+}
+
+type survival_point = { sp_k : int; sp_tested : int; sp_survived : int }
+
+type survival = {
+  su_seed : int;
+  su_kmax : int;
+  su_points : survival_point list;         (* k = 1..kmax *)
+  su_genomes : survival_genome list;
+  su_pinned_killed_at : int option;        (* o2+unsafe-bce on FFT *)
+  su_corpus_entries : int;                 (* secondary captures made *)
+  su_capture_ms : float;                   (* mean online ms per secondary capture *)
+  su_corpus_checks : int;                  (* corpus checks run (after short-circuit) *)
+}
+
+(* The pinned guard-stripping genome of the regression test: the Android
+   pipeline's body with every bounds guard dropped afterwards. *)
+let pinned_unsafe_genome () =
+  List.map
+    (fun (name, ps) -> { Genome.g_pass = name; g_params = ps })
+    (Repro_lir.Pipelines.o2 @ [ ("unsafe-bce", [||]) ])
+
+let survival_genomes () =
+  let of_spec label spec =
+    (label,
+     List.map
+       (fun (name, ps) -> { Genome.g_pass = name; g_params = ps })
+       spec)
+  in
+  let o2 = Repro_lir.Pipelines.o2 in
+  [ of_spec "o2+unsafe-bce" (o2 @ [ ("unsafe-bce", [||]) ]);
+    of_spec "o2+unsafe-null-elim" (o2 @ [ ("unsafe-null-elim", [||]) ]);
+    of_spec "o2+unsafe-div-lower" (o2 @ [ ("unsafe-div-lower", [||]) ]);
+    of_spec "o2+unsafe-lsf" (o2 @ [ ("unsafe-lsf", [||]) ]);
+    of_spec "o2+unsafe-licm" (o2 @ [ ("unsafe-licm", [||]) ]);
+    of_spec "o2+fast-math" (o2 @ [ ("fast-math", [| 1; 1 |]) ]);
+    of_spec "o2+fast-math:recip" (o2 @ [ ("fast-math", [| 1; 0 |]) ]);
+    of_spec "o2+fast-math:contract" (o2 @ [ ("fast-math", [| 0; 1 |]) ]);
+    of_spec "o2+unsafe-bce+fast-math"
+      (o2 @ [ ("unsafe-bce", [||]); ("fast-math", [| 1; 1 |]) ]);
+    of_spec "unsafe-bce-only" [ ("unsafe-bce", [||]) ] ]
+
+(* First corpus size K at which the binary is rejected: primary check
+   first (K=1), then the corpus entries in order (entry i covers K=i+1).
+   Counts every check it actually runs in [checks]. *)
+let killed_at env checks binary =
+  match Repro_capture.Verify.check env.Pipeline.dx
+          env.Pipeline.capture.Pipeline.snapshot env.Pipeline.vmap binary
+  with
+  | Repro_capture.Verify.Passed _ ->
+    let rec loop i = function
+      | [] -> None
+      | ce :: rest ->
+        incr checks;
+        (match Repro_capture.Verify.check_ref env.Pipeline.dx
+                 ce.Pipeline.ce_snapshot ce.Pipeline.ce_reference binary
+         with
+         | Repro_capture.Verify.Passed _ -> loop (i + 1) rest
+         | _ -> Some (i + 1))
+    in
+    loop 1 env.Pipeline.corpus
+  | _ -> Some 1
+
+let scimark_names =
+  [ "FFT"; "SOR"; "MonteCarlo"; "Sparse matmult"; "LU" ]
+
+let survival ?(seed = 7) ?(kmax = 8) ?(apps = scimark_names) () =
+  let checks = ref 0 in
+  let entries = ref 0 in
+  let capture_ms = ref [] in
+  let genomes =
+    List.concat_map
+      (fun app ->
+         match Pipeline.capture_corpus ~seed ~k:kmax app with
+         | None -> []
+         | Some co ->
+           entries := !entries + List.length co.Pipeline.co_entries;
+           List.iter
+             (fun ce ->
+                capture_ms :=
+                  Capture.total_ms ce.Pipeline.ce_overhead :: !capture_ms)
+             co.Pipeline.co_entries;
+           let env =
+             Pipeline.make_eval_env ~seed:(seed + 1)
+               ~corpus:co.Pipeline.co_entries app co.Pipeline.co_primary
+           in
+           List.filter_map
+             (fun (label, genome) ->
+                match Pipeline.compile_core env genome with
+                | Error _ -> None
+                | Ok binary ->
+                  Some
+                    { sg_app = app.App.name;
+                      sg_label = label;
+                      sg_killed_at = killed_at env checks binary })
+             (survival_genomes ()))
+      (apps_of ~apps ())
+  in
+  let tested = List.length genomes in
+  let points =
+    List.init kmax (fun i ->
+        let k = i + 1 in
+        let survived =
+          List.length
+            (List.filter
+               (fun g ->
+                  match g.sg_killed_at with
+                  | None -> true
+                  | Some kk -> kk > k)
+               genomes)
+        in
+        { sp_k = k; sp_tested = tested; sp_survived = survived })
+  in
+  let pinned =
+    List.find_opt
+      (fun g -> g.sg_app = "FFT" && g.sg_label = "o2+unsafe-bce")
+      genomes
+  in
+  { su_seed = seed;
+    su_kmax = kmax;
+    su_points = points;
+    su_genomes = genomes;
+    su_pinned_killed_at = Option.bind pinned (fun g -> g.sg_killed_at);
+    su_corpus_entries = !entries;
+    su_capture_ms = average !capture_ms;
+    su_corpus_checks = !checks }
+
+let print_survival s =
+  print_endline
+    "Unsafe-pass survival vs corpus size K (cross-input verification).";
+  Printf.printf "seed %d, %d (app, genome) pairs, %d secondary captures\n"
+    s.su_seed
+    (List.length s.su_genomes)
+    s.su_corpus_entries;
+  Table.print ~header:[ "K"; "Tested"; "Survive"; "Rate" ]
+    (List.map
+       (fun p ->
+          [ string_of_int p.sp_k; string_of_int p.sp_tested;
+            string_of_int p.sp_survived;
+            Table.fmt_f ~decimals:1
+              (100.0 *. float_of_int p.sp_survived
+               /. float_of_int (max 1 p.sp_tested)) ])
+       s.su_points);
+  Table.print ~header:[ "App"; "Genome"; "Killed at K" ]
+    (List.map
+       (fun g ->
+          [ g.sg_app; g.sg_label;
+            (match g.sg_killed_at with
+             | Some k -> string_of_int k
+             | None -> "never") ])
+       s.su_genomes);
+  (match s.su_pinned_killed_at with
+   | Some k ->
+     Printf.printf
+       "pinned o2+unsafe-bce on FFT: passes K<%d, rejected at K=%d\n" k k
+   | None ->
+     print_endline "pinned o2+unsafe-bce on FFT: NOT killed (hole open!)");
+  Printf.printf
+    "corpus cost: %.1f ms mean online overhead per secondary capture; \
+     %d corpus checks\n"
+    s.su_capture_ms s.su_corpus_checks

@@ -133,3 +133,48 @@ val fig11 : ?seed:int -> ?apps:string list -> unit -> fig11_row list
 val print_fig11 : fig11_row list -> unit
 
 val average : float list -> float
+
+(** {1 Unsafe-pass survival vs corpus size}
+
+    The experiment the source paper does not have: how many unsafe
+    binaries does single-input replay verification let through, and how
+    fast does a multi-input capture corpus (cross-input verification)
+    close the hole? *)
+
+type survival_genome = {
+  sg_app : string;
+  sg_label : string;
+  sg_killed_at : int option;
+  (** smallest corpus size K whose verification rejects the binary:
+      [Some 1] means the primary capture already catches it, [None] that
+      it survives the whole corpus *)
+}
+
+type survival_point = { sp_k : int; sp_tested : int; sp_survived : int }
+
+type survival = {
+  su_seed : int;
+  su_kmax : int;
+  su_points : survival_point list;   (** k = 1..kmax, survivors per k *)
+  su_genomes : survival_genome list; (** per-(app, genome) kill positions *)
+  su_pinned_killed_at : int option;  (** o2+unsafe-bce on FFT — the pinned
+                                         guard-stripping genome *)
+  su_corpus_entries : int;           (** secondary captures made *)
+  su_capture_ms : float;             (** mean online ms per secondary capture *)
+  su_corpus_checks : int;            (** corpus checks run (short-circuited) *)
+}
+
+val pinned_unsafe_genome : unit -> Repro_search.Genome.t
+(** The regression-pinned guard-stripping genome: the Android pipeline's
+    O2 body with every bounds guard dropped afterwards.  Passes K=1
+    verification on FFT (guards never fire on the captured input) and is
+    rejected by the corpus. *)
+
+val survival : ?seed:int -> ?kmax:int -> ?apps:string list -> unit -> survival
+(** Capture a [kmax]-input corpus per app (default: the five Scimark
+    kernels) and find, for a fixed family of unsafe genomes, the smallest
+    K at which each binary is rejected.  Deterministic in [(seed, kmax,
+    apps)]: the only timings involved are the capture model's simulated
+    milliseconds. *)
+
+val print_survival : survival -> unit

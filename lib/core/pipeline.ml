@@ -112,6 +112,102 @@ let capture_once ?(seed = 42) ?(capture_at = 2) app =
            online_with_capture =
              { ctx; profile = Profile.of_ctx ctx; cycles = ctx.Ctx.cycles; ret } })
 
+(* ------------------------- multi-input corpus ------------------------ *)
+
+type corpus_entry = {
+  ce_input : App.input;
+  ce_snapshot : Snapshot.t;
+  ce_reference : Verify.reference;
+  ce_typeprof : Typeprof.t;
+  ce_overhead : Capture.overhead;
+}
+
+type corpus = {
+  co_app : App.t;
+  co_seed : int;
+  co_primary : captured;
+  co_entries : corpus_entry list;
+}
+
+(* One secondary capture: re-run the app online under the Android binary
+   with the variant input poked in, capture the *first* entry into the
+   primary's hot region (adversarial inputs may trap before a second
+   entry happens), and abort the rest of the online run — variants exist
+   only to be replayed, their online completion is not needed.  The
+   capture harvests even when the region traps: the forked child's pages
+   predate the region. *)
+let capture_variant app ~seed ~hot_mid input =
+  Trace.span ~cat:"pipeline"
+    ~args:[ ("app", app.App.name); ("input", input.App.in_label) ]
+    "capture_variant"
+  @@ fun () ->
+  let exception Captured_stop in
+  let ctx = App.build_ctx ~seed ~input app in
+  ctx.Ctx.sample_period <- 20_000;
+  ctx.Ctx.next_sample <- 20_000;
+  let binary = android_binary_for app in
+  let base = Exec.dispatcher binary in
+  let result = ref None in
+  let dispatch ctx' mid args =
+    if mid = hot_mid && !result = None then begin
+      let r =
+        Capture.capture_region ~app:app.App.name ~harvest_on_exn:true ctx' ~mid
+          ~args
+          ~run:(fun () -> base ctx' mid args)
+      in
+      result := Some r;
+      raise_notrace Captured_stop
+    end
+    else base ctx' mid args
+  in
+  Ctx.set_dispatch ctx dispatch;
+  (* the variant input may legitimately crash the driver before (or
+     after) the region; only a completed capture matters here *)
+  (try ignore (Interp.run_main ctx) with Captured_stop | _ -> ());
+  match !result with
+  | None -> None
+  | Some r ->
+    (match Snapshot.current_store () with
+     | Some storage -> Snapshot.store storage r.Capture.snapshot
+     | None -> ());
+    let typeprof = Typeprof.create () in
+    (match
+       Verify.collect_ref
+         ~record_vcall:(fun site cid -> Typeprof.record typeprof site cid)
+         (App.dexfile app) r.Capture.snapshot
+     with
+     | reference ->
+       Trace.incr "corpus.captures";
+       Some
+         { ce_input = input;
+           ce_snapshot = r.Capture.snapshot;
+           ce_reference = reference;
+           ce_typeprof = typeprof;
+           ce_overhead = r.Capture.overhead }
+     | exception Failure _ -> None)
+
+let capture_corpus ?(seed = 42) ~k app =
+  Trace.span ~cat:"pipeline"
+    ~args:[ ("app", app.App.name); ("k", string_of_int k) ]
+    "capture_corpus"
+  @@ fun () ->
+  match capture_once ~seed app with
+  | None -> None
+  | Some primary ->
+    Trace.incr "corpus.captures";
+    let variants =
+      match App.input_variants app ~seed ~k with
+      | [] -> []
+      | _default :: rest -> rest
+    in
+    let entries =
+      List.filter_map
+        (capture_variant app ~seed ~hot_mid:primary.hot_mid)
+        variants
+    in
+    Some { co_app = app; co_seed = seed; co_primary = primary;
+           co_entries = entries }
+
 type evaluation_env = {
   dx : B.dexfile;
   app : App.t;
@@ -119,6 +215,7 @@ type evaluation_env = {
   vmap : Verify.t;
   typeprof : Typeprof.t;
   region : int list;
+  corpus : corpus_entry list;
   android_region_ms : float;
   o3_region_ms : float;
   replays_per_eval : int;
@@ -156,7 +253,7 @@ let replay_cycles_of_binary dx snap vmap binary =
   | Verify.Passed cycles -> Some cycles
   | Verify.Wrong_output | Verify.Crashed _ | Verify.Hung -> None
 
-let make_eval_env ?(seed = 1234) ?(replays = 10) app capture =
+let make_eval_env ?(seed = 1234) ?(replays = 10) ?(corpus = []) app capture =
   Trace.span ~cat:"pipeline" ~args:[ ("app", app.App.name) ] "make_eval_env"
   @@ fun () ->
   let dx = App.dexfile app in
@@ -176,7 +273,7 @@ let make_eval_env ?(seed = 1234) ?(replays = 10) app capture =
   in
   let region = Regions.compilable_region dx capture.hot_mid in
   let env0 =
-    { dx; app; capture; vmap; typeprof; region;
+    { dx; app; capture; vmap; typeprof; region; corpus;
       android_region_ms = nan; o3_region_ms = nan;
       replays_per_eval = replays; noise_sigma = default_noise_sigma;
       measure_seed = seed }
@@ -282,6 +379,40 @@ let reason_of_check = function
   | Verify.Crashed msg -> "crashed: " ^ msg
   | Verify.Hung -> "hung"
 
+(* One full verification pass: the primary capture first (its cycles are
+   the fitness measurement), then every corpus entry in corpus order with
+   a first-failure short-circuit.  [site] keys the fault scopes when
+   fault injection is armed: the primary keeps the historical key and
+   entry [i] gets [combine site i], so every corpus check's fault
+   decisions stay a pure function of (seed, binary, attempt, entry) —
+   independent of worker count and evaluation order. *)
+let check_corpus env ?site binary =
+  let fkey i =
+    match site with
+    | None -> None
+    | Some s -> Some (if i = 0 then s else Faults.combine s i)
+  in
+  match
+    Verify.check ?faults_key:(fkey 0) env.dx env.capture.snapshot env.vmap
+      binary
+  with
+  | Verify.Passed cycles ->
+    let rec loop i = function
+      | [] -> Verify.Passed cycles
+      | ce :: rest ->
+        Trace.incr "verify.corpus_checks";
+        (match
+           Verify.check_ref ?faults_key:(fkey i) env.dx ce.ce_snapshot
+             ce.ce_reference binary
+         with
+         | Verify.Passed _ -> loop (i + 1) rest
+         | bad ->
+           Trace.incr "verify.corpus_kills";
+           bad)
+    in
+    loop 1 env.corpus
+  | bad -> bad
+
 let verify_core env binary =
   let measured cycles =
     Core_measured
@@ -290,7 +421,7 @@ let verify_core env binary =
   if not (Faults.active ()) then
     (* Fault injection off (the normal pipeline): single attempt, and a
        failed verification keeps its precise verdict. *)
-    match Verify.check env.dx env.capture.snapshot env.vmap binary with
+    match check_corpus env binary with
     | Verify.Passed cycles -> measured cycles
     | Verify.Wrong_output -> Core_wrong_output
     | Verify.Crashed msg -> Core_crashed msg
@@ -305,17 +436,11 @@ let verify_core env binary =
        and the binary, so results stay byte-identical across -jN/cache. *)
     let key = binary_key binary in
     let site attempt = Faults.combine (Faults.hash_string key) attempt in
-    match
-      Verify.check ~faults_key:(site 0) env.dx env.capture.snapshot env.vmap
-        binary
-    with
+    match check_corpus env ~site:(site 0) binary with
     | Verify.Passed cycles -> measured cycles
     | first ->
       Trace.incr "verify.retried";
-      (match
-         Verify.check ~faults_key:(site 1) env.dx env.capture.snapshot
-           env.vmap binary
-       with
+      (match check_corpus env ~site:(site 1) binary with
        | Verify.Passed cycles -> measured cycles   (* transient fault *)
        | second ->
          let reason =
@@ -389,10 +514,11 @@ let idle_drain () =
   | None -> ()
   | Some storage -> ignore (Storage.drain ~max_pages:idle_drain_chunk storage)
 
-let optimize ?(seed = 99) ?(cfg = Ga.quick_config) ?jobs ?cache app capture =
+let optimize ?(seed = 99) ?(cfg = Ga.quick_config) ?jobs ?cache ?(corpus = [])
+    app capture =
   Trace.span ~cat:"pipeline" ~args:[ ("app", app.App.name) ] "optimize"
   @@ fun () ->
-  let env = make_eval_env ~seed:(seed + 1) app capture in
+  let env = make_eval_env ~seed:(seed + 1) ~corpus app capture in
   let pool = make_pool ?jobs ?cache env in
   let rng = Rng.create seed in
   let evaluate_batch tasks =

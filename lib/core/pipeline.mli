@@ -41,6 +41,42 @@ val capture_once : ?seed:int -> ?capture_at:int -> App.t -> captured option
     to it — content hashing and dedup happen later, at the idle-priority
     drains between GA evaluation batches. *)
 
+(** One secondary corpus capture: a distinct input's snapshot, its
+    cross-input verification reference (a map, or the reference's own
+    trap), the dispatch-type profile its interpreted replay recorded, and
+    what the capture cost online. *)
+type corpus_entry = {
+  ce_input : App.input;
+  ce_snapshot : Repro_capture.Snapshot.t;
+  ce_reference : Repro_capture.Verify.reference;
+  ce_typeprof : Repro_capture.Typeprof.t;
+  ce_overhead : Repro_capture.Capture.overhead;
+}
+
+(** A multi-input capture corpus: the primary capture (fitness is always
+    measured on it, so single-input figures are unchanged) plus secondary
+    entries for the app's other inputs. *)
+type corpus = {
+  co_app : App.t;
+  co_seed : int;
+  co_primary : captured;
+  co_entries : corpus_entry list;   (** in corpus (verification) order *)
+}
+
+val capture_corpus : ?seed:int -> k:int -> App.t -> corpus option
+(** Capture {!App.input_variants}[ ~seed ~k]: the primary capture exactly
+    as {!capture_once}, then one capture per variant input — first entry
+    into the same hot region, harvested even when the region traps (the
+    adversarial inputs are chosen to do exactly that), online run aborted
+    right after the capture.  Variants whose run never reaches the region
+    or whose reference replay hangs are dropped, so the corpus may hold
+    fewer than [k] entries.  Snapshots are spooled to the attached device
+    store like the primary's (identical pages — shared boot images —
+    dedup to shared frames, which is what makes corpus storage cost
+    sublinear in K).  Each capture bumps the [corpus.captures] counter.
+    Pure in [(app, seed, k)].  [None] when no replayable hot region
+    exists. *)
+
 type evaluation_env = {
   dx : Repro_dex.Bytecode.dexfile;
   app : App.t;
@@ -48,6 +84,9 @@ type evaluation_env = {
   vmap : Repro_capture.Verify.t;
   typeprof : Repro_capture.Typeprof.t;
   region : int list;
+  corpus : corpus_entry list;
+  (** secondary verification inputs; [[]] gives exactly the historical
+      single-input behaviour *)
   android_region_ms : float;     (** replay fitness of the Android code *)
   o3_region_ms : float;
   replays_per_eval : int;
@@ -58,10 +97,13 @@ type evaluation_env = {
       count, batching, or cache state *)
 }
 
-val make_eval_env : ?seed:int -> ?replays:int -> App.t -> captured ->
-  evaluation_env
+val make_eval_env :
+  ?seed:int -> ?replays:int -> ?corpus:corpus_entry list ->
+  App.t -> captured -> evaluation_env
 (** Interpreted replay for the verification map and type profile, plus
-    baseline replay measurements. *)
+    baseline replay measurements.  [corpus] (default none) adds secondary
+    verification inputs; fitness and baselines stay on the primary
+    capture. *)
 
 (** The deterministic part of one evaluation (everything but measurement
     noise): what {!make_pool} memoizes. *)
@@ -84,8 +126,12 @@ val compile_core :
     core.  Pure per-call: safe to run on worker domains. *)
 
 val verify_core : evaluation_env -> Repro_lir.Binary.t -> eval_core
-(** Verified replay of a compiled binary against the capture.  Pure
-    per-call: safe to run on worker domains.
+(** Verified replay of a compiled binary against the capture — and, when
+    the environment carries a corpus, against {e every} corpus entry in
+    corpus order with a first-failure short-circuit
+    ([verify.corpus_checks] / [verify.corpus_kills] counters).  Fitness
+    cycles always come from the primary capture.  Pure per-call: safe to
+    run on worker domains.
 
     While [Repro_util.Faults] is armed, the candidate replay runs inside a
     fault scope keyed by [(binary, attempt)] and a failed verification is
@@ -149,11 +195,15 @@ type optimized = {
 
 val optimize :
   ?seed:int -> ?cfg:Repro_search.Ga.config -> ?jobs:int -> ?cache:bool ->
+  ?corpus:corpus_entry list ->
   App.t -> captured -> optimized
 (** The full search, including the final hill-climbing step.  [jobs]
     (default 1) evaluates each generation on that many domains; [cache]
-    (default true) memoizes repeated genomes and binaries.  Results are
-    identical for every [jobs]/[cache] combination.
+    (default true) memoizes repeated genomes and binaries.  [corpus]
+    makes every candidate verify against the secondary inputs too (the
+    corpus verdict folds into the same retry/quarantine policy under
+    fault injection).  Results are identical for every [jobs]/[cache]
+    combination, and independent of corpus evaluation order.
 
     When a device store is attached, a bounded chunk of the spool queue is
     drained between evaluation batches — the paper's idle-priority flash

@@ -67,7 +67,7 @@ let snapshot c = {
          let t, b = !r in
          { w_id = id; w_tasks = t; w_busy_s = b } :: acc)
       c.c_workers []
-    |> List.sort (fun a b -> compare a.w_id b.w_id);
+    |> List.sort (fun a b -> Int.compare a.w_id b.w_id);
 }
 
 let record_worker c (id, tasks, busy) =

@@ -112,7 +112,7 @@ let loops t =
     (fun header tails acc ->
        { header; back_edges = tails; body = natural_loop t header tails } :: acc)
     by_header []
-  |> List.sort (fun a b -> compare (rpo_index t a.header) (rpo_index t b.header))
+  |> List.sort (fun a b -> Int.compare (rpo_index t a.header) (rpo_index t b.header))
 
 let loop_depth t n =
   List.length (List.filter (fun l -> List.mem n l.body) (loops t))

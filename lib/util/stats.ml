@@ -15,7 +15,7 @@ let stddev xs = sqrt (variance xs)
 
 let sorted xs =
   let ys = Array.copy xs in
-  Array.sort compare ys;
+  Array.sort Float.compare ys;
   ys
 
 let median xs =

@@ -106,7 +106,12 @@ let events () =
   let bufs = Mutex.protect lock (fun () -> !registry) in
   List.concat_map (fun b -> List.rev b.b_rev) bufs
   |> List.sort (fun a b ->
-         compare (a.ev_ts, a.ev_tid, a.ev_seq) (b.ev_ts, b.ev_tid, b.ev_seq))
+         match Float.compare a.ev_ts b.ev_ts with
+         | 0 ->
+           (match Int.compare a.ev_tid b.ev_tid with
+            | 0 -> Int.compare a.ev_seq b.ev_seq
+            | c -> c)
+         | c -> c)
 
 let sorted_tbl tbl =
   Mutex.protect lock (fun () ->
@@ -241,7 +246,7 @@ let span_durations () =
   Hashtbl.fold
     (fun name (n, total, mx) rows -> (name, !n, !total, !mx) :: rows)
     acc []
-  |> List.sort (fun (_, _, ta, _) (_, _, tb, _) -> compare tb ta)
+  |> List.sort (fun (_, _, ta, _) (_, _, tb, _) -> Float.compare tb ta)
 
 let summary () =
   let sections = ref [] in

@@ -484,6 +484,141 @@ let test_verify_empty_write_set_rejects_writer () =
   Alcotest.(check bool) "writer cannot match the empty map" false
     (Verify.diff_matches r.Replay.ctx snap [])
 
+(* ----------------------- cross-input corpus ------------------------- *)
+
+(* One shared FFT corpus: primary + "size=6 non-pow2" (reference traps) +
+   "nan bias" (reference finishes with a different map). *)
+let fft_corpus =
+  lazy (Option.get (Pipeline.capture_corpus ~seed:5 ~k:3 (fft ())))
+
+let test_corpus_structure () =
+  let co = Lazy.force fft_corpus in
+  let labels =
+    List.map (fun ce -> ce.Pipeline.ce_input.App.in_label) co.Pipeline.co_entries
+  in
+  Alcotest.(check (list string)) "adversarial edges in corpus order"
+    [ "size=6 non-pow2 (kernel traps)"; "nan bias" ] labels;
+  (match co.Pipeline.co_entries with
+   | [ trap; nan_entry ] ->
+     Alcotest.(check bool) "size=6 reference traps" true
+       (match trap.Pipeline.ce_reference with
+        | Verify.Ref_crash _ -> true
+        | Verify.Ref_map _ -> false);
+     Alcotest.(check bool) "nan-bias reference finishes" true
+       (match nan_entry.Pipeline.ce_reference with
+        | Verify.Ref_map _ -> true
+        | Verify.Ref_crash _ -> false)
+   | _ -> Alcotest.fail "expected exactly two corpus entries")
+
+(* Verification maps from two different inputs must never be conflated:
+   checking a binary against the reference of input j <> i fails loudly
+   (a non-Passed verdict), never silently passes. *)
+let test_corpus_maps_never_conflated () =
+  let co = Lazy.force fft_corpus in
+  let app = fft () in
+  let dx = App.dexfile app in
+  let android = Pipeline.android_binary_for app in
+  let primary_snap = co.Pipeline.co_primary.Pipeline.snapshot in
+  let primary_map = Verify.collect dx primary_snap in
+  let trap, nan_entry =
+    match co.Pipeline.co_entries with
+    | [ a; b ] -> (a, b)
+    | _ -> Alcotest.fail "expected exactly two corpus entries"
+  in
+  (* sanity: the correct binary passes every (snapshot, reference) pair *)
+  List.iter
+    (fun ce ->
+       match
+         Verify.check_ref dx ce.Pipeline.ce_snapshot ce.Pipeline.ce_reference
+           android
+       with
+       | Verify.Passed _ -> ()
+       | _ -> Alcotest.fail "android rejected on its own reference")
+    co.Pipeline.co_entries;
+  (* crash reference paired with the primary (non-trapping) snapshot: the
+     binary finishes where the reference crashed -> Wrong_output *)
+  Alcotest.(check bool) "crash reference on wrong input fails loudly" true
+    (match
+       Verify.check_ref dx primary_snap trap.Pipeline.ce_reference android
+     with
+     | Verify.Wrong_output -> true
+     | _ -> false);
+  (* primary map paired with the nan-bias snapshot: different writes *)
+  Alcotest.(check bool) "primary map on nan input fails loudly" true
+    (match
+       Verify.check_ref dx nan_entry.Pipeline.ce_snapshot
+         (Verify.Ref_map primary_map) android
+     with
+     | Verify.Wrong_output -> true
+     | _ -> false);
+  (* finishing map paired with the trapping snapshot: the binary crashes *)
+  Alcotest.(check bool) "finishing map on trap input fails loudly" true
+    (match
+       Verify.check_ref dx trap.Pipeline.ce_snapshot
+         nan_entry.Pipeline.ce_reference android
+     with
+     | Verify.Crashed _ -> true
+     | _ -> false)
+
+(* Same seed => byte-identical corpus, twice over: the input plan is
+   reproducible (and a prefix of any larger plan), and re-capturing
+   produces structurally identical references. *)
+let prop_corpus_input_plan_deterministic =
+  QCheck.Test.make ~name:"same seed => identical input plan" ~count:40
+    QCheck.(pair (int_bound 10_000) (int_range 1 9))
+    (fun (seed, k) ->
+       List.for_all
+         (fun name ->
+            let app = Option.get (App.find name) in
+            let a = App.input_variants app ~seed ~k in
+            let b = App.input_variants app ~seed ~k in
+            let bigger = App.input_variants app ~seed ~k:(k + 3) in
+            let rec prefix xs ys =
+              match xs, ys with
+              | [], _ -> true
+              | x :: xs, y :: ys -> x = y && prefix xs ys
+              | _ :: _, [] -> false
+            in
+            a = b && prefix a bigger)
+         [ "FFT"; "SOR"; "MonteCarlo"; "Sparse matmult"; "LU" ])
+
+let test_corpus_recapture_byte_identical () =
+  let co1 = Lazy.force fft_corpus in
+  let co2 = Option.get (Pipeline.capture_corpus ~seed:5 ~k:3 (fft ())) in
+  let refs co = List.map (fun ce -> ce.Pipeline.ce_reference) co.Pipeline.co_entries in
+  (* compare with [compare]: the nan-bias map contains NaN return values,
+     which (=) would spuriously distinguish *)
+  Alcotest.(check bool) "identical references" true
+    (compare (refs co1) (refs co2) = 0);
+  Alcotest.(check bool) "identical page counts" true
+    (List.map
+       (fun ce -> List.length ce.Pipeline.ce_snapshot.Snapshot.snap_pages)
+       co1.Pipeline.co_entries
+     = List.map
+         (fun ce -> List.length ce.Pipeline.ce_snapshot.Snapshot.snap_pages)
+         co2.Pipeline.co_entries)
+
+(* K distinct inputs yield at least two distinct verification references
+   for every Scimark app: the corpus actually widens the net everywhere. *)
+let test_corpus_distinct_references_per_scimark_app () =
+  List.iter
+    (fun name ->
+       let app = Option.get (App.find name) in
+       let co = Option.get (Pipeline.capture_corpus ~seed:7 ~k:4 app) in
+       let dx = App.dexfile app in
+       let primary =
+         Verify.Ref_map (Verify.collect dx co.Pipeline.co_primary.Pipeline.snapshot)
+       in
+       let all =
+         primary
+         :: List.map (fun ce -> ce.Pipeline.ce_reference) co.Pipeline.co_entries
+       in
+       let distinct = List.sort_uniq compare all in
+       Alcotest.(check bool)
+         (name ^ ": >= 2 distinct references") true
+         (List.length distinct >= 2))
+    [ "FFT"; "SOR"; "MonteCarlo"; "Sparse matmult"; "LU" ]
+
 let () =
   Alcotest.run "capture"
     [ ("capture",
@@ -511,6 +646,15 @@ let () =
       ("dirty-scan",
        [ Alcotest.test_case "pages_scanned counter" `Quick test_dirty_scan_counter;
          QCheck_alcotest.to_alcotest prop_dirty_diff_equals_full_scan ]);
+      ("corpus",
+       [ Alcotest.test_case "structure" `Quick test_corpus_structure;
+         Alcotest.test_case "maps never conflated" `Quick
+           test_corpus_maps_never_conflated;
+         QCheck_alcotest.to_alcotest prop_corpus_input_plan_deterministic;
+         Alcotest.test_case "recapture byte-identical" `Quick
+           test_corpus_recapture_byte_identical;
+         Alcotest.test_case "distinct references per app" `Quick
+           test_corpus_distinct_references_per_scimark_app ]);
       ("storage",
        [ Alcotest.test_case "accounting" `Quick test_storage_accounting;
          Alcotest.test_case "store-backed template" `Quick

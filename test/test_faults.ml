@@ -471,6 +471,74 @@ let test_ga_under_faults () =
         | _ -> Alcotest.fail "winner does not verify without faults")))
     ()
 
+(* ----------------- cross-input corpus closes the hole ----------------- *)
+
+(* The guard-stripping soundness hole, pinned: o2 + unsafe-bce removes
+   every bounds guard, yet *passes* single-input verification on FFT —
+   the captured input never makes a guard fire, so the stripped binary is
+   behaviourally identical on it.  A corpus whose second input is the
+   non-power-of-two size (reference traps on it) rejects the same binary.
+   This is the regression test for Pipeline.capture_corpus/verify_core:
+   if it ever fails at K>=2, the hole has reopened. *)
+let test_pinned_unsafe_genome_needs_corpus () =
+  clean (fun () ->
+    let app = Option.get (App.find "FFT") in
+    let co = Option.get (Pipeline.capture_corpus ~seed:5 ~k:3 app) in
+    let genome = Repro_core.Experiments.pinned_unsafe_genome () in
+    let env1 = Pipeline.make_eval_env ~seed:21 app co.Pipeline.co_primary in
+    let binary =
+      match Pipeline.compile_core env1 genome with
+      | Ok b -> b
+      | Error _ -> Alcotest.fail "pinned genome failed to compile"
+    in
+    (* K=1: the stripped binary sails through single-input verification *)
+    (match Pipeline.verify_core env1 binary with
+     | Pipeline.Core_measured _ -> ()
+     | _ -> Alcotest.fail "pinned genome no longer passes K=1 (test setup broken)");
+    (* K>=2: the corpus's trap input rejects it *)
+    let envk =
+      Pipeline.make_eval_env ~seed:21 ~corpus:co.Pipeline.co_entries app
+        co.Pipeline.co_primary
+    in
+    (match Pipeline.verify_core envk binary with
+     | Pipeline.Core_wrong_output | Pipeline.Core_crashed _ -> ()
+     | Pipeline.Core_measured _ ->
+       Alcotest.fail "guard-stripping hole is OPEN: corpus passed the binary"
+     | _ -> Alcotest.fail "unexpected corpus verdict"))
+    ()
+
+(* Corpus-verified search keeps the determinism contract: byte-identical
+   across -j1 / -j4 / --no-cache, independent of corpus evaluation order. *)
+let test_corpus_optimize_deterministic () =
+  clean (fun () ->
+    let app = Option.get (App.find "FFT") in
+    let co = Option.get (Pipeline.capture_corpus ~seed:5 ~k:3 app) in
+    let run ~jobs ~cache =
+      Pipeline.optimize ~seed:21 ~cfg:tiny_cfg ~jobs ~cache
+        ~corpus:co.Pipeline.co_entries app co.Pipeline.co_primary
+    in
+    let o1 = run ~jobs:1 ~cache:true in
+    let o4 = run ~jobs:4 ~cache:true in
+    let onc = run ~jobs:1 ~cache:false in
+    Alcotest.(check bool) "-j4 byte-identical to -j1 with corpus" true
+      (fingerprint o1 = fingerprint o4);
+    Alcotest.(check bool) "--no-cache byte-identical with corpus" true
+      (fingerprint o1 = fingerprint onc);
+    (* the winner verifies against the whole corpus, not just the primary *)
+    match o1.Pipeline.best_binary with
+    | None -> Alcotest.fail "no verified winner with corpus"
+    | Some b ->
+      List.iter
+        (fun ce ->
+           match
+             Verify.check_ref o1.Pipeline.env.Pipeline.dx
+               ce.Pipeline.ce_snapshot ce.Pipeline.ce_reference b
+           with
+           | Verify.Passed _ -> ()
+           | _ -> Alcotest.fail "winner fails a corpus entry")
+        co.Pipeline.co_entries)
+    ()
+
 (* --------------------------------------------------------------------- *)
 
 let () =
@@ -517,4 +585,9 @@ let () =
             test_pipeline_quarantines_deterministic_miscompiles ] );
       ( "search under faults",
         [ Alcotest.test_case "GA at 10% fault rate" `Slow test_ga_under_faults
-        ] ) ]
+        ] );
+      ( "cross-input corpus",
+        [ Alcotest.test_case "pinned unsafe genome needs the corpus" `Quick
+            test_pinned_unsafe_genome_needs_corpus;
+          Alcotest.test_case "corpus search deterministic" `Slow
+            test_corpus_optimize_deterministic ] ) ]

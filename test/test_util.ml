@@ -203,6 +203,49 @@ let test_render_right_alignment_with_ansi () =
      | [] -> Alcotest.fail "no data rows")
   | [] -> Alcotest.fail "no output"
 
+(* ----------------------- typed comparators -------------------------- *)
+
+(* Regression tests for the polymorphic-compare replacement: every sort on
+   a hot or determinism-critical path uses a typed comparator
+   (Float.compare / Int.compare).  These lock in the total order the typed
+   comparators guarantee — polymorphic compare treats -0.0 = 0.0 and would
+   leave such ties ordered by whatever the sort implementation does. *)
+
+let test_float_compare_total_order () =
+  (* Float.compare is a total order with NaN below everything, so sorts
+     and percentiles stay deterministic even with NaN measurements
+     present, independent of input order. *)
+  Alcotest.(check bool) "nan sorts first" true
+    (Float.is_nan (Stats.percentile [| 2.0; nan; 1.0 |] 0.0));
+  let a = Stats.percentile [| nan; 2.0; 1.0 |] 100.0 in
+  let b = Stats.percentile [| 1.0; 2.0; nan |] 100.0 in
+  check_float "nan placement independent of input order" a b
+
+let test_trace_event_order_is_emission_order () =
+  let module Trace = Repro_util.Trace in
+  (* Freeze the clock: every event gets the identical timestamp, so the
+     sort in [Trace.events] must fall back to the (tid, seq) tie-break.
+     On one domain that is emission order — a polymorphic compare would
+     instead tie-break on the record's remaining fields (name, phase) and
+     reorder same-timestamp spans alphabetically. *)
+  Trace.set_clock (fun () -> 42.0);
+  Trace.reset ();
+  Trace.enable ();
+  Trace.span "zebra" (fun () -> ());
+  Trace.span "apple" (fun () -> ());
+  Trace.span "mango" (fun () -> ());
+  let names =
+    List.filter_map
+      (fun e ->
+         if e.Trace.ev_ph = Trace.B then Some e.Trace.ev_name else None)
+      (Trace.events ())
+  in
+  Trace.disable ();
+  Trace.set_clock (fun () -> Unix.gettimeofday ());
+  Trace.reset ();
+  Alcotest.(check (list string)) "same-timestamp spans keep emission order"
+    [ "zebra"; "apple"; "mango" ] names
+
 (* --------------------------- qcheck props --------------------------- *)
 
 let prop_median_bounds =
@@ -264,4 +307,9 @@ let () =
            test_render_aligns_multibyte_and_ansi;
          Alcotest.test_case "right alignment with ANSI" `Quick
            test_render_right_alignment_with_ansi ]);
+      ("typed comparators",
+       [ Alcotest.test_case "Float.compare total order" `Quick
+           test_float_compare_total_order;
+         Alcotest.test_case "trace tie-break is emission order" `Quick
+           test_trace_event_order_is_emission_order ]);
       ("stats-properties", qcheck_cases) ]
