@@ -18,6 +18,11 @@
      bench/main.exe corpus          unsafe-pass survival vs corpus size K,
                                     plus corpus capture/verify overhead
                                     (writes BENCH_corpus.json)
+     bench/main.exe exec            block-fused vs reference replay engine:
+                                    contract check, fusion counters, speedup
+                                    (writes BENCH_exec.json)
+     bench/main.exe --engine E      replay engine for the experiments:
+                                    fused (default) or ref
      bench/main.exe --trace FILE    record a Chrome trace_event JSON trace
      bench/main.exe --metrics       print a span/counter summary table
      bench/main.exe --faults SPEC   arm deterministic fault injection
@@ -555,6 +560,137 @@ let corpus_bench () =
     dedup_ratio;
   print_endline "wrote BENCH_corpus.json"
 
+(* --------------------- execution-engine benchmark -------------------- *)
+
+(* Block-fused executor vs the per-instruction reference engine on the
+   fig7-style workload: FFT verified replays under both the Android
+   pipeline binary and the LLVM -O3 region binary.  Re-checks the
+   bit-identical contract on the way (outcome and final cycle counter
+   agree per binary per engine) and writes BENCH_exec.json so CI can
+   assert the >=1.3x replay speedup and nonzero fusion/hoisting
+   counters. *)
+let exec_bench () =
+  let module Replay = Repro_capture.Replay in
+  let module Blockexec = Repro_lir.Blockexec in
+  let module Blockplan = Repro_lir.Blockplan in
+  let module Trace = Repro_util.Trace in
+  let module P = Repro_core.Pipeline in
+  let app = Option.get (Repro_apps.Registry.find "FFT") in
+  let dx = Repro_apps.Registry.dexfile app in
+  let capture = Option.get (P.capture_once app) in
+  let snap = capture.P.snapshot in
+  let env = P.make_eval_env app capture in
+  let mids =
+    Array.to_list
+      (Array.map (fun m -> m.Repro_dex.Bytecode.cm_id)
+         dx.Repro_dex.Bytecode.dx_methods)
+  in
+  let android = Repro_lir.Compile.android_binary dx mids in
+  let workloads =
+    [ ("android", Replay.Android_code android);
+      ("o3", Replay.Optimized (P.o3_binary env)) ]
+  in
+  let run engine version = Replay.run ~engine dx snap version in
+  let outcome_str = function
+    | Replay.Finished (_, c) -> Printf.sprintf "finished:%d" c
+    | Replay.Crashed m -> "crashed:" ^ m
+    | Replay.Hung -> "hung"
+  in
+  (* the contract first: identical outcome and cycle accounting *)
+  List.iter
+    (fun (name, version) ->
+       let a = run Blockexec.Ref version in
+       let b = run Blockexec.Fused version in
+       if
+         outcome_str a.Replay.outcome <> outcome_str b.Replay.outcome
+         || a.Replay.ctx.Repro_vm.Exec_ctx.cycles
+            <> b.Replay.ctx.Repro_vm.Exec_ctx.cycles
+       then
+         failwith
+           (Printf.sprintf "engine divergence on the %s workload: %s@%d vs %s@%d"
+              name (outcome_str a.Replay.outcome)
+              a.Replay.ctx.Repro_vm.Exec_ctx.cycles
+              (outcome_str b.Replay.outcome)
+              b.Replay.ctx.Repro_vm.Exec_ctx.cycles))
+    workloads;
+  (* fusion/hoisting/caching statistics: one cold pass builds the plans,
+     a second pass must be served from the digest-keyed cache *)
+  Trace.enable ();
+  Trace.reset ();
+  Blockplan.reset_cache ();
+  List.iter (fun (_, v) -> ignore (run Blockexec.Fused v)) workloads;
+  List.iter (fun (_, v) -> ignore (run Blockexec.Fused v)) workloads;
+  let blocks_formed = Trace.counter_value "blockexec.blocks_formed" in
+  let ops_fused = Trace.counter_value "blockexec.ops_fused" in
+  let checks_hoisted = Trace.counter_value "blockexec.checks_hoisted" in
+  let plan_builds = Trace.counter_value "blockexec.plan_builds" in
+  let plan_cache_hits = Trace.counter_value "blockexec.plan_cache_hits" in
+  Trace.reset ();
+  Trace.disable ();
+  (* wall-clock, tracing off (plans warm for both engines) *)
+  let timed =
+    List.map
+      (fun (name, version) ->
+         let ref_ns =
+           time_ns ~iters:30 (fun () -> ignore (run Blockexec.Ref version))
+         in
+         let fused_ns =
+           time_ns ~iters:30 (fun () -> ignore (run Blockexec.Fused version))
+         in
+         (name, ref_ns, fused_ns, ref_ns /. fused_ns))
+      workloads
+  in
+  let android_speedup =
+    match timed with (_, _, _, s) :: _ -> s | [] -> 0.0
+  in
+  let target = 1.3 in
+  let entries =
+    String.concat ",\n"
+      (List.map
+         (fun (name, r, f, s) ->
+            Printf.sprintf
+              "    \"%s\": { \"ref_ns\": %.0f, \"fused_ns\": %.0f, \
+               \"speedup\": %.2f }"
+              name r f s)
+         timed)
+  in
+  let oc = open_out "BENCH_exec.json" in
+  Printf.fprintf oc
+    {|{
+  "workload": "FFT verified replay: reference vs block-fused engine",
+  "binaries": {
+%s
+  },
+  "plan": {
+    "blocks_formed": %d,
+    "ops_fused": %d,
+    "checks_hoisted": %d,
+    "plan_builds": %d,
+    "plan_cache_hits": %d
+  },
+  "target_speedup": %.2f,
+  "android_speedup": %.2f,
+  "meets_target": %b
+}
+|}
+    entries blocks_formed ops_fused checks_hoisted plan_builds plan_cache_hits
+    target android_speedup (android_speedup >= target);
+  close_out oc;
+  Printf.printf "execution-engine benchmark (FFT verified replay)\n";
+  List.iter
+    (fun (name, r, f, s) ->
+       Printf.printf "  %-8s ref %12.0f ns   fused %12.0f ns   %5.2fx\n"
+         name r f s)
+    timed;
+  Printf.printf
+    "  plan     %d blocks, %d ops fused, %d checks hoisted \
+     (%d builds, %d cache hits)\n"
+    blocks_formed ops_fused checks_hoisted plan_builds plan_cache_hits;
+  Printf.printf "  android speedup: %.2fx %s\n" android_speedup
+    (if android_speedup >= target then "(meets the 1.3x target)"
+     else "(BELOW the 1.3x target)");
+  print_endline "wrote BENCH_exec.json"
+
 let () =
   let full = ref false in
   let eager = ref false in
@@ -567,7 +703,8 @@ let () =
   let usage () =
     prerr_endline
       "usage: bench/main.exe [EXPERIMENT...] [--full] [--eager] [-j N] \
-       [--no-cache] [--trace FILE] [--metrics] [--faults SPEC]";
+       [--no-cache] [--engine ref|fused] [--trace FILE] [--metrics] \
+       [--faults SPEC]";
     exit 2
   in
   let rec parse = function
@@ -576,6 +713,15 @@ let () =
     | "--eager" :: rest -> eager := true; parse rest
     | "--no-cache" :: rest -> no_cache := true; parse rest
     | "--metrics" :: rest -> metrics := true; parse rest
+    | "--engine" :: e :: rest ->
+      (match Repro_lir.Blockexec.engine_of_string e with
+       | Some eng -> Repro_lir.Blockexec.set_default_engine eng; parse rest
+       | None ->
+         Printf.eprintf "bench: --engine expects ref or fused, got %s\n" e;
+         usage ())
+    | [ "--engine" ] ->
+      prerr_endline "bench: --engine expects ref or fused";
+      usage ()
     | "--trace" :: file :: rest -> trace := Some file; parse rest
     | [ "--trace" ] ->
       prerr_endline "bench: --trace expects a file name";
@@ -639,6 +785,7 @@ let () =
   else if names = [ "replay" ] then replay_bench ()
   else if names = [ "storage" ] then storage_bench ()
   else if names = [ "corpus" ] then corpus_bench ()
+  else if names = [ "exec" ] then exec_bench ()
   else begin
     Fun.protect ~finally:export_observability (fun () ->
         run_all ~cfg ~eager:!eager ~jobs:!jobs ~cache:(not !no_cache) names;

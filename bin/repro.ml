@@ -51,6 +51,31 @@ let no_cache_arg =
          ~doc:"Disable memoization of repeated genomes and identical \
                binaries (results do not change, only time).")
 
+let engine_conv =
+  let parse s =
+    match Repro_lir.Blockexec.engine_of_string s with
+    | Some e -> Ok e
+    | None -> Error (`Msg "expected `ref' or `fused'")
+  in
+  Arg.conv
+    (parse, fun fmt e ->
+       Format.pp_print_string fmt (Repro_lir.Blockexec.engine_name e))
+
+let engine_arg =
+  Arg.(value & opt engine_conv Repro_lir.Blockexec.Fused
+       & info [ "engine" ] ~docv:"ENGINE"
+         ~doc:"Replay execution engine: $(b,fused) (block-fused, the \
+               default) or $(b,ref) (per-instruction reference). The two \
+               are bit-identical in results, cycle counts and search \
+               histories; only wall-clock time differs.")
+
+let with_engine engine f =
+  let prev = Repro_lir.Blockexec.default_engine () in
+  Repro_lir.Blockexec.set_default_engine engine;
+  Fun.protect
+    ~finally:(fun () -> Repro_lir.Blockexec.set_default_engine prev)
+    f
+
 let trace_arg =
   Arg.(value & opt (some string) None
        & info [ "trace" ] ~docv:"FILE"
@@ -378,8 +403,10 @@ let corpus_arg =
                Fitness always comes from the primary capture.")
 
 let optimize_cmd =
-  let run app seed full jobs no_cache trace metrics faults store corpus_k =
+  let run app seed full jobs no_cache engine trace metrics faults store
+      corpus_k =
     with_trace trace metrics @@ fun () ->
+    with_engine engine @@ fun () ->
     with_store store @@ fun () ->
     with_faults faults @@ fun () ->
     let cfg = if full then Ga.default_config else Ga.quick_config in
@@ -420,7 +447,8 @@ let optimize_cmd =
     (Cmd.info "optimize"
        ~doc:"Run the full replay-based iterative compilation (Figure 6).")
     Term.(const run $ app_arg $ seed_arg $ full_arg $ jobs_arg $ no_cache_arg
-          $ trace_arg $ metrics_arg $ faults_arg $ store_arg $ corpus_arg)
+          $ engine_arg $ trace_arg $ metrics_arg $ faults_arg $ store_arg
+          $ corpus_arg)
 
 (* ----------------------------- storage ----------------------------- *)
 
@@ -514,8 +542,9 @@ let experiment_cmd =
          & info [ "eager" ]
            ~doc:"Figure 10 ablation: CERE-style eager page copying.")
   in
-  let run name full eager jobs no_cache trace metrics faults =
+  let run name full eager jobs no_cache engine trace metrics faults =
     with_trace trace metrics @@ fun () ->
+    with_engine engine @@ fun () ->
     with_faults faults @@ fun () ->
     let cfg = if full then Ga.default_config else Ga.quick_config in
     let cache = not no_cache in
@@ -539,7 +568,7 @@ let experiment_cmd =
     (Cmd.info "experiment"
        ~doc:"Regenerate one of the paper's tables or figures.")
     Term.(const run $ name_arg $ full_arg $ eager_arg $ jobs_arg $ no_cache_arg
-          $ trace_arg $ metrics_arg $ faults_arg)
+          $ engine_arg $ trace_arg $ metrics_arg $ faults_arg)
 
 (* ----------------------------- disasm ------------------------------ *)
 

@@ -154,8 +154,13 @@ let perturb_args ~key args =
   end
   else args
 
-let run ?(fuel = default_fuel) ?cost ?record_vcall ?faults_key
+let run ?(fuel = default_fuel) ?cost ?engine ?record_vcall ?faults_key
     (dx : B.dexfile) (snap : Snapshot.t) version =
+  let engine =
+    match engine with
+    | Some e -> e
+    | None -> Repro_lir.Blockexec.default_engine ()
+  in
   Trace.span ~cat:"replay"
     ~args:[ ("app", snap.Snapshot.snap_app) ]
     (match version with
@@ -236,7 +241,8 @@ let run ?(fuel = default_fuel) ?cost ?record_vcall ?faults_key
   (* 4) choose and execute the code version *)
   (match version with
    | Interpreter -> Interp.install ctx
-   | Android_code binary | Optimized binary -> Exec.install ctx binary);
+   | Android_code binary | Optimized binary ->
+     Repro_lir.Blockexec.install_engine engine ctx binary);
   let region_args =
     match faults_key with
     | Some key -> perturb_args ~key snap.Snapshot.snap_args

@@ -32,11 +32,20 @@ val loader_pages : int
 
 val run :
   ?fuel:int -> ?cost:Repro_vm.Cost.model ->
+  ?engine:Repro_lir.Blockexec.engine ->
   ?record_vcall:(Typeprof.site -> int -> unit) ->
   ?faults_key:int ->
   Repro_dex.Bytecode.dexfile -> Snapshot.t -> code_version -> run
 (** Default fuel: 200M cycles (a replay that runs 100x longer than any
     sensible region is declared hung, like a watchdog would).
+
+    [engine] selects the executor for compiled code versions
+    ([Android_code]/[Optimized]): the per-instruction reference engine
+    ([Ref], {!Repro_lir.Exec}) or the block-fused engine ([Fused],
+    {!Repro_lir.Blockexec}).  Defaults to
+    [Repro_lir.Blockexec.default_engine ()].  The two are bit-identical in
+    every observable — results, cycles, memory, failure classification —
+    so the choice never affects figures, only wall-clock replay time.
 
     [faults_key] opts this replay into the fault-injection net
     ([Repro_util.Faults]): the replay runs inside a fault scope with that

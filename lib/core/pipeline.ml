@@ -299,16 +299,10 @@ let make_eval_env ?(seed = 1234) ?(replays = 10) ?(corpus = []) app capture =
   in
   { env0 with android_region_ms = android_ms; o3_region_ms = o3 }
 
-let binary_key binary =
-  let parts =
-    List.map
-      (fun mid ->
-         match Binary.find binary mid with
-         | Some f -> Repro_hgraph.Hir.to_string f
-         | None -> "")
-      (Binary.mids binary)
-  in
-  Digest.to_hex (Digest.string (String.concat "\n" parts))
+(* Delegates to the binary's memoized content digest: the same key now
+   identifies a binary in the Evalpool memo and in the block-plan cache, so
+   their hit counts can be cross-checked. *)
+let binary_key = Binary.digest
 
 (* The deterministic part of one evaluation: everything except the
    synthesized measurement noise.  This is what Evalpool memoizes — two

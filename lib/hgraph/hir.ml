@@ -373,7 +373,7 @@ let to_string f =
   Printf.bprintf buf "func %s (mid=%d, params=%d, regs=%d, entry=b%d)\n"
     f.f_name f.f_mid f.f_nparams f.f_nregs f.f_entry;
   let bids =
-    Hashtbl.fold (fun bid _ acc -> bid :: acc) f.f_blocks [] |> List.sort compare
+    Hashtbl.fold (fun bid _ acc -> bid :: acc) f.f_blocks [] |> List.sort Int.compare
   in
   List.iter
     (fun bid ->

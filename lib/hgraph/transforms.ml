@@ -722,7 +722,7 @@ let inline_calls ~get_func ~threshold ?(max_depth = 3) f =
       let did_inline = ref false in
       let bids =
         Hashtbl.fold (fun bid _ acc -> bid :: acc) f.f_blocks []
-        |> List.sort compare
+        |> List.sort Int.compare
       in
       List.iter
         (fun bid ->

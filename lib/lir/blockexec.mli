@@ -1,0 +1,46 @@
+(** The block-fused LIR executor (ROADMAP item 2).
+
+    Executes compiled binaries against the decode-time plans of
+    {!Blockplan}: per-block micro-op streams with straightened goto chains,
+    peephole-fused hot pairs, and straight-line segments that run on a
+    local cycle accumulator after a single headroom check against the
+    remaining fuel (hoisting the reference engine's per-instruction fuel
+    checks).
+
+    Contract: cycle accounting, observable memory, return values,
+    profiler samples and crash/hang classification are bit-identical to
+    {!Exec} — for conforming and non-conforming (guard-stripped,
+    fault-injected, malformed) code alike.  [test/test_blockexec.ml] and
+    the differential property in [test/test_fuzz.ml] enforce this in
+    lockstep; [bench/main.exe exec] measures the speedup. *)
+
+type engine = Ref | Fused
+
+val engine_name : engine -> string
+val engine_of_string : string -> engine option
+
+val default_engine : unit -> engine
+(** Process-wide default used by {!Repro_capture.Replay.run} when no
+    engine is passed explicitly; starts as [Fused]. *)
+
+val set_default_engine : engine -> unit
+
+val run_plan :
+  Repro_vm.Exec_ctx.t -> Blockplan.fplan -> Repro_vm.Value.t list ->
+  Repro_vm.Value.t option
+(** Execute one planned method.  Precondition: [ctx.sample_period <= 0]
+    (the dispatcher falls back to {!Exec.run_func} for profiling replays).
+    @raise Exec.Segfault, Repro_vm.Exec_ctx.App_exception, Timeout. *)
+
+val dispatcher :
+  Blockplan.t -> Binary.t ->
+  (Repro_vm.Exec_ctx.t -> int -> Repro_vm.Value.t list ->
+   Repro_vm.Value.t option)
+
+val install : Repro_vm.Exec_ctx.t -> Binary.t -> unit
+(** Plan the binary (through the digest-keyed cache) and install the fused
+    dispatcher. *)
+
+val install_engine : engine -> Repro_vm.Exec_ctx.t -> Binary.t -> unit
+(** [install_engine Ref] is {!Exec.install}; [install_engine Fused] is
+    {!install}. *)

@@ -34,6 +34,17 @@ let pressure_of (f : Hir.func) =
   | Some p -> p
   | None -> Repro_hgraph.Analysis.pressure f
 
+let fetch_penalty_of (f : Hir.func) =
+  max 0 ((Hir.size f - icache_budget) / icache_divisor)
+  + max 0 ((pressure_of f - physical_registers) / spill_divisor)
+
+(* Lockstep observation point shared with the block-fused engine: when set,
+   fires at every block entry with (method id, block id, cycles).  Both
+   engines fire it at the same program points with the same cycle counts,
+   which is what lets the differential tests dump the first divergent block
+   instead of just "the run ended differently". *)
+let block_hook : (int -> int -> int -> unit) option ref = ref None
+
 let binop_cost (c : Cost.model) op (a : Value.t) =
   let is_float = match a with Vfloat _ -> true | Vint _ | Vbool _ | Vref _ -> false in
   match op with
@@ -92,10 +103,7 @@ let run_func (ctx : Ctx.t) (f : Hir.func) args =
       end;
       Faults.fire Faults.Exec_wrong_ret ~key
   in
-  let fetch_penalty =
-    max 0 ((Hir.size f - icache_budget) / icache_divisor)
-    + max 0 ((pressure_of f - physical_registers) / spill_divisor)
-  in
+  let fetch_penalty = fetch_penalty_of f in
   let charge n = Ctx.charge ctx n in
   let read addr =
     match Mem.read_word mem addr with
@@ -253,6 +261,9 @@ let run_func (ctx : Ctx.t) (f : Hir.func) args =
     try exec_instr i with Invalid_argument msg -> raise (Segfault msg)
   in
   while !running do
+    (match !block_hook with
+     | Some h -> h f.Hir.f_mid !bid ctx.Ctx.cycles
+     | None -> ());
     let b = Hir.block f !bid in
     List.iter exec_instr b.Hir.insns;
     (match b.Hir.term with

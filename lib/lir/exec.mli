@@ -12,6 +12,37 @@
 
 exception Segfault of string
 
+(** {2 Cost/semantics helpers shared with {!Blockexec}}
+
+    The block-fused engine must charge byte-identical cycles and raise
+    byte-identical failures; it reuses these rather than re-deriving them. *)
+
+val pressure_of : Repro_hgraph.Hir.func -> int
+(** Cached register-pressure estimate (reads [f_pressure] when filled). *)
+
+val fetch_penalty_of : Repro_hgraph.Hir.func -> int
+(** Per-function static control-transfer penalty: instruction-cache
+    pressure + register-spill reloads.  Charged on every branch. *)
+
+val binop_cost : Repro_vm.Cost.model -> Repro_dex.Ast.binop -> Repro_vm.Value.t -> int
+(** Cycle cost of a binop given its (runtime) first operand. *)
+
+val eval_binop_arm :
+  Repro_dex.Ast.binop -> Repro_vm.Value.t -> Repro_vm.Value.t -> Repro_vm.Value.t
+(** ARM-style division semantics: [x / 0 = 0], [x % 0 = x], no trap. *)
+
+val zero_like : Repro_vm.Value.t -> Repro_vm.Value.t
+(** The typed zero an [If] with no second operand compares against. *)
+
+val perturb_value : Repro_vm.Value.t -> Repro_vm.Value.t
+(** Shape-preserving corruption used by the [Exec_wrong_ret] fault point. *)
+
+val block_hook : (int -> int -> int -> unit) option ref
+(** Lockstep observation point: when set, both executors fire it at every
+    block entry with (method id, block id, cycles-so-far).  Used by the
+    differential tests to locate the first divergent block.  Not
+    domain-safe; intended for single-domain test harnesses only. *)
+
 val run_func :
   Repro_vm.Exec_ctx.t -> Repro_hgraph.Hir.func ->
   Repro_vm.Value.t list -> Repro_vm.Value.t option

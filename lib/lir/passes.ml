@@ -28,7 +28,7 @@ exception Bad_param of string
 (* ------------------------------------------------------------------ *)
 
 let all_bids f =
-  Hashtbl.fold (fun bid _ acc -> bid :: acc) f.f_blocks [] |> List.sort compare
+  Hashtbl.fold (fun bid _ acc -> bid :: acc) f.f_blocks [] |> List.sort Int.compare
 
 (* Unique defining instruction of a register, if it has exactly one def. *)
 let single_def f =

@@ -94,7 +94,7 @@ let natural_loop t header tails =
     end
   in
   List.iter pull tails;
-  Hashtbl.fold (fun n () acc -> n :: acc) body [] |> List.sort compare
+  Hashtbl.fold (fun n () acc -> n :: acc) body [] |> List.sort Int.compare
 
 let loops t =
   let by_header = Hashtbl.create 8 in

@@ -116,7 +116,7 @@ let events () =
 let sorted_tbl tbl =
   Mutex.protect lock (fun () ->
       Hashtbl.fold (fun k r acc -> (k, !r) :: acc) tbl [])
-  |> List.sort compare
+  |> List.sort (fun (ka, _) (kb, _) -> String.compare ka kb)
 
 let counters () = sorted_tbl counter_tbl
 let gauges () = sorted_tbl gauge_tbl

@@ -9,6 +9,9 @@ module Genome = Repro_search.Genome
 module Evalpool = Repro_search.Evalpool
 module Pipeline = Repro_core.Pipeline
 module App = Repro_apps.Registry
+module Blockexec = Repro_lir.Blockexec
+module Blockplan = Repro_lir.Blockplan
+module Trace = Repro_util.Trace
 
 (* ----------------------- end-to-end determinism --------------------- *)
 
@@ -36,6 +39,70 @@ let test_search_determinism app_name seed () =
     (run ~jobs:1 ~cache:false = reference);
   Alcotest.(check bool) "-j 4 --no-cache identical too" true
     (run ~jobs:4 ~cache:false = reference)
+
+(* ------------------- engine transparency of the search ---------------- *)
+
+let with_engine e f =
+  let prev = Blockexec.default_engine () in
+  Blockexec.set_default_engine e;
+  Fun.protect ~finally:(fun () -> Blockexec.set_default_engine prev) f
+
+(* The replay engine is one more user-transparent accelerator: a full FFT
+   search under the block-fused executor is byte-identical to the reference
+   interpretation, whatever the worker count and memo setting.  Any fusion
+   or check-hoisting bug that perturbed a single cycle anywhere in the
+   search would show up here as a diverging history. *)
+let test_engine_determinism () =
+  let app = Option.get (App.find "FFT") in
+  let cap = Option.get (Pipeline.capture_once ~seed:5 app) in
+  let run ~engine ~jobs ~cache =
+    with_engine engine @@ fun () ->
+    fingerprint (Pipeline.optimize ~seed:3 ~cfg:tiny_cfg ~jobs ~cache app cap)
+  in
+  let reference = run ~engine:Blockexec.Ref ~jobs:1 ~cache:true in
+  List.iter
+    (fun (jobs, cache) ->
+       Alcotest.(check bool)
+         (Printf.sprintf "fused -j%d cache=%b = ref" jobs cache)
+         true
+         (run ~engine:Blockexec.Fused ~jobs ~cache = reference))
+    [ (1, true); (4, true); (1, false); (4, false) ]
+
+(* The plan cache keys on the same {!Pipeline.binary_key} digest as the
+   pool's binary memo, so the two caches must stay consistent: a search
+   never builds more plans than it runs verified replays (the memo already
+   deduplicated identical binaries), and re-running the same search reuses
+   every plan from the process-global cache even though the fresh pool's
+   memo starts cold. *)
+let test_plan_cache_tracks_binary_memo () =
+  let app = Option.get (App.find "FFT") in
+  let cap = Option.get (Pipeline.capture_once ~seed:5 app) in
+  Trace.enable ();
+  Trace.reset ();
+  Blockplan.reset_cache ();
+  Fun.protect ~finally:(fun () -> Trace.reset (); Trace.disable ())
+  @@ fun () ->
+  let run () =
+    with_engine Blockexec.Fused @@ fun () ->
+    Pipeline.optimize ~seed:3 ~cfg:tiny_cfg ~jobs:1 ~cache:true app cap
+  in
+  let o1 = run () in
+  let builds1 = Trace.counter_value "blockexec.plan_builds" in
+  Alcotest.(check bool) "plans built during the search" true (builds1 > 0);
+  (* unique digests planned <= verified replays run by the pool, plus the
+     handful of baseline android/-O3 replays the environment sets up *)
+  let verifies = o1.Pipeline.pool_stats.Evalpool.verifies in
+  Alcotest.(check bool) "at most one plan per verified replay" true
+    (builds1 <= verifies + 8);
+  let o2 = run () in
+  Alcotest.(check int) "repeat search builds no new plan"
+    builds1 (Trace.counter_value "blockexec.plan_builds");
+  Alcotest.(check bool) "repeat search hits the plan cache" true
+    (Trace.counter_value "blockexec.plan_cache_hits" > 0);
+  Alcotest.(check int) "small searches never flush the cache" 0
+    (Trace.counter_value "blockexec.plan_cache_flushes");
+  Alcotest.(check int) "fresh pool re-verified the same binaries"
+    verifies o2.Pipeline.pool_stats.Evalpool.verifies
 
 (* ----------------------- synthetic pool fixtures --------------------- *)
 
@@ -144,6 +211,11 @@ let () =
            (test_search_determinism "FFT" 11);
          Alcotest.test_case "BubbleSort seed 7" `Quick
            (test_search_determinism "BubbleSort" 7) ]);
+      ("engine",
+       [ Alcotest.test_case "ref = fused across jobs/cache" `Quick
+           test_engine_determinism;
+         Alcotest.test_case "plan cache tracks binary memo" `Quick
+           test_plan_cache_tracks_binary_memo ]);
       ("memoization",
        [ Alcotest.test_case "genome memo accounting" `Quick
            test_genome_memo_accounting;

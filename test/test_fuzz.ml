@@ -352,12 +352,155 @@ let prop_capture_verify_differential =
                QCheck.Test.fail_reportf
                  "seed %d: perturbed binary hung the replay" seed)))
 
+(* --------------- block-fused engine differential -------------------- *)
+
+module Replay = Repro_capture.Replay
+module Blockexec = Repro_lir.Blockexec
+module Exec = Repro_lir.Exec
+
+(* Replay under one engine while recording the block-entry stream both
+   engines publish through [Exec.block_hook]. *)
+let replay_streamed engine dx snap binary =
+  let stream = ref [] in
+  Exec.block_hook :=
+    Some (fun mid bid cyc -> stream := (mid, bid, cyc) :: !stream);
+  let r =
+    Fun.protect
+      ~finally:(fun () -> Exec.block_hook := None)
+      (fun () -> Replay.run ~engine dx snap (Replay.Optimized binary))
+  in
+  (r, List.rev !stream)
+
+let show_outcome = function
+  | Replay.Finished (v, cyc) ->
+    Printf.sprintf "finished(%s, %d)"
+      (match v with Some v -> Vm.Value.to_string v | None -> "()")
+      cyc
+  | Replay.Crashed msg -> "crashed(" ^ msg ^ ")"
+  | Replay.Hung -> "hung"
+
+(* First (mid, bid, cycles) where the lockstep streams part ways, with the
+   offending block's code — the shrunk counterexample a divergence report
+   should lead with. *)
+let divergent_block binary ref_s fused_s =
+  let dump (mid, bid, cyc) =
+    match Binary.find binary mid with
+    | None -> Printf.sprintf "m%d:b%d@%d (not in binary)" mid bid cyc
+    | Some f ->
+      (match Hashtbl.find_opt f.Hir.f_blocks bid with
+       | None -> Printf.sprintf "m%d:b%d@%d (no such block)" mid bid cyc
+       | Some b ->
+         Printf.sprintf "m%d:b%d@%d\n  %s\n  %s" mid bid cyc
+           (String.concat "\n  " (List.map Hir.string_of_instr b.Hir.insns))
+           (Hir.string_of_term b.Hir.term))
+  in
+  let rec go i ra rb =
+    match ra, rb with
+    | [], [] -> "streams identical"
+    | a :: _, [] -> Printf.sprintf "step %d: fused stream ended; ref %s" i (dump a)
+    | [], b :: _ -> Printf.sprintf "step %d: ref stream ended; fused %s" i (dump b)
+    | a :: ra, b :: rb ->
+      if a = b then go (i + 1) ra rb
+      else
+        Printf.sprintf "step %d:\nref   %s\nfused %s" i (dump a) (dump b)
+  in
+  go 0 ref_s fused_s
+
+(* Random (program, pass sequence) pairs — drawn from the FULL pass
+   catalog, unsafe passes included, so guard-stripped and otherwise
+   crashing binaries are routinely exercised: the captured replay must
+   agree between the reference and block-fused engines on result, cycle
+   count, dirty heap/static words, and the verification verdict. *)
+let prop_engines_agree =
+  QCheck.Test.make
+    ~name:"fuzz: block-fused engine bit-identical to reference"
+    ~count:fuzz_count
+    QCheck.(pair (int_bound 1_000_000) (int_bound 1_000_000))
+    (fun (seed, pass_seed) ->
+       let dx = compile_ast (gen_program seed) in
+       let mid = (Option.get (B.find_method dx "Main" "main")).B.cm_id in
+       match capture_main dx mid with
+       | None -> true
+       | Some snap ->
+         let rng = Rng.create pass_seed in
+         let spec =
+           List.init (Rng.int_in rng 1 10) (fun _ ->
+               let pass = Rng.pick_list rng Repro_lir.Passes.catalog in
+               let params =
+                 Array.of_list
+                   (List.map
+                      (fun pr ->
+                         Rng.int_in rng pr.Repro_lir.Passes.pmin
+                           pr.Repro_lir.Passes.pmax)
+                      pass.Repro_lir.Passes.params)
+               in
+               (pass.Repro_lir.Passes.name, params))
+         in
+         (match Repro_lir.Compile.llvm_binary dx spec (all_mids dx) with
+          | exception Repro_lir.Compile.Compile_timeout -> true
+          | exception Repro_lir.Compile.Compile_error _ -> true
+          | binary ->
+            let rr, sr = replay_streamed Blockexec.Ref dx snap binary in
+            let rf, sf = replay_streamed Blockexec.Fused dx snap binary in
+            let fail what =
+              QCheck.Test.fail_reportf
+                "seed %d passes=%s: %s\nref:   %s\nfused: %s\n%s" seed
+                (String.concat "," (List.map fst spec))
+                what
+                (show_outcome rr.Replay.outcome)
+                (show_outcome rf.Replay.outcome)
+                (divergent_block binary sr sf)
+            in
+            let outcome_eq =
+              match rr.Replay.outcome, rf.Replay.outcome with
+              | Replay.Finished (va, ca), Replay.Finished (vb, cb) ->
+                ca = cb
+                && (match va, vb with
+                    | None, None -> true
+                    | Some x, Some y -> Vm.Value.equal x y
+                    | _ -> false)
+              | Replay.Crashed a, Replay.Crashed b -> String.equal a b
+              | Replay.Hung, Replay.Hung -> true
+              | _ -> false
+            in
+            if not outcome_eq then fail "outcomes differ"
+            else if
+              rr.Replay.ctx.Vm.Exec_ctx.cycles
+              <> rf.Replay.ctx.Vm.Exec_ctx.cycles
+            then fail "post-replay cycles differ"
+            else if
+              Verify.diff_against_snapshot rr.Replay.ctx snap
+              <> Verify.diff_against_snapshot rf.Replay.ctx snap
+            then fail "dirty heap/static words differ"
+            else begin
+              (* the verdict the pipeline acts on must also agree *)
+              let vmap = Verify.collect dx snap in
+              let verdict engine =
+                let prev = Blockexec.default_engine () in
+                Blockexec.set_default_engine engine;
+                Fun.protect
+                  ~finally:(fun () -> Blockexec.set_default_engine prev)
+                  (fun () -> Verify.check dx snap vmap binary)
+              in
+              let vr = verdict Blockexec.Ref
+              and vf = verdict Blockexec.Fused in
+              let same =
+                match vr, vf with
+                | Verify.Passed a, Verify.Passed b -> a = b
+                | Verify.Wrong_output, Verify.Wrong_output -> true
+                | Verify.Crashed a, Verify.Crashed b -> String.equal a b
+                | Verify.Hung, Verify.Hung -> true
+                | _ -> false
+              in
+              if not same then fail "verification verdicts differ" else true
+            end))
+
 let () =
   Alcotest.run "fuzz"
     [ ("differential",
        List.map QCheck_alcotest.to_alcotest
          [ prop_android_matches_interp; prop_o3_matches_interp;
-           prop_random_safe_passes_match ]);
+           prop_random_safe_passes_match; prop_engines_agree ]);
       ("capture-verify",
        List.map QCheck_alcotest.to_alcotest
          [ prop_capture_verify_differential ]) ]

@@ -246,6 +246,66 @@ let test_trace_event_order_is_emission_order () =
   Alcotest.(check (list string)) "same-timestamp spans keep emission order"
     [ "zebra"; "apple"; "mango" ] names
 
+let test_counter_listing_sorted_by_name () =
+  let module Trace = Repro_util.Trace in
+  (* Counter listings must order by name alone (String.compare on the
+     key), never by the (key, value) pair — insertion order and counter
+     values are nondeterministic under [-j N], the names are not. *)
+  Trace.reset ();
+  Trace.enable ();
+  Trace.add "zeta.last" 1;
+  Trace.add "alpha.first" 900;
+  Trace.add "mid.dle" 5;
+  let names = List.map fst (Trace.counters ()) in
+  Trace.disable ();
+  Trace.reset ();
+  Alcotest.(check (list string)) "counters sorted by name"
+    [ "alpha.first"; "mid.dle"; "zeta.last" ] names;
+  Alcotest.(check bool) "order matches String.compare" true
+    (List.sort String.compare names = names)
+
+let test_block_order_insertion_independent () =
+  let module Hir = Repro_hgraph.Hir in
+  let module Binary = Repro_lir.Binary in
+  (* Two structurally identical functions whose blocks were inserted into
+     the hashtable in different orders must print identically — blocks
+     ascending by bid under Int.compare — and therefore share one
+     Binary.digest.  The digest keys both the Evalpool binary memo and
+     the block-plan cache, so a hash-order-dependent listing would split
+     (or worse, alias) cache entries across runs. *)
+  let make order =
+    let f =
+      { Hir.f_mid = 900; f_name = "order"; f_nparams = 0; f_nregs = 2;
+        f_blocks = Hashtbl.create 8; f_entry = 2; f_next_bid = 11;
+        f_pressure = None }
+    in
+    List.iter
+      (fun bid ->
+         let blk =
+           if bid = 2 then { Hir.insns = []; term = Hir.Goto 7 }
+           else if bid = 7 then
+             { Hir.insns = [ Hir.Const (0, Repro_dex.Bytecode.Cint 4) ];
+               term = Hir.Goto 10 }
+           else { Hir.insns = []; term = Hir.Ret (Some 0) }
+         in
+         Hashtbl.replace f.Hir.f_blocks bid blk)
+      order;
+    f
+  in
+  let a = make [ 10; 2; 7 ] and b = make [ 2; 7; 10 ] in
+  let sa = Hir.to_string a in
+  Alcotest.(check string) "listing independent of insertion order"
+    sa (Hir.to_string b);
+  let pos tag = Astring.String.find_sub ~sub:tag sa in
+  let p2 = pos "b2:" and p7 = pos "b7:" and p10 = pos "b10:" in
+  Alcotest.(check bool) "blocks ascend by bid" true
+    (match p2, p7, p10 with
+     | Some p2, Some p7, Some p10 -> p2 < p7 && p7 < p10
+     | _ -> false);
+  Alcotest.(check string) "one digest, one cache identity"
+    (Binary.digest (Binary.create [ a ]))
+    (Binary.digest (Binary.create [ b ]))
+
 (* --------------------------- qcheck props --------------------------- *)
 
 let prop_median_bounds =
@@ -311,5 +371,9 @@ let () =
        [ Alcotest.test_case "Float.compare total order" `Quick
            test_float_compare_total_order;
          Alcotest.test_case "trace tie-break is emission order" `Quick
-           test_trace_event_order_is_emission_order ]);
+           test_trace_event_order_is_emission_order;
+         Alcotest.test_case "counter listing sorted by name" `Quick
+           test_counter_listing_sorted_by_name;
+         Alcotest.test_case "block order insertion-independent" `Quick
+           test_block_order_insertion_independent ]);
       ("stats-properties", qcheck_cases) ]
