@@ -51,6 +51,25 @@ let no_cache_arg =
          ~doc:"Disable memoization of repeated genomes and identical \
                binaries (results do not change, only time).")
 
+let no_stage_cache_arg =
+  Arg.(value & flag
+       & info [ "no-stage-cache" ]
+         ~doc:"Disable the staged-compilation cache (memoized per-method \
+               pass-prefix IR states keyed by canonical genome prefixes). \
+               Results are byte-identical either way — cached prefixes \
+               replay their recorded work charges, so even compile-timeout \
+               classification is unchanged; only compile time differs.")
+
+let with_stage_cache disabled f =
+  if not disabled then f ()
+  else begin
+    let prev = Repro_lir.Stagecache.enabled () in
+    Repro_lir.Stagecache.set_enabled false;
+    Fun.protect
+      ~finally:(fun () -> Repro_lir.Stagecache.set_enabled prev)
+      f
+  end
+
 let engine_conv =
   let parse s =
     match Repro_lir.Blockexec.engine_of_string s with
@@ -102,9 +121,11 @@ let with_trace trace metrics f =
   in
   Fun.protect ~finally:finish f
 
-(* Cache/worker report for commands that run evaluation pools. *)
+(* Cache/worker report for commands that run evaluation pools, plus the
+   staged-compilation cache totals right beside it. *)
 let print_pool_report () =
-  Repro_search.Evalpool.print_stats (Repro_search.Evalpool.cumulative_stats ())
+  Repro_search.Evalpool.print_stats (Repro_search.Evalpool.cumulative_stats ());
+  Repro_lir.Stagecache.print_stats (Repro_lir.Stagecache.stats ())
 
 (* ----------------------------- device store ------------------------- *)
 
@@ -403,10 +424,11 @@ let corpus_arg =
                Fitness always comes from the primary capture.")
 
 let optimize_cmd =
-  let run app seed full jobs no_cache engine trace metrics faults store
-      corpus_k =
+  let run app seed full jobs no_cache no_stage_cache engine trace metrics
+      faults store corpus_k =
     with_trace trace metrics @@ fun () ->
     with_engine engine @@ fun () ->
+    with_stage_cache no_stage_cache @@ fun () ->
     with_store store @@ fun () ->
     with_faults faults @@ fun () ->
     let cfg = if full then Ga.default_config else Ga.quick_config in
@@ -447,8 +469,8 @@ let optimize_cmd =
     (Cmd.info "optimize"
        ~doc:"Run the full replay-based iterative compilation (Figure 6).")
     Term.(const run $ app_arg $ seed_arg $ full_arg $ jobs_arg $ no_cache_arg
-          $ engine_arg $ trace_arg $ metrics_arg $ faults_arg $ store_arg
-          $ corpus_arg)
+          $ no_stage_cache_arg $ engine_arg $ trace_arg $ metrics_arg
+          $ faults_arg $ store_arg $ corpus_arg)
 
 (* ----------------------------- storage ----------------------------- *)
 

@@ -23,3 +23,17 @@ let sites t =
   |> List.sort_uniq compare
 
 let total t = Hashtbl.fold (fun _ n acc -> acc + n) t.counts 0
+
+let digest t =
+  let rows =
+    Hashtbl.fold
+      (fun ((m, pc), cid) n acc -> (m, pc, cid, n) :: acc)
+      t.counts []
+    |> List.sort compare
+  in
+  Digest.to_hex
+    (Digest.string
+       (String.concat ";"
+          (List.map
+             (fun (m, pc, cid, n) -> Printf.sprintf "%d:%d:%d:%d" m pc cid n)
+             rows)))

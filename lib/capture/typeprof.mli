@@ -25,3 +25,8 @@ val sites : t -> site list
 
 val total : t -> int
 (** Total dispatches recorded across all sites. *)
+
+val digest : t -> string
+(** Deterministic content digest of the full histogram (sites sorted), so
+    equal-content profiles digest equally whatever the recording order.
+    Content-addresses the profile-specialized compiler front-end. *)

@@ -215,6 +215,7 @@ type evaluation_env = {
   vmap : Verify.t;
   typeprof : Typeprof.t;
   region : int list;
+  frontend : Compile.frontend;
   corpus : corpus_entry list;
   android_region_ms : float;
   o3_region_ms : float;
@@ -272,8 +273,18 @@ let make_eval_env ?(seed = 1234) ?(replays = 10) ?(corpus = []) app capture =
     | Replay.Hung -> failwith "interpreted replay hung"
   in
   let region = Regions.compilable_region dx capture.hot_mid in
+  (* The genome-independent front-end, hoisted: one template per (app,
+     capture, profile), content-keyed so independent environments with the
+     same profile share stage-cache entries, and prewarmed over the region
+     so search-time lookups are read-mostly. *)
+  let frontend =
+    Compile.frontend ~profile:(Typeprof.lookup typeprof) ~prewarm:region
+      ~key:(Printf.sprintf "app=%s;typeprof=%s" app.App.name
+              (Typeprof.digest typeprof))
+      dx
+  in
   let env0 =
-    { dx; app; capture; vmap; typeprof; region; corpus;
+    { dx; app; capture; vmap; typeprof; region; frontend; corpus;
       android_region_ms = nan; o3_region_ms = nan;
       replays_per_eval = replays; noise_sigma = default_noise_sigma;
       measure_seed = seed }
@@ -290,10 +301,7 @@ let make_eval_env ?(seed = 1234) ?(replays = 10) ?(corpus = []) app capture =
     ms_of_binary ~noise_index:android_noise_index (region_binary_android env0)
   in
   let o3 =
-    match
-      Compile.llvm_binary ~profile:(Typeprof.lookup typeprof) dx
-        Repro_lir.Pipelines.o3 region
-    with
+    match Compile.llvm_binary_staged frontend Repro_lir.Pipelines.o3 region with
     | b -> ms_of_binary ~noise_index:o3_noise_index b
     | exception (Compile.Compile_error _ | Compile.Compile_timeout) -> nan
   in
@@ -320,8 +328,7 @@ type eval_core =
 
 let compile_core env genome =
   match
-    Compile.llvm_binary ~profile:(Typeprof.lookup env.typeprof) env.dx
-      (Genome.to_spec genome) env.region
+    Compile.llvm_binary_staged env.frontend (Genome.to_spec genome) env.region
   with
   | binary -> Ok binary
   | exception Compile.Compile_error msg -> Error (Core_compile_failed msg)
@@ -457,7 +464,7 @@ let outcome_of_core env ~ev_index core =
   | Core_quarantined msg -> Ga.Quarantined msg
 
 let make_pool ?jobs ?cache env =
-  Evalpool.create ?jobs ?cache ~canon:Genome.to_string
+  Evalpool.create ?jobs ?cache ~canon:Genome.canon
     ~compile:(compile_core env) ~key_of:binary_key ~verify:(verify_core env)
     ~finish:(fun ~ev_index core -> outcome_of_core env ~ev_index core)
     ()
@@ -489,8 +496,7 @@ type optimized = {
 
 let compile_genome env genome =
   match
-    Compile.llvm_binary ~profile:(Typeprof.lookup env.typeprof) env.dx
-      (Genome.to_spec genome) env.region
+    Compile.llvm_binary_staged env.frontend (Genome.to_spec genome) env.region
   with
   | b -> Some b
   | exception (Compile.Compile_error _ | Compile.Compile_timeout) -> None
@@ -564,8 +570,7 @@ let final_binary opt =
 let o3_binary env =
   let base = android_binary_for env.app in
   match
-    Compile.llvm_binary ~profile:(Typeprof.lookup env.typeprof) env.dx
-      Repro_lir.Pipelines.o3 env.region
+    Compile.llvm_binary_staged env.frontend Repro_lir.Pipelines.o3 env.region
   with
   | b -> overlay base b
   | exception (Compile.Compile_error _ | Compile.Compile_timeout) -> base

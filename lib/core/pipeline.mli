@@ -84,6 +84,11 @@ type evaluation_env = {
   vmap : Repro_capture.Verify.t;
   typeprof : Repro_capture.Typeprof.t;
   region : int list;
+  frontend : Repro_lir.Compile.frontend;
+  (** hoisted genome-independent front-end (translated templates +
+      profile), shared by every genome and worker domain; its content
+      digest namespaces this environment's {!Repro_lir.Stagecache}
+      entries *)
   corpus : corpus_entry list;
   (** secondary verification inputs; [[]] gives exactly the historical
       single-input behaviour *)

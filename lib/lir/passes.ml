@@ -1100,6 +1100,30 @@ let run env pass args f =
     pass.params;
   pass.apply env args f
 
+(* Canonical rendering of one (pass name, parameters) gene, shared by the
+   Evalpool genome memo and the stage-cache prefix fingerprints so the two
+   caches can never disagree on genome identity.  The only merge it
+   performs: when the parameter *count* is wrong, [run] raises [Bad_param]
+   before ever reading a value (the message reports counts only), so the
+   values are unobservable and genomes differing only there are
+   behaviourally identical — such genomes abort at the offending gene and
+   never reach the miscompile fault point either.  Out-of-range values are
+   observable (the [Bad_param] message quotes them) and are kept verbatim,
+   as is everything about unknown passes. *)
+let canon_token name args =
+  let render () =
+    if Array.length args = 0 then name
+    else
+      Printf.sprintf "%s(%s)" name
+        (String.concat ","
+           (List.map string_of_int (Array.to_list args)))
+  in
+  match find name with
+  | exception Not_found -> render ()
+  | pass ->
+    if Array.length args = List.length pass.params then render ()
+    else Printf.sprintf "%s#%d" name (Array.length args)
+
 (* ------------------------------------------------------------------ *)
 (* Fault-injection mutators (the adversary for the verification net)   *)
 (* ------------------------------------------------------------------ *)

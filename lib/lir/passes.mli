@@ -44,6 +44,16 @@ val find : string -> t
 val run : env -> t -> int array -> Hir.func -> Hir.func
 (** Validate parameters then apply.  @raise Bad_param. *)
 
+val canon_token : string -> int array -> string
+(** Canonical rendering of one (pass name, parameters) gene: the shared
+    identity used by the Evalpool genome memo ([Genome.canon]) and the
+    {!Stagecache} prefix fingerprints.  Two genes get the same token iff
+    they are behaviourally indistinguishable to {!run}: parameter values
+    of an arity-mismatched gene are folded away (validation rejects the
+    gene on the count alone, before reading any value), everything else —
+    including out-of-range values, which [Bad_param] messages quote — is
+    kept verbatim. *)
+
 (** {2 Fault-injection mutators}
 
     Semantic-miscompilation generators for the robustness net

@@ -22,6 +22,12 @@ let o3 : Compile.spec =
     pass "constfold"; pass "copyprop"; pass "gvn"; pass "lse";
     pass "guard-dedupe"; pass "dce"; pass "simplifycfg"; pass "branch-predict" ]
 
+(* o1/o2/o3 share their leading genes (o2 and o3 agree on the first four,
+   o1 on the same head minus the inline block), which is what makes the
+   preset family a natural stage-cache workload: compiling them in order
+   reuses each predecessor's common prefix. *)
+let all = [ ("O0", o0); ("O1", o1); ("O2", o2); ("O3", o3) ]
+
 let of_name name =
   match String.lowercase_ascii name with
   | "o0" -> Some o0

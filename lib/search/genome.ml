@@ -94,6 +94,10 @@ let dedup_adjacent t =
   in
   go t
 
+let canon_gene g = Passes.canon_token g.g_pass g.g_params
+
+let canon t = String.concat " | " (List.map canon_gene t)
+
 let to_string t =
   String.concat " | "
     (List.map

@@ -40,3 +40,14 @@ val dedup_adjacent : t -> t
 
 val to_string : t -> string
 (** Compact human-readable rendering, e.g. for logs and reports. *)
+
+val canon_gene : gene -> string
+(** {!Repro_lir.Passes.canon_token} of the gene: its canonical identity. *)
+
+val canon : t -> string
+(** Canonical identity of the genome: the string the Evalpool genome memo
+    keys on, built from the same per-gene tokens the stage-cache prefix
+    fingerprints hash — so the two caches can never disagree on genome
+    identity.  Differs from {!to_string} only for genes whose parameter
+    count mismatches the catalog: their (unobservable) parameter values
+    are folded away. *)
