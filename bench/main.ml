@@ -25,6 +25,10 @@
                                     cold vs cached generation compile time
                                     on FFT, prefix-hit rate
                                     (writes BENCH_compile.json)
+     bench/main.exe fleet           device-fleet benchmark: evals/sec vs
+                                    fleet size and -j, convergence vs the
+                                    single-device GA, genome-bank warm
+                                    starts (writes BENCH_fleet.json)
      bench/main.exe --no-stage-cache  disable the pass-prefix stage cache
                                     (results identical, only compile time)
      bench/main.exe --engine E      replay engine for the experiments:
@@ -935,6 +939,203 @@ let compile_bench () =
     (if meets then "(meets the 2x target)" else "(BELOW the 2x target)");
   print_endline "wrote BENCH_compile.json"
 
+(* --------------------------- fleet benchmark ------------------------- *)
+
+(* The crowdsourced-deployment benchmark: one app's GA sharded across a
+   simulated device fleet (Repro_fleet).  Measures (a) fleet throughput —
+   device samples and GA evaluations per second — as fleet size and worker
+   count grow, re-asserting the byte-identical-history contract across -j
+   on the way; (b) convergence against the single-device GA at the same
+   evaluation budget (winners compared by verified replay on the reference
+   environment); and (c) the genome bank's warm-start value: hit rate and
+   generations saved on a second search against the same bank.  Writes
+   BENCH_fleet.json for CI. *)
+let fleet_bench ~jobs () =
+  let module P = Repro_core.Pipeline in
+  let module Fleet = Repro_fleet.Fleet in
+  let module Bank = Repro_fleet.Bank in
+  let module Rng = Repro_util.Rng in
+  let module Evalpool = Repro_search.Evalpool in
+  let seed = 7 in
+  let app = Option.get (Repro_apps.Registry.find "FFT") in
+  let co = Option.get (P.capture_corpus ~seed ~k:2 app) in
+  let env =
+    P.make_eval_env ~seed:(seed + 1) ~corpus:co.P.co_entries app
+      co.P.co_primary
+  in
+  let cfg =
+    { Fleet.default_config with
+      Fleet.ga = { Ga.quick_config with Ga.generations = 3 } }
+  in
+  let timed_run ?bank ~jobs ~devices () =
+    (* every timed run compiles cold: the process-global stage cache would
+       otherwise hand later runs their compiles for free and swamp the
+       j1-vs-jN comparison *)
+    Repro_lir.Stagecache.reset ();
+    let t0 = Unix.gettimeofday () in
+    let r = Fleet.run ~jobs ~cache:true ?bank ~cfg ~seed ~devices env in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  (* (a) throughput scaling over fleet size and worker count, with the
+     determinism contract re-checked across -j per size *)
+  let j_hi = max jobs 4 in
+  let sizes = [ 50; 250; 1000 ] in
+  let scaling =
+    List.map
+      (fun devices ->
+         let r1, w1 = timed_run ~jobs:1 ~devices () in
+         let rj, wj = timed_run ~jobs:j_hi ~devices () in
+         if r1.Fleet.history_digest <> rj.Fleet.history_digest then
+           failwith
+             (Printf.sprintf
+                "fleet determinism violation at %d devices: -j1 %s vs -j%d %s"
+                devices r1.Fleet.history_digest j_hi rj.Fleet.history_digest);
+         (devices, r1, w1, rj, wj))
+      sizes
+  in
+  let evals_per_sec r w = float_of_int r.Fleet.ga.Ga.evaluations /. w in
+  let samples_per_sec r w = float_of_int r.Fleet.fleet_samples /. w in
+  (* (b) convergence vs the single-device GA at the same budget *)
+  let fleet_big, _ =
+    match List.rev scaling with
+    | (_, _, _, rj, wj) :: _ -> (rj, wj)
+    | [] -> assert false
+  in
+  let pool = P.make_pool ~jobs:j_hi env in
+  let ga_single =
+    Ga.run (Rng.create seed) cfg.Fleet.ga
+      ~evaluate_batch:(Evalpool.evaluate_batch pool)
+      ~baseline_ms:env.P.android_region_ms ~o3_ms:env.P.o3_region_ms ()
+  in
+  let winner_ms ga =
+    match ga.Ga.best with
+    | None -> None
+    | Some (g, _) ->
+      (match P.compile_core env g with
+       | Ok b -> P.replay_ms env b
+       | Error _ -> None)
+  in
+  let single_ms = winner_ms ga_single in
+  let fleet_ms = fleet_big.Fleet.winner_ms in
+  let converges =
+    match (fleet_ms, single_ms) with
+    | Some f, Some s -> f <= s *. 1.05
+    | _ -> false
+  in
+  (* (c) bank warm start: a cold search populates the bank, a second
+     search seeds from it *)
+  let bank = Bank.create () in
+  let cold, _ = timed_run ~bank ~jobs:j_hi ~devices:250 () in
+  let warm, _ = timed_run ~bank ~jobs:j_hi ~devices:250 () in
+  let hit_rate =
+    float_of_int warm.Fleet.bank_seeds
+    /. float_of_int cfg.Fleet.ga.Ga.population
+  in
+  (* generation at which each search first reached its final best fitness *)
+  let gen_of_best ga =
+    match ga.Ga.best with
+    | None -> None
+    | Some (_, fit) ->
+      List.find_map
+        (fun r ->
+           if r.Ga.ev_fitness = Some fit then Some r.Ga.ev_generation
+           else None)
+        ga.Ga.history
+  in
+  let gens_saved =
+    match (gen_of_best cold.Fleet.ga, gen_of_best warm.Fleet.ga) with
+    | Some c, Some w -> c - w
+    | _ -> 0
+  in
+  let fmt_ms = function Some ms -> Printf.sprintf "%.3f" ms | None -> "null" in
+  let scaling_json =
+    String.concat ",\n    "
+      (List.map
+         (fun (devices, r1, w1, rj, wj) ->
+            Printf.sprintf
+              {|{ "devices": %d, "capable": %d, "evaluations": %d, "fleet_samples": %d, "j1": { "wall_s": %.2f, "evals_per_sec": %.2f, "samples_per_sec": %.0f }, "j%d": { "wall_s": %.2f, "evals_per_sec": %.2f, "samples_per_sec": %.0f }, "digest": "%s" }|}
+              devices r1.Fleet.capable r1.Fleet.ga.Ga.evaluations
+              r1.Fleet.fleet_samples w1 (evals_per_sec r1 w1)
+              (samples_per_sec r1 w1) j_hi wj (evals_per_sec rj wj)
+              (samples_per_sec rj wj) r1.Fleet.history_digest)
+         scaling)
+  in
+  (* judged on the largest fleet: the most work per run, so scheduling
+     overhead is smallest relative to the evaluations themselves.  On a
+     single-core box extra domains can only time-slice, so the scaling
+     expectation is conditional on the hardware (CI gates on
+     scales_with_jobs || cores == 1). *)
+  let cores = Domain.recommended_domain_count () in
+  let scales =
+    match List.rev scaling with
+    | (_, r1, w1, rj, wj) :: _ ->
+      evals_per_sec rj wj > evals_per_sec r1 w1
+    | [] -> false
+  in
+  let oc = open_out "BENCH_fleet.json" in
+  Printf.fprintf oc
+    {|{
+  "workload": "FFT GA sharded over a simulated device fleet (quick config, 3 generations)",
+  "seed": %d,
+  "jobs_hi": %d,
+  "cores": %d,
+  "scaling": [
+    %s
+  ],
+  "scales_with_jobs": %b,
+  "convergence": {
+    "budget_evaluations": { "fleet": %d, "single": %d },
+    "fleet_winner_ms": %s,
+    "single_winner_ms": %s,
+    "fleet_within_5pct": %b
+  },
+  "bank": {
+    "cold_entries": %d,
+    "warm_seeds_used": %d,
+    "hit_rate": %.3f,
+    "gen_of_best_cold": %d,
+    "gen_of_best_warm": %d,
+    "generations_saved": %d,
+    "cold_digest": "%s",
+    "warm_digest": "%s"
+  }
+}
+|}
+    seed j_hi cores scaling_json scales fleet_big.Fleet.ga.Ga.evaluations
+    ga_single.Ga.evaluations (fmt_ms fleet_ms) (fmt_ms single_ms) converges
+    (Bank.size bank) warm.Fleet.bank_seeds hit_rate
+    (Option.value ~default:(-1) (gen_of_best cold.Fleet.ga))
+    (Option.value ~default:(-1) (gen_of_best warm.Fleet.ga))
+    gens_saved cold.Fleet.history_digest warm.Fleet.history_digest;
+  close_out oc;
+  Printf.printf "fleet benchmark (FFT, %d-generation quick GA)\n"
+    cfg.Fleet.ga.Ga.generations;
+  List.iter
+    (fun (devices, r1, w1, rj, wj) ->
+       Printf.printf
+         "  %5d devices  j1 %6.1f s (%5.1f evals/s, %6.0f samples/s)   \
+          j%d %6.1f s (%5.1f evals/s, %6.0f samples/s)\n"
+         devices w1 (evals_per_sec r1 w1) (samples_per_sec r1 w1) j_hi wj
+         (evals_per_sec rj wj) (samples_per_sec rj wj))
+    scaling;
+  Printf.printf
+    "  histories byte-identical across -j1/-j%d at every size (%d core(s): \
+     %s)\n"
+    j_hi cores
+    (if scales then "evals/sec scales with -j"
+     else if cores <= 1 then "single core, -j scaling not expected"
+     else "evals/sec did NOT scale with -j");
+  Printf.printf
+    "  convergence: fleet winner %s ms vs single-device %s ms at equal \
+     budget %s\n"
+    (fmt_ms fleet_ms) (fmt_ms single_ms)
+    (if converges then "(within 5%)" else "(NOT within 5%)");
+  Printf.printf
+    "  bank: %d entries after cold run; warm run used %d seed(s) \
+     (hit rate %.2f), %d generation(s) saved to best\n"
+    (Bank.size bank) warm.Fleet.bank_seeds hit_rate gens_saved;
+  print_endline "wrote BENCH_fleet.json"
+
 let () =
   let full = ref false in
   let eager = ref false in
@@ -1034,6 +1235,7 @@ let () =
   else if names = [ "corpus" ] then corpus_bench ()
   else if names = [ "exec" ] then exec_bench ()
   else if names = [ "compile" ] then compile_bench ()
+  else if names = [ "fleet" ] then fleet_bench ~jobs:!jobs ()
   else begin
     Fun.protect ~finally:export_observability (fun () ->
         run_all ~cfg ~eager:!eager ~jobs:!jobs ~cache:(not !no_cache) names;

@@ -1,0 +1,47 @@
+#!/bin/sh
+# Reproduce every paper figure and benchmark artifact in one command.
+#
+#   ./bench/run_all.sh             # quick GA config (CI-sized searches)
+#   ./bench/run_all.sh --full      # the paper's 11x50 GA configuration
+#
+# Prints the paper-figure tables (Table 1, Figures 1-3 and 7-11) to stdout
+# and leaves one JSON per microbenchmark in the repository root:
+#
+#   BENCH_replay.json    replay setup/verify/throughput microbenchmark
+#   BENCH_exec.json      block-fused vs reference execution engine
+#   BENCH_compile.json   staged-compilation cache (cold vs cached)
+#   BENCH_storage.json   content-addressed device store + dedup ratio
+#   BENCH_corpus.json    multi-input verification survival experiment
+#   BENCH_fleet.json     device-fleet scaling, convergence, genome bank
+#
+# EXPERIMENTS.md has a reading guide for each file.  Every run is
+# fixed-seed: re-running produces the same tables and the same JSON
+# (modulo wall-clock fields).
+
+set -e
+cd "$(dirname "$0")/.."
+
+run() {
+  echo
+  echo "------------------------------------------------------------"
+  echo ">> bench/main.exe $*"
+  echo "------------------------------------------------------------"
+  opam exec -- dune exec bench/main.exe -- "$@"
+}
+
+opam exec -- dune build
+
+# paper-figure tables (no arguments = every table/figure experiment)
+run "$@"
+
+# microbenchmarks, one JSON artifact each
+run replay
+run exec
+run compile
+run storage
+run corpus
+run fleet
+
+echo
+echo "artifacts:"
+ls -l BENCH_*.json

@@ -472,6 +472,139 @@ let optimize_cmd =
           $ no_stage_cache_arg $ engine_arg $ trace_arg $ metrics_arg
           $ faults_arg $ store_arg $ corpus_arg)
 
+(* ------------------------------ fleet ------------------------------ *)
+
+module Fleet = Repro_fleet.Fleet
+module Bank = Repro_fleet.Bank
+module Device = Repro_fleet.Device
+
+let devices_arg =
+  let pos_int =
+    let parse s =
+      match int_of_string_opt s with
+      | Some n when n >= 1 -> Ok n
+      | Some _ | None -> Error (`Msg "expected a fleet size >= 1")
+    in
+    Arg.conv (parse, Format.pp_print_int)
+  in
+  Arg.(value & opt pos_int 100
+       & info [ "devices" ] ~docv:"N"
+         ~doc:"Simulate a fleet of $(docv) devices. Profiles (installed \
+               apps, DVFS noise multiplier, availability schedule) are \
+               derived deterministically from the seed.")
+
+let gens_arg =
+  let pos_int =
+    let parse s =
+      match int_of_string_opt s with
+      | Some n when n >= 1 -> Ok n
+      | Some _ | None -> Error (`Msg "expected a generation count >= 1")
+    in
+    Arg.conv (parse, Format.pp_print_int)
+  in
+  Arg.(value & opt (some pos_int) None
+       & info [ "gens" ] ~docv:"G"
+         ~doc:"GA generations (default: the quick config's; with --full, \
+               the paper-scale config's).")
+
+let bank_arg =
+  Arg.(value & opt (some string) None
+       & info [ "bank" ] ~docv:"FILE"
+         ~doc:"Persistent cross-device genome bank. Loaded before the \
+               search (warm-starting the GA from previous winners for \
+               this app, matching device-feature bucket first) and saved \
+               back with this search's winner. A corrupted bank file is \
+               quarantined and the search starts cold.")
+
+let sched_seed_arg =
+  Arg.(value & opt int 0
+       & info [ "sched-seed" ] ~docv:"S"
+         ~doc:"Shuffle the order in which assigned devices are processed. \
+               Results are byte-identical for every $(docv) — the \
+               determinism contract the fleet smoke test asserts.")
+
+let fleet_cmd =
+  let run app seed full jobs no_cache no_stage_cache engine trace metrics
+      devices gens bank_file sched_seed corpus_k =
+    with_trace trace metrics @@ fun () ->
+    with_engine engine @@ fun () ->
+    with_stage_cache no_stage_cache @@ fun () ->
+    let ga_base = if full then Ga.default_config else Ga.quick_config in
+    let ga_cfg =
+      match gens with
+      | None -> ga_base
+      | Some g -> { ga_base with Ga.generations = g }
+    in
+    let cfg = { Fleet.default_config with Fleet.ga = ga_cfg } in
+    match Pipeline.capture_corpus ~seed ~k:corpus_k app with
+    | None -> print_endline "no replayable hot region: nothing to optimize"
+    | Some co ->
+      let env =
+        Pipeline.make_eval_env ~seed:(seed + 1)
+          ~corpus:co.Pipeline.co_entries app co.Pipeline.co_primary
+      in
+      let bank =
+        match bank_file with
+        | None -> None
+        | Some file ->
+          let bank, warnings = Bank.load file in
+          List.iter (fun w -> Printf.printf "bank warning: %s\n" w) warnings;
+          Printf.printf "bank: %d entries loaded from %s\n" (Bank.size bank)
+            file;
+          Some bank
+      in
+      let r =
+        Fleet.run ~jobs ~cache:(not no_cache) ~sched_seed ?bank
+          ~cfg ~seed ~devices env
+      in
+      Printf.printf "fleet: %d devices (%d with %s installed)\n" r.Fleet.devices
+        r.Fleet.capable app.App.name;
+      Printf.printf "reference %s\n" (Device.describe (Device.make ~fleet_seed:seed 0));
+      let avail = Array.of_list (List.map float_of_int r.Fleet.avail_trace) in
+      Printf.printf
+        "availability: %.0f-%.0f capable devices online per round \
+         (%d rounds, %d rescued by whole-fleet fallback)\n"
+        (Array.fold_left min infinity avail)
+        (Array.fold_left max neg_infinity avail)
+        r.Fleet.ticks r.Fleet.empty_rounds;
+      Printf.printf "replay baselines: Android %.3f ms, LLVM -O3 %.3f ms\n"
+        env.Pipeline.android_region_ms env.Pipeline.o3_region_ms;
+      Printf.printf "GA: %d evaluations, %d device samples%s\n"
+        r.Fleet.ga.Ga.evaluations r.Fleet.fleet_samples
+        (match r.Fleet.ga.Ga.halted_early with
+         | Some reason -> " (halted early: " ^ reason ^ ")"
+         | None -> "");
+      if r.Fleet.bank_seeds > 0 then
+        Printf.printf "bank warm start: %d seed genome(s)\n" r.Fleet.bank_seeds;
+      (match r.Fleet.ga.Ga.best with
+       | Some (g, fit) ->
+         Printf.printf "best pooled fitness: %.3f ms\nbest genome: %s\n" fit
+           (Repro_search.Genome.to_string g)
+       | None -> print_endline "no verified binary found");
+      (match r.Fleet.winner_ms with
+       | Some ms -> Printf.printf "winner on reference device: %.3f ms\n" ms
+       | None -> ());
+      Printf.printf "history digest: %s\n" r.Fleet.history_digest;
+      (match (bank, bank_file) with
+       | Some bank, Some file ->
+         Bank.save bank file;
+         Printf.printf "bank: %d entries saved to %s\n" (Bank.size bank) file
+       | _ -> ());
+      print_pool_report ()
+  in
+  Cmd.v
+    (Cmd.info "fleet"
+       ~doc:"Crowdsourced iterative compilation: shard one app's GA \
+             across a simulated device fleet (the paper's deployment \
+             model). Compilation and verification run once per genome on \
+             the shared pool; measurements are contributed by the devices \
+             online each round and pooled in device-id order, so the \
+             search history is byte-identical across -j, --sched-seed \
+             and availability interleaving.")
+    Term.(const run $ app_arg $ seed_arg $ full_arg $ jobs_arg $ no_cache_arg
+          $ no_stage_cache_arg $ engine_arg $ trace_arg $ metrics_arg
+          $ devices_arg $ gens_arg $ bank_arg $ sched_seed_arg $ corpus_arg)
+
 (* ----------------------------- storage ----------------------------- *)
 
 let storage_cmd =
@@ -629,4 +762,4 @@ let () =
     (Cmd.eval
        (Cmd.group (Cmd.info "repro" ~doc)
           [ list_cmd; passes_cmd; run_cmd; hot_cmd; capture_cmd; optimize_cmd;
-            storage_cmd; experiment_cmd; disasm_cmd ]))
+            fleet_cmd; storage_cmd; experiment_cmd; disasm_cmd ]))

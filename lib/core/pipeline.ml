@@ -355,7 +355,7 @@ let reset_quarantine () =
   Hashtbl.reset quarantine_log;
   Mutex.unlock quarantine_mutex
 
-let record_quarantine key reason =
+let record_quarantine ~key ~reason =
   Mutex.lock quarantine_mutex;
   (match Hashtbl.find_opt quarantine_log key with
    | Some (r, n) -> Hashtbl.replace quarantine_log key (r, n + 1)
@@ -448,7 +448,7 @@ let verify_core env binary =
            Printf.sprintf "%s; retry: %s" (reason_of_check first)
              (reason_of_check second)
          in
-         record_quarantine key reason;
+         record_quarantine ~key ~reason;
          Core_quarantined reason)
   end
 
@@ -467,6 +467,16 @@ let make_pool ?jobs ?cache env =
   Evalpool.create ?jobs ?cache ~canon:Genome.canon
     ~compile:(compile_core env) ~key_of:binary_key ~verify:(verify_core env)
     ~finish:(fun ~ev_index core -> outcome_of_core env ~ev_index core)
+    ()
+
+(* Same pool, but [finish] returns the raw deterministic core instead of a
+   noised GA outcome: the fleet coordinator synthesizes per-device times
+   itself (each device re-seeds noise from its own profile), so it needs
+   the core before noise is applied. *)
+let make_core_pool ?jobs ?cache env =
+  Evalpool.create ?jobs ?cache ~canon:Genome.canon
+    ~compile:(compile_core env) ~key_of:binary_key ~verify:(verify_core env)
+    ~finish:(fun ~ev_index:_ core -> core)
     ()
 
 let evaluate_genome ?(ev_index = 0) env genome =

@@ -164,6 +164,13 @@ val quarantine_summary : unit -> quarantine_entry list
 val reset_quarantine : unit -> unit
 (** Clear the quarantine log (call between independent runs/tests). *)
 
+val record_quarantine : key:string -> reason:string -> unit
+(** Add an entry to the process-wide quarantine log directly.  Used by
+    subsystems that detect persistent corruption outside [verify_core] —
+    e.g. the fleet genome bank routing a corrupted-bank load into the same
+    quarantine policy — so every "discarded as untrustworthy" event shows
+    up in one report.  Bumps the [verify.quarantined] counter. *)
+
 val outcome_of_core :
   evaluation_env -> ev_index:int -> eval_core -> Repro_search.Ga.outcome
 (** Expand the deterministic replay cycle count into [replays_per_eval]
@@ -176,6 +183,15 @@ val make_pool :
 (** A parallel memoizing evaluator over [compile_core]/[verify_core] for
     this environment; feed {!Repro_search.Evalpool.evaluate_batch} to
     {!Repro_search.Ga.run}. *)
+
+val make_core_pool :
+  ?jobs:int -> ?cache:bool -> evaluation_env ->
+  (Repro_lir.Binary.t, eval_core, eval_core) Repro_search.Evalpool.t
+(** Like {!make_pool}, but the finished value is the raw {!eval_core}
+    (no noise applied): the fleet coordinator synthesizes measurement
+    times per device — each device re-seeds its own noise stream from
+    [(device noise seed, ev_index)] — so it needs the deterministic core,
+    not a pre-noised {!Repro_search.Ga.outcome}. *)
 
 val evaluate_genome :
   ?ev_index:int ->

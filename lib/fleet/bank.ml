@@ -1,0 +1,200 @@
+module Trace = Repro_util.Trace
+module Genome = Repro_search.Genome
+module Storage = Repro_os.Storage
+module Pipeline = Repro_core.Pipeline
+
+type entry = {
+  e_app : string;
+  e_bucket : string;
+  e_genome : Genome.t;
+  e_fitness_ms : float;
+  e_wins : int;
+}
+
+type t = (string * string, entry) Hashtbl.t
+
+let create () : t = Hashtbl.create 16
+
+let record bank ~app ~bucket genome ~fitness_ms =
+  Trace.incr "fleet.bank_records";
+  let key = (app, bucket) in
+  match Hashtbl.find_opt bank key with
+  | Some e when e.e_fitness_ms <= fitness_ms ->
+    Hashtbl.replace bank key { e with e_wins = e.e_wins + 1 }
+  | Some e ->
+    Hashtbl.replace bank key
+      { e with e_genome = genome; e_fitness_ms = fitness_ms;
+               e_wins = e.e_wins + 1 }
+  | None ->
+    Hashtbl.add bank key
+      { e_app = app; e_bucket = bucket; e_genome = genome;
+        e_fitness_ms = fitness_ms; e_wins = 1 }
+
+let entries bank =
+  Hashtbl.fold (fun _ e acc -> e :: acc) bank []
+  |> List.sort (fun a b ->
+      match compare a.e_app b.e_app with
+      | 0 -> compare a.e_bucket b.e_bucket
+      | c -> c)
+
+let size bank = Hashtbl.length bank
+
+let lookup bank ~app ~bucket =
+  let mine, others =
+    List.partition (fun e -> e.e_bucket = bucket)
+      (List.filter (fun e -> e.e_app = app) (entries bank))
+  in
+  let by_fitness a b = compare a.e_fitness_ms b.e_fitness_ms in
+  let ordered = List.sort by_fitness mine @ others in
+  let seen = Hashtbl.create 8 in
+  List.filter_map
+    (fun e ->
+       let c = Genome.canon e.e_genome in
+       if Hashtbl.mem seen c then None
+       else begin
+         Hashtbl.add seen c ();
+         Some e.e_genome
+       end)
+    ordered
+
+(* {2 Text image}
+
+   One header line, then one tab-separated line per entry in (app, bucket)
+   order.  Fitness round-trips exactly as hex float bits; genomes render
+   as space-separated [pass:p1,p2] genes (pass names come from the pass
+   catalog and contain no whitespace). *)
+
+let magic = "REPROBANK1"
+
+let gene_to_string g =
+  if Array.length g.Genome.g_params = 0 then g.Genome.g_pass
+  else
+    g.Genome.g_pass ^ ":"
+    ^ String.concat ","
+        (List.map string_of_int (Array.to_list g.Genome.g_params))
+
+let gene_of_string s =
+  match String.index_opt s ':' with
+  | None -> { Genome.g_pass = s; g_params = [||] }
+  | Some i ->
+    let pass = String.sub s 0 i in
+    let rest = String.sub s (i + 1) (String.length s - i - 1) in
+    let params =
+      if rest = "" then [||]
+      else
+        Array.of_list
+          (List.map int_of_string (String.split_on_char ',' rest))
+    in
+    { Genome.g_pass = pass; g_params = params }
+
+let genome_to_string g = String.concat " " (List.map gene_to_string g)
+
+let genome_of_string s =
+  List.filter_map
+    (fun tok -> if tok = "" then None else Some (gene_of_string tok))
+    (String.split_on_char ' ' s)
+
+let to_text bank =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf magic;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun e ->
+       Buffer.add_string buf
+         (Printf.sprintf "%s\t%s\t%Lx\t%d\t%s\n" e.e_app e.e_bucket
+            (Int64.bits_of_float e.e_fitness_ms) e.e_wins
+            (genome_to_string e.e_genome)))
+    (entries bank);
+  Buffer.contents buf
+
+exception Malformed of string
+
+let of_text text =
+  let bank = create () in
+  (match String.split_on_char '\n' text with
+   | header :: lines when header = magic ->
+     List.iter
+       (fun line ->
+          if line <> "" then
+            match String.split_on_char '\t' line with
+            | [ app; bucket; bits; wins; genome ] ->
+              let e =
+                { e_app = app; e_bucket = bucket;
+                  e_genome = genome_of_string genome;
+                  e_fitness_ms =
+                    Int64.float_of_bits (Int64.of_string ("0x" ^ bits));
+                  e_wins = int_of_string wins }
+              in
+              Hashtbl.replace bank (app, bucket) e
+            | _ -> raise (Malformed ("bad entry: " ^ line)))
+       lines
+   | _ -> raise (Malformed "bad header"));
+  bank
+
+(* {2 Page image}
+
+   The text payload is framed with an 8-byte little-endian length, padded
+   with zeros to a whole number of store pages, and written as one blob
+   labelled "bank".  Storage.save then gives byte-determinism (frames
+   sorted by digest) and per-page checksums for free. *)
+
+let words_per_page = Storage.page_bytes / 8
+
+let pages_of_text text =
+  let payload = Bytes.of_string text in
+  let framed_len = 8 + Bytes.length payload in
+  let n_pages = (framed_len + Storage.page_bytes - 1) / Storage.page_bytes in
+  let n_pages = max n_pages 1 in
+  let image = Bytes.make (n_pages * Storage.page_bytes) '\000' in
+  Bytes.set_int64_le image 0 (Int64.of_int (Bytes.length payload));
+  Bytes.blit payload 0 image 8 (Bytes.length payload);
+  List.init n_pages (fun p ->
+      ( p,
+        Array.init words_per_page (fun w ->
+            Bytes.get_int64_le image ((p * Storage.page_bytes) + (w * 8))) ))
+
+let text_of_pages pages =
+  let pages = List.sort (fun (a, _) (b, _) -> compare a b) pages in
+  let n_pages = List.length pages in
+  let image = Bytes.create (n_pages * Storage.page_bytes) in
+  List.iteri
+    (fun p (_, words) ->
+       if Array.length words <> words_per_page then
+         raise (Malformed "bad page geometry");
+       Array.iteri
+         (fun w word ->
+            Bytes.set_int64_le image ((p * Storage.page_bytes) + (w * 8)) word)
+         words)
+    pages;
+  if Bytes.length image < 8 then raise (Malformed "empty image");
+  let len = Int64.to_int (Bytes.get_int64_le image 0) in
+  if len < 0 || len > Bytes.length image - 8 then
+    raise (Malformed "bad payload length");
+  Bytes.sub_string image 8 len
+
+let save bank file =
+  let st = Storage.create () in
+  Storage.write st ~label:"bank" ~pages:(pages_of_text (to_text bank));
+  Storage.flush st;
+  Storage.save st file
+
+let corrupt_result file reason =
+  Trace.incr "fleet.bank_corrupt";
+  Pipeline.record_quarantine ~key:("bank:" ^ file) ~reason;
+  (create (), [ Printf.sprintf "bank %s: %s (starting cold)" file reason ])
+
+let load file =
+  if not (Sys.file_exists file) then (create (), [])
+  else begin
+    let st, store_warnings = Storage.load file in
+    if not (Storage.contains st ~label:"bank") then
+      corrupt_result file "no bank blob in store"
+    else
+      match Storage.read st ~label:"bank" with
+      | Error e -> corrupt_result file (Storage.describe e)
+      | Ok pages ->
+        (match of_text (text_of_pages pages) with
+         | bank -> (bank, store_warnings)
+         | exception Malformed why -> corrupt_result file why
+         | exception _ -> corrupt_result file "unparseable bank payload")
+  end

@@ -1,0 +1,59 @@
+module Rng = Repro_util.Rng
+module App = Repro_apps.Registry
+
+type t = {
+  id : int;
+  apps : string list;
+  dvfs : float;
+  uptime : float;
+  noise_seed : int;
+  avail_seed : int;
+  capture_seed : int;
+}
+
+(* Scalar sub-seed from the profile stream: non-negative, full entropy. *)
+let draw_seed rng = Int64.to_int (Rng.bits64 rng) land max_int
+
+(* Left-to-right subset draw: List.filter's application order is
+   unspecified by the stdlib contract, and the draw order must be pinned
+   for the profile to be reproducible. *)
+let draw_apps rng names =
+  let picked =
+    List.fold_left
+      (fun acc name -> if Rng.chance rng 0.6 then name :: acc else acc)
+      [] names
+  in
+  match List.rev picked with
+  | [] -> [ List.hd names ]     (* every device runs at least one app *)
+  | apps -> apps
+
+let make ~fleet_seed id =
+  let rng = Rng.of_pair fleet_seed id in
+  (* Draw in a fixed order so each field is a stable function of the
+     profile stream even if later fields are added. *)
+  let apps = draw_apps rng App.names in
+  let dvfs = 1.0 +. Rng.float rng 1.2 in
+  let uptime = 0.55 +. Rng.float rng 0.4 in
+  let noise_seed = draw_seed rng in
+  let avail_seed = draw_seed rng in
+  let capture_seed = draw_seed rng in
+  if id = 0 then
+    (* The reference device: anchors availability and matches the
+       single-device pipeline's noise model exactly. *)
+    { id; apps = App.names; dvfs = 1.0; uptime = 1.0; noise_seed;
+      avail_seed; capture_seed }
+  else { id; apps; dvfs; uptime; noise_seed; avail_seed; capture_seed }
+
+let fleet ~fleet_seed n = Array.init n (make ~fleet_seed)
+
+let has_app d name = List.mem name d.apps
+
+let available d ~gen =
+  d.uptime >= 1.0 || Rng.chance (Rng.of_pair d.avail_seed gen) d.uptime
+
+let bucket d =
+  if d.dvfs < 1.4 then "fast" else if d.dvfs < 1.8 then "mid" else "slow"
+
+let describe d =
+  Printf.sprintf "device %d: %s, dvfs x%.2f, uptime %.0f%%, %d apps" d.id
+    (bucket d) d.dvfs (d.uptime *. 100.0) (List.length d.apps)

@@ -1,0 +1,48 @@
+(** Simulated user devices for the crowdsourced fleet (paper §1's
+    deployment story; precursor paper arXiv 1511.02603).
+
+    A device is a {e profile}, not a process: everything about it — which
+    apps it has installed, how noisy its clock is (a DVFS/thermal
+    multiplier), when it is online — is derived deterministically from
+    [(fleet_seed, device id)] through {!Repro_util.Rng.of_pair}.  The
+    coordinator multiplexes thousands of these profiles over the existing
+    {!Repro_search.Evalpool} domain pool; no per-device threads exist.
+
+    Determinism: every accessor is a pure function of the profile, and
+    {!available} is a pure function of [(profile, gen)] — device state at
+    generation [g] never depends on what happened at other generations or
+    on scheduling (the availability-prefix qcheck property pins this). *)
+
+type t = private {
+  id : int;                 (** dense fleet index; device 0 is special *)
+  apps : string list;       (** installed app names, registry order *)
+  dvfs : float;             (** >= 1.0: widens measurement-noise sigma *)
+  uptime : float;           (** probability of being online at each gen *)
+  noise_seed : int;         (** seeds [(noise_seed, ev_index)] streams *)
+  avail_seed : int;         (** seeds [(avail_seed, gen)] coin flips *)
+  capture_seed : int;       (** the device's capture/corpus identity *)
+}
+
+val make : fleet_seed:int -> int -> t
+(** [make ~fleet_seed id] derives the device profile.  Pure in the pair.
+    Device 0 is the {e reference device}: every app installed, always
+    online, DVFS multiplier 1.0 — it anchors the fleet so a search can
+    never find itself with zero capable devices and its noise model
+    matches the single-device pipeline's. *)
+
+val fleet : fleet_seed:int -> int -> t array
+(** [fleet ~fleet_seed n] is [Array.init n (make ~fleet_seed)]. *)
+
+val has_app : t -> string -> bool
+
+val available : t -> gen:int -> bool
+(** Online at generation [gen]?  Pure in [(avail_seed, uptime, gen)]:
+    one {!Repro_util.Rng.of_pair}-seeded coin per (device, gen), so the
+    schedule is stable under any evaluation interleaving. *)
+
+val bucket : t -> string
+(** The device-feature bucket used to key the genome bank:
+    ["fast"], ["mid"] or ["slow"], by DVFS multiplier tercile. *)
+
+val describe : t -> string
+(** One-line profile rendering for logs. *)

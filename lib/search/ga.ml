@@ -102,7 +102,7 @@ let init_in_order n f =
   let rec go k acc = if k >= n then List.rev acc else go (k + 1) (f k :: acc) in
   go 0 []
 
-let run rng cfg ~evaluate_batch ?baseline_ms ?o3_ms () =
+let run ?(seed_genomes = []) rng cfg ~evaluate_batch ?baseline_ms ?o3_ms () =
   let history = ref [] in
   let eval_index = ref 0 in
   let identical = ref 0 in
@@ -171,14 +171,24 @@ let run rng cfg ~evaluate_batch ?baseline_ms ?o3_ms () =
      next round, so each round is one parallel batch. *)
   let seed_population () =
     let n = cfg.population in
+    (* Warm-start seeds (e.g. from a fleet genome bank) fill the first
+       slots of the very first seeding round; they are still evaluated and
+       redrawn randomly if unprofitable, exactly like a random draw would
+       be.  Seeded slots consume no RNG draws, so the genome stream stays
+       a pure function of (rng, cfg, seed_genomes). *)
+    let seeds = Array.of_list seed_genomes in
     let best = Array.make n None in
     let active = ref (List.init n Fun.id) in
     let round = ref 0 in
     while !active <> [] do
       let slots = !active in
+      let slot_arr = Array.of_list slots in
       let draws =
-        init_in_order (List.length slots) (fun _ ->
-            Genome.dedup_adjacent (Genome.random rng))
+        init_in_order (List.length slots) (fun k ->
+            let slot = slot_arr.(k) in
+            if !round = 0 && slot < Array.length seeds then
+              Genome.dedup_adjacent seeds.(slot)
+            else Genome.dedup_adjacent (Genome.random rng))
       in
       let inds = evaluate 0 draws in
       let continue_rev = ref [] in
@@ -282,9 +292,9 @@ let sequential_batch evaluate tasks =
   done;
   out
 
-let search rng cfg ~evaluate ?baseline_ms ?o3_ms () =
-  run rng cfg ~evaluate_batch:(sequential_batch evaluate) ?baseline_ms ?o3_ms
-    ()
+let search ?seed_genomes rng cfg ~evaluate ?baseline_ms ?o3_ms () =
+  run ?seed_genomes rng cfg ~evaluate_batch:(sequential_batch evaluate)
+    ?baseline_ms ?o3_ms ()
 
 let hill_climb_batch ?(ev_base = 0) rng ~evaluate_batch (genome0, fit0)
     ~rounds =

@@ -60,6 +60,7 @@ type result = {
 }
 
 val run :
+  ?seed_genomes:Genome.t list ->
   Repro_util.Rng.t -> config ->
   evaluate_batch:((int * Genome.t) array -> outcome array) ->
   ?baseline_ms:float ->
@@ -74,11 +75,20 @@ val run :
     so history, fitness, and the identical-binaries halting rule are
     independent of how the batch is scheduled.
 
+    [seed_genomes] warm-starts the search: the first
+    [min (length seed_genomes) population] slots of the first seeding
+    round evaluate the given genomes instead of random draws (the fleet
+    coordinator feeds genome-bank winners through this).  Seeded slots
+    are subject to the same profitability redraws as random seeds, and
+    they consume no RNG draws, so results stay a pure function of
+    [(rng, cfg, seed_genomes)].
+
     [baseline_ms]/[o3_ms] enable the first-generation seeding rule: seeds
     slower than both baselines are redrawn (as whole-population rounds) up
     to [seed_retries] times. *)
 
 val search :
+  ?seed_genomes:Genome.t list ->
   Repro_util.Rng.t -> config ->
   evaluate:(Genome.t -> outcome) ->
   ?baseline_ms:float ->

@@ -93,6 +93,33 @@ let bootstrap_ci rng ?(rounds = 1000) ~confidence stat xs =
     { lo = percentile draws tail; hi = percentile draws (100.0 -. tail) }
   end
 
+(* Fleet-aggregation helpers.  The coordinator pools per-device sample
+   batches that are legitimately degenerate — a device that contributed a
+   single replay, or a batch whose every point the MAD filter would
+   reject — so these helpers must degrade to something sensible instead of
+   raising or returning an empty array.  See test_stats.ml for the pinned
+   edge cases. *)
+
+let pool_samples batches =
+  let total = Array.fold_left (fun n b -> n + Array.length b) 0 batches in
+  let out = Array.make (max total 0) 0.0 in
+  let k = ref 0 in
+  Array.iter
+    (fun b ->
+       Array.iter
+         (fun x ->
+            out.(!k) <- x;
+            incr k)
+         b)
+    batches;
+  out
+
+let robust_mean xs =
+  match Array.length xs with
+  | 0 -> nan
+  | 1 -> xs.(0)
+  | _ -> mean (remove_outliers_mad xs)
+
 let geomean xs =
   let n = Array.length xs in
   if n = 0 then nan

@@ -41,4 +41,24 @@ val bootstrap_ci : Rng.t -> ?rounds:int -> confidence:float ->
 val percentile : float array -> float -> float
 (** [percentile xs p] with [p] in [0, 100]; linear interpolation. *)
 
+(** {2 Population-aggregation helpers}
+
+    Used by the fleet coordinator ([Repro_fleet.Fleet]) to fold
+    per-device fitness sample batches into one population-level sample
+    set.  Both tolerate the degenerate batches a real fleet produces —
+    devices that contributed a single replay, or batches whose every
+    point a MAD filter would reject — and never raise. *)
+
+val pool_samples : float array array -> float array
+(** Concatenate sample batches {e in the given order} (callers aggregate
+    in device-id order so pooling is independent of device scheduling).
+    Empty batches contribute nothing; an all-empty input yields [[||]]. *)
+
+val robust_mean : float array -> float
+(** MAD-filtered mean ({!remove_outliers_mad} then {!mean}).  A single
+    sample is returned as-is (no filtering), and because the MAD filter
+    returns its input unchanged when it would reject every point, an
+    all-outlier batch still yields a finite mean.  Empty input yields
+    [nan] rather than raising. *)
+
 val geomean : float array -> float

@@ -111,10 +111,66 @@ let prop_mad_keeps_median =
        || Stats.median kept = m
        || Array.exists (fun k -> abs_float (k -. m) <= Stats.mad xs) kept)
 
+(* Population-aggregation helpers (fleet coordinator): degenerate batches
+   a real device fleet produces must aggregate without raising. *)
+
+let test_pool_preserves_order () =
+  Alcotest.(check (array (float 1e-9))) "in-order concat"
+    [| 1.0; 2.0; 3.0; 4.0; 5.0 |]
+    (Stats.pool_samples [| [| 1.0; 2.0 |]; [| 3.0 |]; [| 4.0; 5.0 |] |])
+
+let test_pool_empty_batches () =
+  Alcotest.(check (array (float 1e-9))) "empty batches dropped"
+    [| 7.0 |]
+    (Stats.pool_samples [| [||]; [| 7.0 |]; [||] |]);
+  Alcotest.(check int) "all-empty pools to nothing" 0
+    (Array.length (Stats.pool_samples [| [||]; [||] |]));
+  Alcotest.(check int) "no batches at all" 0
+    (Array.length (Stats.pool_samples [||]))
+
+let test_robust_mean_single_sample () =
+  Alcotest.(check (float 1e-9)) "returned as-is" 42.5
+    (Stats.robust_mean [| 42.5 |])
+
+let test_robust_mean_empty () =
+  Alcotest.(check bool) "nan, not an exception" true
+    (Float.is_nan (Stats.robust_mean [||]))
+
+let test_robust_mean_all_outliers () =
+  (* zero MAD with one wild point: the filter would reject everything; the
+     helper must still produce a finite mean *)
+  let m = Stats.robust_mean [| 1.0; 1.0; 1.0; 1e9 |] in
+  Alcotest.(check bool) "finite" true (Float.is_finite m);
+  (* two-point batches: MAD is as wide as the data, nothing is rejected *)
+  Alcotest.(check (float 1e-9)) "two points" 5.0
+    (Stats.robust_mean [| 0.0; 10.0 |])
+
+let test_robust_mean_filters () =
+  Alcotest.(check (float 1e-6)) "outlier removed" 9.99
+    (Stats.robust_mean [| 9.9; 10.0; 10.1; 10.0; 9.95; 1e6 |])
+
+let prop_robust_mean_total =
+  QCheck.Test.make ~name:"robust_mean never raises, finite on finite input"
+    ~count:300
+    (QCheck.array_of_size QCheck.Gen.(int_range 0 20)
+       (QCheck.float_range (-1e6) 1e6))
+    (fun xs ->
+       let m = Stats.robust_mean xs in
+       if Array.length xs = 0 then Float.is_nan m else Float.is_finite m)
+
+let prop_pool_length =
+  QCheck.Test.make ~name:"pooled length is the sum of batch lengths"
+    ~count:300
+    QCheck.(small_list (small_list (float_range 0.0 100.0)))
+    (fun batches ->
+       let arr = Array.of_list (List.map Array.of_list batches) in
+       Array.length (Stats.pool_samples arr)
+       = List.fold_left (fun acc b -> acc + List.length b) 0 batches)
+
 let qcheck_cases =
   List.map QCheck_alcotest.to_alcotest
     [ prop_welch_in_unit_interval; prop_welch_shift_invariant;
-      prop_mad_keeps_median ]
+      prop_mad_keeps_median; prop_robust_mean_total; prop_pool_length ]
 
 let () =
   Alcotest.run "stats"
@@ -132,4 +188,17 @@ let () =
            test_welch_identical_samples;
          Alcotest.test_case "degenerate inputs" `Quick test_welch_degenerate;
          Alcotest.test_case "symmetric" `Quick test_welch_symmetric ]);
+      ("population aggregation",
+       [ Alcotest.test_case "pool preserves order" `Quick
+           test_pool_preserves_order;
+         Alcotest.test_case "pool drops empty batches" `Quick
+           test_pool_empty_batches;
+         Alcotest.test_case "robust mean of one sample" `Quick
+           test_robust_mean_single_sample;
+         Alcotest.test_case "robust mean of nothing" `Quick
+           test_robust_mean_empty;
+         Alcotest.test_case "robust mean of all outliers" `Quick
+           test_robust_mean_all_outliers;
+         Alcotest.test_case "robust mean filters outliers" `Quick
+           test_robust_mean_filters ]);
       ("properties", qcheck_cases) ]
