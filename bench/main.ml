@@ -29,6 +29,10 @@
                                     fleet size and -j, convergence vs the
                                     single-device GA, genome-bank warm
                                     starts (writes BENCH_fleet.json)
+     bench/main.exe serve           service-mode benchmark: N apps over one
+                                    shared pool, throughput vs admission
+                                    width, kill/resume overhead
+                                    (writes BENCH_serve.json)
      bench/main.exe --no-stage-cache  disable the pass-prefix stage cache
                                     (results identical, only compile time)
      bench/main.exe --engine E      replay engine for the experiments:
@@ -1136,6 +1140,236 @@ let fleet_bench ~jobs () =
     (Bank.size bank) warm.Fleet.bank_seeds hit_rate gens_saved;
   print_endline "wrote BENCH_fleet.json"
 
+(* --------------------------- serve benchmark ------------------------- *)
+
+(* The service-mode benchmark: N apps' searches multiplexed over one shared
+   evaluation pool by the round-robin scheduler (Repro_core.Serve).
+   Measures (a) the digest contract — every served tenant reproduces the
+   digest of a standalone [Pipeline.optimize] run, at every admission
+   width; (b) throughput as the admission-control width grows (1, 4 and 8
+   concurrent apps over the same request set), with the fairness spread of
+   the round-robin scheduler; and (c) kill/resume cost: a serve run
+   aborted mid-search and resumed from its per-tenant checkpoints must
+   spend no extra live evaluation batches versus an uninterrupted run
+   (journal replay serves recorded outcomes without evaluating), with the
+   wall-clock overhead — mostly the re-run captures — reported beside it.
+   Writes BENCH_serve.json for CI. *)
+let serve_bench ~jobs () =
+  let module P = Repro_core.Pipeline in
+  let module Serve = Repro_core.Serve in
+  let seed = 7 in
+  let cfg = { Ga.quick_config with Ga.population = 8; Ga.generations = 3 } in
+  let apps =
+    List.filter_map
+      (fun n ->
+         match Repro_apps.Registry.find n with
+         | Some a when P.capture_corpus ~seed ~k:1 a <> None -> Some a
+         | Some _ | None -> None)
+      [ "FFT"; "SOR"; "MonteCarlo"; "LU"; "Sieve"; "BubbleSort";
+        "SelectionSort"; "Fibonacci.iter" ]
+  in
+  let n_apps = List.length apps in
+  let name_of a = a.Repro_apps.Registry.name in
+  (* (a) the contract's right-hand side: what each app's standalone
+     [repro optimize APP --seed 7] produces *)
+  let standalone =
+    List.map
+      (fun a ->
+         Repro_lir.Stagecache.reset ();
+         let t0 = Unix.gettimeofday () in
+         let co = Option.get (P.capture_corpus ~seed ~k:1 a) in
+         let opt =
+           P.optimize ~seed:(seed + 13) ~cfg
+             ~quarantine:(P.create_quarantine_log ())
+             ~corpus:co.P.co_entries a co.P.co_primary
+         in
+         (name_of a, P.search_digest opt, Unix.gettimeofday () -. t0))
+      apps
+  in
+  let standalone_wall =
+    List.fold_left (fun acc (_, _, w) -> acc +. w) 0. standalone
+  in
+  (* one serve run over the full request set; checkpoints and the abort
+     injection are optional.  Stage cache reset so every run compiles cold,
+     like a fresh service process. *)
+  let serve_run ?abort_after ?ckpts ~max_active () =
+    Repro_lir.Stagecache.reset ();
+    let t =
+      Serve.create ~jobs ~queue_capacity:n_apps ?abort_after ~max_active ()
+    in
+    let t0 = Unix.gettimeofday () in
+    let aborted =
+      try
+        List.iter
+          (fun a ->
+             let checkpoint =
+               Option.map (fun c -> List.assoc (name_of a) c) ckpts
+             in
+             ignore (Serve.submit t (Serve.request ~seed ~cfg ?checkpoint a)))
+          apps;
+        Serve.drive t;
+        false
+      with Repro_core.Checkpoint.Injected_abort -> true
+    in
+    let wall = Unix.gettimeofday () -. t0 in
+    let reports = Serve.reports t in
+    let stats = Serve.stats t in
+    Serve.shutdown t;
+    (aborted, wall, reports, stats)
+  in
+  let digests_match reports =
+    List.for_all2
+      (fun (app, digest, _) r ->
+         r.Serve.rp_app = app && r.Serve.rp_digest = Some digest)
+      standalone reports
+  in
+  let live_batches reports =
+    List.fold_left (fun acc r -> acc + r.Serve.rp_live_batches) 0 reports
+  in
+  (* (b) throughput vs admission width over the same request set *)
+  let widths = List.filter (fun w -> w <= n_apps) [ 1; 4; 8 ] in
+  let throughput =
+    List.map
+      (fun max_active ->
+         let aborted, wall, reports, stats = serve_run ~max_active () in
+         if aborted then failwith "serve aborted without an injection";
+         if not (digests_match reports) then
+           failwith
+             (Printf.sprintf
+                "serve digest contract violation at max_active=%d" max_active);
+         (max_active, wall, stats))
+      widths
+  in
+  (* (c) kill after a few live batches, resume from the checkpoints *)
+  let ckpts =
+    List.map
+      (fun a ->
+         let f = Filename.temp_file "repro_bench_serve" ".ckpt" in
+         Sys.remove f;
+         (name_of a, f))
+      apps
+  in
+  Fun.protect
+    ~finally:(fun () ->
+        List.iter (fun (_, f) -> if Sys.file_exists f then Sys.remove f) ckpts)
+  @@ fun () ->
+  let abort_after = n_apps in
+  let full_run =
+    let aborted, wall, reports, _ = serve_run ~ckpts ~max_active:n_apps () in
+    if aborted || not (digests_match reports) then
+      failwith "checkpointed full serve run broke the digest contract";
+    (wall, live_batches reports)
+  in
+  List.iter (fun (_, f) -> if Sys.file_exists f then Sys.remove f) ckpts;
+  let interrupted =
+    let aborted, wall, reports, _ =
+      serve_run ~ckpts ~abort_after ~max_active:n_apps ()
+    in
+    if not aborted then failwith "abort injection did not fire";
+    (wall, live_batches reports)
+  in
+  let resumed =
+    let aborted, wall, reports, _ = serve_run ~ckpts ~max_active:n_apps () in
+    if aborted || not (digests_match reports) then
+      failwith "resumed serve run broke the digest contract";
+    let replayed =
+      List.fold_left (fun acc r -> acc + r.Serve.rp_replayed_batches) 0 reports
+    in
+    if replayed = 0 then failwith "resumed run replayed nothing";
+    (wall, live_batches reports, replayed)
+  in
+  let wall_full, live_full = full_run in
+  let wall_int, live_int = interrupted in
+  let wall_res, live_res, replayed = resumed in
+  let extra_live = live_int + live_res - live_full in
+  let overhead_batches = float_of_int extra_live /. float_of_int live_full in
+  let overhead_wall = (wall_int +. wall_res -. wall_full) /. wall_full in
+  let concurrent_progress =
+    List.for_all
+      (fun (w, _, s) -> w < 2 || s.Serve.st_concurrent_rounds >= 2)
+      throughput
+  in
+  let fairness_worst =
+    List.fold_left
+      (fun acc (_, _, s) -> Float.max acc s.Serve.st_fairness_spread)
+      0. throughput
+  in
+  let throughput_json =
+    String.concat ",\n    "
+      (List.map
+         (fun (w, wall, s) ->
+            Printf.sprintf
+              {|{ "max_active": %d, "wall_s": %.2f, "apps_per_min": %.2f, "rounds": %d, "concurrent_rounds": %d, "peak_active": %d, "fairness_spread": %.4f, "digests_match": true }|}
+              w wall
+              (float_of_int n_apps /. wall *. 60.)
+              s.Serve.st_rounds s.Serve.st_concurrent_rounds
+              s.Serve.st_peak_active s.Serve.st_fairness_spread)
+         throughput)
+  in
+  let standalone_json =
+    String.concat ",\n    "
+      (List.map
+         (fun (app, digest, w) ->
+            Printf.sprintf {|{ "app": "%s", "digest": "%s", "wall_s": %.2f }|}
+              app digest w)
+         standalone)
+  in
+  let oc = open_out "BENCH_serve.json" in
+  Printf.fprintf oc
+    {|{
+  "workload": "%d apps served over one shared pool (quick config, %d generations x %d genomes)",
+  "seed": %d,
+  "jobs": %d,
+  "apps": %d,
+  "standalone": [
+    %s
+  ],
+  "standalone_wall_s": %.2f,
+  "throughput": [
+    %s
+  ],
+  "concurrent_progress": %b,
+  "fairness_spread_worst": %.4f,
+  "resume": {
+    "abort_after_batches": %d,
+    "full": { "wall_s": %.2f, "live_batches": %d },
+    "interrupted": { "wall_s": %.2f, "live_batches": %d },
+    "resumed": { "wall_s": %.2f, "live_batches": %d, "replayed_batches": %d },
+    "extra_live_batches": %d,
+    "resume_overhead_batches": %.4f,
+    "resume_overhead_wall": %.4f,
+    "digests_match": true
+  }
+}
+|}
+    n_apps cfg.Ga.generations cfg.Ga.population seed jobs n_apps
+    standalone_json standalone_wall throughput_json concurrent_progress
+    fairness_worst abort_after wall_full live_full wall_int live_int wall_res
+    live_res replayed extra_live overhead_batches overhead_wall;
+  close_out oc;
+  Printf.printf "serve benchmark (%d apps, -j %d)\n" n_apps jobs;
+  List.iter
+    (fun (w, wall, s) ->
+       Printf.printf
+         "  max_active %d: %6.1f s (%5.2f apps/min), %d rounds (%d \
+          concurrent), fairness spread %.4f\n"
+         w wall
+         (float_of_int n_apps /. wall *. 60.)
+         s.Serve.st_rounds s.Serve.st_concurrent_rounds
+         s.Serve.st_fairness_spread)
+    throughput;
+  Printf.printf
+    "  every tenant matched its standalone digest at every width \
+     (standalone total %.1f s)\n"
+    standalone_wall;
+  Printf.printf
+    "  kill after %d batches + resume: %d extra live batch(es) (%.1f%% of \
+     %d), wall %.2f s + %.2f s vs %.2f s uninterrupted (%.1f%% overhead), \
+     %d batch(es) replayed from journals\n"
+    abort_after extra_live (100. *. overhead_batches) live_full wall_int
+    wall_res wall_full (100. *. overhead_wall) replayed;
+  print_endline "wrote BENCH_serve.json"
+
 let () =
   let full = ref false in
   let eager = ref false in
@@ -1236,6 +1470,7 @@ let () =
   else if names = [ "exec" ] then exec_bench ()
   else if names = [ "compile" ] then compile_bench ()
   else if names = [ "fleet" ] then fleet_bench ~jobs:!jobs ()
+  else if names = [ "serve" ] then serve_bench ~jobs:!jobs ()
   else begin
     Fun.protect ~finally:export_observability (fun () ->
         run_all ~cfg ~eager:!eager ~jobs:!jobs ~cache:(not !no_cache) names;

@@ -13,6 +13,7 @@
 #   BENCH_storage.json   content-addressed device store + dedup ratio
 #   BENCH_corpus.json    multi-input verification survival experiment
 #   BENCH_fleet.json     device-fleet scaling, convergence, genome bank
+#   BENCH_serve.json     multi-app serve scheduler + kill/resume overhead
 #
 # EXPERIMENTS.md has a reading guide for each file.  Every run is
 # fixed-seed: re-running produces the same tables and the same JSON
@@ -41,6 +42,7 @@ run compile
 run storage
 run corpus
 run fleet
+run serve
 
 echo
 echo "artifacts:"

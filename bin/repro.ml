@@ -423,9 +423,31 @@ let corpus_arg =
                adversarial inputs that retire guard-stripping binaries. \
                Fitness always comes from the primary capture.")
 
+let checkpoint_arg =
+  Arg.(value & opt (some string) None
+       & info [ "checkpoint" ] ~docv:"FILE"
+         ~doc:"Crash-safe search: journal every evaluated batch to $(docv) \
+               (checksummed store pages, written atomically after each \
+               batch). Re-running the same command after a kill resumes \
+               from the journal and produces a search history byte-identical \
+               to an uninterrupted run, for every -j/--no-cache combination. \
+               A damaged or mismatched checkpoint is quarantined and the \
+               search restarts cold with a warning.")
+
+let ckpt_abort_arg =
+  Arg.(value & opt (some int) None
+       & info [ "ckpt-abort" ] ~docv:"N"
+         ~doc:"Testing aid: simulate a crash by aborting the process (exit \
+               code 3) after $(docv) live evaluation batches, after their \
+               checkpoints are on disk. Use with $(b,--checkpoint) to \
+               exercise kill/resume.")
+
+let print_session_warnings warnings =
+  List.iter (fun w -> Printf.printf "warning: %s\n" w) warnings
+
 let optimize_cmd =
   let run app seed full jobs no_cache no_stage_cache engine trace metrics
-      faults store corpus_k =
+      faults store corpus_k checkpoint ckpt_abort =
     with_trace trace metrics @@ fun () ->
     with_engine engine @@ fun () ->
     with_stage_cache no_stage_cache @@ fun () ->
@@ -443,10 +465,35 @@ let optimize_cmd =
              (List.map
                 (fun ce -> ce.Pipeline.ce_input.App.in_label)
                 co.Pipeline.co_entries));
-      let opt =
-        Pipeline.optimize ~seed:(seed + 13) ~cfg ~jobs ~cache:(not no_cache)
-          ~corpus:co.Pipeline.co_entries app cap
+      let session =
+        Pipeline.start_search ~seed:(seed + 13) ~cfg ~jobs
+          ~cache:(not no_cache) ~corpus:co.Pipeline.co_entries
+          ?checkpoint ?abort_after:ckpt_abort app cap
       in
+      print_session_warnings (Pipeline.session_warnings session);
+      let opt =
+        match
+          let rec loop () =
+            match Pipeline.search_step session with
+            | `Live | `Replayed -> loop ()
+            | `Finished r -> r
+          in
+          loop ()
+        with
+        | r -> r
+        | exception Repro_core.Checkpoint.Injected_abort ->
+          Printf.printf
+            "aborted after %d live batch(es) (--ckpt-abort); checkpoint %s \
+             is resumable\n"
+            (Pipeline.session_live_batches session)
+            (Option.value checkpoint ~default:"(none)");
+          Stdlib.exit 3
+      in
+      if Pipeline.session_replayed_batches session > 0 then
+        Printf.printf "resumed from checkpoint: %d batch(es) replayed, %d \
+                       evaluated live\n"
+          (Pipeline.session_replayed_batches session)
+          (Pipeline.session_live_batches session);
       Printf.printf "replay baselines: Android %.3f ms, LLVM -O3 %.3f ms\n"
         opt.Pipeline.env.Pipeline.android_region_ms
         opt.Pipeline.env.Pipeline.o3_region_ms;
@@ -463,6 +510,7 @@ let optimize_cmd =
       Printf.printf
         "whole-program speedup over Android: LLVM -O3 %.2fx, LLVM GA %.2fx\n"
         sp.Pipeline.o3_speedup sp.Pipeline.ga_speedup;
+      Printf.printf "search digest: %s\n" (Pipeline.search_digest opt);
       print_pool_report ()
   in
   Cmd.v
@@ -470,7 +518,126 @@ let optimize_cmd =
        ~doc:"Run the full replay-based iterative compilation (Figure 6).")
     Term.(const run $ app_arg $ seed_arg $ full_arg $ jobs_arg $ no_cache_arg
           $ no_stage_cache_arg $ engine_arg $ trace_arg $ metrics_arg
-          $ faults_arg $ store_arg $ corpus_arg)
+          $ faults_arg $ store_arg $ corpus_arg $ checkpoint_arg
+          $ ckpt_abort_arg)
+
+(* ------------------------------ serve ------------------------------ *)
+
+module Serve = Repro_core.Serve
+
+let serve_apps_arg =
+  Arg.(non_empty & pos_all app_conv [] & info [] ~docv:"APP")
+
+let max_active_arg =
+  let pos_int =
+    let parse s =
+      match int_of_string_opt s with
+      | Some n when n >= 1 -> Ok n
+      | Some _ | None -> Error (`Msg "expected a positive number of slots")
+    in
+    Arg.conv (parse, Format.pp_print_int)
+  in
+  Arg.(value & opt (some pos_int) None
+       & info [ "max-active" ] ~docv:"N"
+         ~doc:"Admission control: at most $(docv) searches run \
+               concurrently; further submissions queue (bounded) and then \
+               bounce. Defaults to the number of requested apps.")
+
+let queue_arg =
+  Arg.(value & opt int 16
+       & info [ "queue" ] ~docv:"N"
+         ~doc:"Backpressure bound: at most $(docv) submissions wait behind \
+               the active set before new ones are rejected.")
+
+let ckpt_dir_arg =
+  Arg.(value & opt (some string) None
+       & info [ "checkpoint-dir" ] ~docv:"DIR"
+         ~doc:"Give every tenant a crash-safe journal at \
+               $(docv)/<app>.ckpt. Re-running the same serve command after \
+               a kill resumes each search from its journal with a \
+               byte-identical history. The directory must exist.")
+
+let serve_cmd =
+  let run apps seed full jobs no_cache no_stage_cache engine trace metrics
+      max_active queue_capacity ckpt_dir ckpt_abort =
+    with_trace trace metrics @@ fun () ->
+    with_engine engine @@ fun () ->
+    with_stage_cache no_stage_cache @@ fun () ->
+    let cfg = if full then Ga.default_config else Ga.quick_config in
+    let max_active = Option.value max_active ~default:(List.length apps) in
+    let t =
+      Serve.create ~jobs ~cache:(not no_cache) ~queue_capacity
+        ?abort_after:ckpt_abort ~max_active ()
+    in
+    Fun.protect ~finally:(fun () -> Serve.shutdown t) @@ fun () ->
+    List.iter
+      (fun app ->
+         let checkpoint =
+           Option.map
+             (fun dir -> Filename.concat dir (app.App.name ^ ".ckpt"))
+             ckpt_dir
+         in
+         let r = Serve.request ~seed ~cfg ?checkpoint app in
+         match Serve.submit t r with
+         | `Admitted -> Printf.printf "%s: admitted\n" app.App.name
+         | `Queued n -> Printf.printf "%s: queued (position %d)\n" app.App.name n
+         | `Rejected -> Printf.printf "%s: rejected (queue full)\n" app.App.name)
+      apps;
+    (match Serve.drive t with
+     | () -> ()
+     | exception Repro_core.Checkpoint.Injected_abort ->
+       List.iter
+         (fun r ->
+            Printf.printf "%s: interrupted (%d live batch(es) journaled%s)\n"
+              r.Serve.rp_app r.Serve.rp_live_batches
+              (match r.Serve.rp_checkpoint with
+               | Some f -> " in " ^ f
+               | None -> ", no checkpoint"))
+         (Serve.reports t);
+       Printf.printf
+         "serve aborted after %d live batch(es) (--ckpt-abort); re-run the \
+          same command to resume\n"
+         (Serve.stats t).Serve.st_live_batches;
+       Stdlib.exit 3);
+    List.iter
+      (fun r ->
+         print_session_warnings r.Serve.rp_warnings;
+         match r.Serve.rp_outcome with
+         | `Finished ->
+           Printf.printf
+             "%s: best %s ms, %d evaluations, %d live + %d replayed \
+              batch(es)%s\n  digest %s\n"
+             r.Serve.rp_app
+             (match r.Serve.rp_best_ms with
+              | Some ms -> Printf.sprintf "%.3f" ms
+              | None -> "-")
+             r.Serve.rp_evaluations r.Serve.rp_live_batches
+             r.Serve.rp_replayed_batches
+             (if r.Serve.rp_quarantined > 0 then
+                Printf.sprintf ", %d quarantined" r.Serve.rp_quarantined
+              else "")
+             (Option.value r.Serve.rp_digest ~default:"-")
+         | `Failed why -> Printf.printf "%s: failed (%s)\n" r.Serve.rp_app why
+         | `Unstarted -> Printf.printf "%s: not started\n" r.Serve.rp_app)
+      (Serve.reports t);
+    let s = Serve.stats t in
+    Printf.printf
+      "scheduler: %d rounds (%d concurrent), peak %d active, %d live \
+       batch(es), fairness spread %.3f, %d rejected\n"
+      s.Serve.st_rounds s.Serve.st_concurrent_rounds s.Serve.st_peak_active
+      s.Serve.st_live_batches s.Serve.st_fairness_spread s.Serve.st_rejected;
+    print_pool_report ()
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the pipeline as a service: multiplex several apps' \
+             searches over one shared worker pool with round-robin \
+             fairness, admission control and per-tenant crash-safe \
+             checkpoints.")
+    Term.(const run $ serve_apps_arg $ seed_arg $ full_arg $ jobs_arg
+          $ no_cache_arg $ no_stage_cache_arg $ engine_arg $ trace_arg
+          $ metrics_arg $ max_active_arg $ queue_arg $ ckpt_dir_arg
+          $ ckpt_abort_arg)
 
 (* ------------------------------ fleet ------------------------------ *)
 
@@ -762,4 +929,5 @@ let () =
     (Cmd.eval
        (Cmd.group (Cmd.info "repro" ~doc)
           [ list_cmd; passes_cmd; run_cmd; hot_cmd; capture_cmd; optimize_cmd;
+            serve_cmd;
             fleet_cmd; storage_cmd; experiment_cmd; disasm_cmd ]))

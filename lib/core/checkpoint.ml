@@ -1,0 +1,197 @@
+(* Record/replay journal for crash-safe search resume.  See the interface
+   for the model.  The text image is line-oriented, tab-separated; every
+   free-form field goes through String.escaped (round-tripped with
+   Scanf.unescaped) so tabs and newlines cannot corrupt the framing, and
+   binary digests survive as printable escapes. *)
+
+module Storage = Repro_os.Storage
+module Trace = Repro_util.Trace
+
+type core =
+  | C_measured of { cycles : int; size : int; key : string }
+  | C_compile_failed of string
+  | C_compile_timeout
+  | C_crashed of string
+  | C_hung
+  | C_wrong_output
+  | C_quarantined of string
+
+type task = {
+  t_ev_index : int;
+  t_canon : string;
+  t_core : core;
+}
+
+type batch = {
+  b_cursor : int64;
+  b_tasks : task list;
+}
+
+type t = {
+  fingerprint : string;
+  batches : batch list;
+  quarantine : (string * string * int) list;
+}
+
+exception Injected_abort
+
+let magic = "REPROCKPT1"
+
+(* ----------------------------- rendering ----------------------------- *)
+
+let esc = String.escaped
+
+exception Malformed of string
+
+let unesc s =
+  match Scanf.unescaped s with
+  | s -> s
+  | exception Scanf.Scan_failure _ -> raise (Malformed "bad escape")
+
+let render_core buf = function
+  | C_measured { cycles; size; key } ->
+    Buffer.add_string buf (Printf.sprintf "M\t%d\t%d\t%s" cycles size (esc key))
+  | C_compile_failed msg -> Buffer.add_string buf ("CF\t" ^ esc msg)
+  | C_compile_timeout -> Buffer.add_string buf "CT"
+  | C_crashed msg -> Buffer.add_string buf ("RC\t" ^ esc msg)
+  | C_hung -> Buffer.add_string buf "RH"
+  | C_wrong_output -> Buffer.add_string buf "WO"
+  | C_quarantined msg -> Buffer.add_string buf ("QU\t" ^ esc msg)
+
+let core_of_fields = function
+  | [ "M"; cycles; size; key ] ->
+    C_measured
+      { cycles = int_of_string cycles; size = int_of_string size;
+        key = unesc key }
+  | [ "CF"; msg ] -> C_compile_failed (unesc msg)
+  | [ "CT" ] -> C_compile_timeout
+  | [ "RC"; msg ] -> C_crashed (unesc msg)
+  | [ "RH" ] -> C_hung
+  | [ "WO" ] -> C_wrong_output
+  | [ "QU"; msg ] -> C_quarantined (unesc msg)
+  | _ -> raise (Malformed "bad core record")
+
+let render_batches t =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun b ->
+       Buffer.add_string buf (Printf.sprintf "b\t%Lx\n" b.b_cursor);
+       List.iter
+         (fun tk ->
+            Buffer.add_string buf
+              (Printf.sprintf "t\t%d\t%s\t" tk.t_ev_index (esc tk.t_canon));
+            render_core buf tk.t_core;
+            Buffer.add_char buf '\n')
+         b.b_tasks)
+    t.batches;
+  Buffer.contents buf
+
+let memo_digest t = Digest.to_hex (Digest.string (render_batches t))
+
+let to_text t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf magic;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (Printf.sprintf "fp\t%s\n" (esc t.fingerprint));
+  Buffer.add_string buf (Printf.sprintf "md\t%s\n" (memo_digest t));
+  List.iter
+    (fun (key, reason, count) ->
+       Buffer.add_string buf
+         (Printf.sprintf "q\t%s\t%s\t%d\n" (esc key) (esc reason) count))
+    t.quarantine;
+  Buffer.add_string buf (render_batches t);
+  Buffer.contents buf
+
+let of_text text =
+  let lines = String.split_on_char '\n' text in
+  match lines with
+  | header :: rest when header = magic ->
+    let fingerprint = ref None in
+    let declared_md = ref None in
+    let quarantine_rev = ref [] in
+    let batches_rev = ref [] in         (* (cursor, tasks_rev) *)
+    List.iter
+      (fun line ->
+         if line <> "" then
+           match String.split_on_char '\t' line with
+           | [ "fp"; fp ] -> fingerprint := Some (unesc fp)
+           | [ "md"; d ] -> declared_md := Some d
+           | [ "q"; key; reason; count ] ->
+             quarantine_rev :=
+               (unesc key, unesc reason, int_of_string count)
+               :: !quarantine_rev
+           | [ "b"; cursor ] ->
+             batches_rev :=
+               (Int64.of_string ("0x" ^ cursor), ref []) :: !batches_rev
+           | "t" :: ev_index :: canon :: core_fields ->
+             (match !batches_rev with
+              | [] -> raise (Malformed "task before any batch")
+              | (_, tasks_rev) :: _ ->
+                tasks_rev :=
+                  { t_ev_index = int_of_string ev_index;
+                    t_canon = unesc canon;
+                    t_core = core_of_fields core_fields }
+                  :: !tasks_rev)
+           | _ -> raise (Malformed ("bad record: " ^ line)))
+      rest;
+    let fingerprint =
+      match !fingerprint with
+      | Some fp -> fp
+      | None -> raise (Malformed "no fingerprint")
+    in
+    let batches =
+      List.rev_map
+        (fun (cursor, tasks_rev) ->
+           { b_cursor = cursor; b_tasks = List.rev !tasks_rev })
+        !batches_rev
+    in
+    let t =
+      { fingerprint; batches; quarantine = List.rev !quarantine_rev }
+    in
+    (match !declared_md with
+     | Some d when d <> memo_digest t ->
+       raise (Malformed "journal digest mismatch")
+     | Some _ | None -> ());
+    t
+  | _ -> raise (Malformed "bad header")
+
+(* ------------------------------ on disk ------------------------------ *)
+
+let blob_label = "checkpoint"
+
+let save t file =
+  let st = Storage.create () in
+  Storage.write st ~label:blob_label
+    ~pages:(Storage.pages_of_string (to_text t));
+  Storage.flush st;
+  let tmp = file ^ ".tmp" in
+  Storage.save st tmp;
+  Sys.rename tmp file;
+  Trace.incr "ckpt.saves";
+  Trace.add "ckpt.batches_saved" (List.length t.batches)
+
+let load file =
+  if not (Sys.file_exists file) then `Absent
+  else begin
+    Trace.incr "ckpt.loads";
+    let damaged why =
+      Trace.incr "ckpt.damaged";
+      `Damaged why
+    in
+    match Storage.load file with
+    | exception Sys_error why -> damaged why
+    | st, warnings ->
+      if not (Storage.contains st ~label:blob_label) then
+        damaged "no checkpoint blob in store"
+      else
+        match Storage.read st ~label:blob_label with
+        | Error e -> damaged (Storage.describe e)
+        | Ok pages ->
+          (match Storage.string_of_pages pages with
+           | Error why -> damaged why
+           | Ok text ->
+             (match of_text text with
+              | t -> `Loaded (t, warnings)
+              | exception Malformed why -> damaged why
+              | exception _ -> damaged "unparseable checkpoint payload"))
+  end

@@ -208,6 +208,63 @@ let capture_corpus ?(seed = 42) ~k app =
     Some { co_app = app; co_seed = seed; co_primary = primary;
            co_entries = entries }
 
+(* ----------------------- quarantine accounting ---------------------- *)
+
+(* Record of binaries (and persisted artifacts) discarded as
+   untrustworthy.  The verify stage runs on worker domains, so a log is
+   mutex-protected.  Logs are per-run values: the serve scheduler gives
+   every tenant its own, so one tenant's entries (and resets) can never
+   leak into another's report; the process-wide default log keeps the
+   one-shot CLI behaviour.  Trace counters mirror the log
+   ([verify.quarantined], [verify.retried]) but the log itself is always
+   on — the CLI's quarantine report must not require --trace. *)
+type quarantine_entry = {
+  q_binary : string;
+  q_reason : string;
+  q_count : int;
+}
+
+type quarantine_log = {
+  ql_mutex : Mutex.t;
+  ql_tbl : (string, string * int) Hashtbl.t;
+}
+
+let create_quarantine_log () =
+  { ql_mutex = Mutex.create (); ql_tbl = Hashtbl.create 16 }
+
+let global_quarantine = create_quarantine_log ()
+
+let reset_quarantine ?(log = global_quarantine) () =
+  Mutex.protect log.ql_mutex (fun () -> Hashtbl.reset log.ql_tbl)
+
+let record_quarantine ?(log = global_quarantine) ~key ~reason () =
+  Mutex.protect log.ql_mutex (fun () ->
+      match Hashtbl.find_opt log.ql_tbl key with
+      | Some (r, n) -> Hashtbl.replace log.ql_tbl key (r, n + 1)
+      | None -> Hashtbl.add log.ql_tbl key (reason, 1));
+  Trace.incr "verify.quarantined"
+
+let quarantine_summary ?(log = global_quarantine) () =
+  Mutex.protect log.ql_mutex (fun () ->
+      Hashtbl.fold
+        (fun key (reason, n) acc ->
+           { q_binary = key; q_reason = reason; q_count = n } :: acc)
+        log.ql_tbl [])
+  |> List.sort (fun a b -> String.compare a.q_binary b.q_binary)
+
+(* Raw (key, reason, count) view for checkpoint persistence. *)
+let quarantine_entries log =
+  List.map
+    (fun e -> (e.q_binary, e.q_reason, e.q_count))
+    (quarantine_summary ~log ())
+
+let restore_quarantine log entries =
+  Mutex.protect log.ql_mutex (fun () ->
+      List.iter
+        (fun (key, reason, count) ->
+           Hashtbl.replace log.ql_tbl key (reason, count))
+        entries)
+
 type evaluation_env = {
   dx : B.dexfile;
   app : App.t;
@@ -222,6 +279,7 @@ type evaluation_env = {
   replays_per_eval : int;
   noise_sigma : float;
   measure_seed : int;
+  quarantine : quarantine_log;
 }
 
 (* Offline replays run on an idle device with pinned frequency (§4): the
@@ -254,7 +312,8 @@ let replay_cycles_of_binary dx snap vmap binary =
   | Verify.Passed cycles -> Some cycles
   | Verify.Wrong_output | Verify.Crashed _ | Verify.Hung -> None
 
-let make_eval_env ?(seed = 1234) ?(replays = 10) ?(corpus = []) app capture =
+let make_eval_env ?(seed = 1234) ?(replays = 10) ?(corpus = [])
+    ?(quarantine = global_quarantine) app capture =
   Trace.span ~cat:"pipeline" ~args:[ ("app", app.App.name) ] "make_eval_env"
   @@ fun () ->
   let dx = App.dexfile app in
@@ -287,7 +346,7 @@ let make_eval_env ?(seed = 1234) ?(replays = 10) ?(corpus = []) app capture =
     { dx; app; capture; vmap; typeprof; region; frontend; corpus;
       android_region_ms = nan; o3_region_ms = nan;
       replays_per_eval = replays; noise_sigma = default_noise_sigma;
-      measure_seed = seed }
+      measure_seed = seed; quarantine }
   in
   let ms_of_binary ~noise_index binary =
     match replay_cycles_of_binary dx snap vmap binary with
@@ -333,46 +392,6 @@ let compile_core env genome =
   | binary -> Ok binary
   | exception Compile.Compile_error msg -> Error (Core_compile_failed msg)
   | exception Compile.Compile_timeout -> Error Core_compile_timeout
-
-(* ----------------------- quarantine accounting ---------------------- *)
-
-(* Process-wide record of binaries discarded under fault injection: the
-   verify stage runs on worker domains, so the log is mutex-protected.
-   Trace counters mirror it ([verify.quarantined], [verify.retried]) but
-   the log itself is always on — the CLI's quarantine report must not
-   require --trace. *)
-type quarantine_entry = {
-  q_binary : string;
-  q_reason : string;
-  q_count : int;
-}
-
-let quarantine_mutex = Mutex.create ()
-let quarantine_log : (string, string * int) Hashtbl.t = Hashtbl.create 16
-
-let reset_quarantine () =
-  Mutex.lock quarantine_mutex;
-  Hashtbl.reset quarantine_log;
-  Mutex.unlock quarantine_mutex
-
-let record_quarantine ~key ~reason =
-  Mutex.lock quarantine_mutex;
-  (match Hashtbl.find_opt quarantine_log key with
-   | Some (r, n) -> Hashtbl.replace quarantine_log key (r, n + 1)
-   | None -> Hashtbl.add quarantine_log key (reason, 1));
-  Mutex.unlock quarantine_mutex;
-  Trace.incr "verify.quarantined"
-
-let quarantine_summary () =
-  Mutex.lock quarantine_mutex;
-  let entries =
-    Hashtbl.fold
-      (fun key (reason, n) acc ->
-         { q_binary = key; q_reason = reason; q_count = n } :: acc)
-      quarantine_log []
-  in
-  Mutex.unlock quarantine_mutex;
-  List.sort (fun a b -> String.compare a.q_binary b.q_binary) entries
 
 let reason_of_check = function
   | Verify.Passed _ -> "passed"
@@ -448,7 +467,7 @@ let verify_core env binary =
            Printf.sprintf "%s; retry: %s" (reason_of_check first)
              (reason_of_check second)
          in
-         record_quarantine ~key ~reason;
+         record_quarantine ~log:env.quarantine ~key ~reason ();
          Core_quarantined reason)
   end
 
@@ -463,8 +482,8 @@ let outcome_of_core env ~ev_index core =
   | Core_wrong_output -> Ga.Wrong_output
   | Core_quarantined msg -> Ga.Quarantined msg
 
-let make_pool ?jobs ?cache env =
-  Evalpool.create ?jobs ?cache ~canon:Genome.canon
+let make_pool ?jobs ?cache ?memo_budget ?pool env =
+  Evalpool.create ?jobs ?cache ?memo_budget ?pool ~canon:Genome.canon
     ~compile:(compile_core env) ~key_of:binary_key ~verify:(verify_core env)
     ~finish:(fun ~ev_index core -> outcome_of_core env ~ev_index core)
     ()
@@ -473,8 +492,8 @@ let make_pool ?jobs ?cache env =
    noised GA outcome: the fleet coordinator synthesizes per-device times
    itself (each device re-seeds noise from its own profile), so it needs
    the core before noise is applied. *)
-let make_core_pool ?jobs ?cache env =
-  Evalpool.create ?jobs ?cache ~canon:Genome.canon
+let make_core_pool ?jobs ?cache ?memo_budget ?pool env =
+  Evalpool.create ?jobs ?cache ?memo_budget ?pool ~canon:Genome.canon
     ~compile:(compile_core env) ~key_of:binary_key ~verify:(verify_core env)
     ~finish:(fun ~ev_index:_ core -> core)
     ()
@@ -500,9 +519,27 @@ type optimized = {
   env : evaluation_env;
   ga : Ga.result;
   best_genome : Genome.t option;
+  best_fitness : float option;
   best_binary : Binary.t option;
   pool_stats : Evalpool.stats;
 }
+
+(* Digest over everything the search decided: the GA history (already
+   byte-rendered by [Ga.history_digest]) plus the hill-climb's final
+   winner, which the GA history does not cover.  This is the value the
+   kill/resume contract asserts byte-identical across restarts. *)
+let search_digest opt =
+  let best_txt =
+    match opt.best_genome with None -> "-" | Some g -> Genome.to_text g
+  in
+  let fit_txt =
+    match opt.best_fitness with
+    | None -> "-"
+    | Some f -> Printf.sprintf "%Lx" (Int64.bits_of_float f)
+  in
+  Digest.to_hex
+    (Digest.string
+       (String.concat "\n" [ Ga.history_digest opt.ga; best_txt; fit_txt ]))
 
 let compile_genome env genome =
   match
@@ -524,38 +561,291 @@ let idle_drain () =
   | None -> ()
   | Some storage -> ignore (Storage.drain ~max_pages:idle_drain_chunk storage)
 
-let optimize ?(seed = 99) ?(cfg = Ga.quick_config) ?jobs ?cache ?(corpus = [])
-    app capture =
+(* ---------------------- checkpointed search driver ------------------- *)
+
+let ckpt_of_core = function
+  | Core_measured { cycles; size; key } ->
+    Checkpoint.C_measured { cycles; size; key }
+  | Core_compile_failed m -> Checkpoint.C_compile_failed m
+  | Core_compile_timeout -> Checkpoint.C_compile_timeout
+  | Core_crashed m -> Checkpoint.C_crashed m
+  | Core_hung -> Checkpoint.C_hung
+  | Core_wrong_output -> Checkpoint.C_wrong_output
+  | Core_quarantined m -> Checkpoint.C_quarantined m
+
+let core_of_ckpt = function
+  | Checkpoint.C_measured { cycles; size; key } ->
+    Core_measured { cycles; size; key }
+  | Checkpoint.C_compile_failed m -> Core_compile_failed m
+  | Checkpoint.C_compile_timeout -> Core_compile_timeout
+  | Checkpoint.C_crashed m -> Core_crashed m
+  | Checkpoint.C_hung -> Core_hung
+  | Checkpoint.C_wrong_output -> Core_wrong_output
+  | Checkpoint.C_quarantined m -> Core_quarantined m
+
+let config_fingerprint (cfg : Ga.config) =
+  Printf.sprintf
+    "pop=%d;gens=%d;seedr=%d;gmut=%h;pmut=%h;tsz=%d;tp=%h;maxid=%d;noimp=%d;\
+     elites=%d;alpha=%h"
+    cfg.Ga.population cfg.Ga.generations cfg.Ga.seed_retries
+    cfg.Ga.genome_mutation_prob cfg.Ga.gene_mutation_prob
+    cfg.Ga.tournament_size cfg.Ga.tournament_p cfg.Ga.max_identical
+    cfg.Ga.no_improve_generations cfg.Ga.elites cfg.Ga.size_tiebreak_alpha
+
+(* Identity of a run configuration.  Everything the recorded evaluation
+   sequence depends on is covered; [jobs]/[cache]/[memo_budget] are
+   deliberately {e not} — the determinism contract makes them
+   result-invariant, so a checkpoint taken at [-j4] resumes fine at
+   [-j1 --no-cache] and vice versa. *)
+let run_fingerprint ~app ~seed ~cfg ~corpus ~seed_genomes ~replays =
+  let corpus_txt =
+    String.concat ","
+      (List.map (fun ce -> ce.ce_input.App.in_label) corpus)
+  in
+  let seeds_txt =
+    Digest.to_hex
+      (Digest.string
+         (String.concat "\n" (List.map Genome.to_text seed_genomes)))
+  in
+  Printf.sprintf "ckpt-v1;app=%s;seed=%d;replays=%d;%s;corpus=%s;seeds=%s"
+    app.App.name seed replays (config_fingerprint cfg) corpus_txt seeds_txt
+
+type search_session = {
+  ss_env : evaluation_env;
+  ss_file : string option;
+  ss_fingerprint : string;
+  ss_abort_after : int option;
+  ss_mk_pool : unit -> (Binary.t, eval_core, eval_core) Evalpool.t;
+  ss_pool : (Binary.t, eval_core, eval_core) Evalpool.t ref;
+  ss_mk_search : unit -> Rng.t * optimized Ga.step;
+  mutable ss_rng : Rng.t;
+  mutable ss_step : optimized Ga.step;
+  mutable ss_journal : Checkpoint.batch list;       (* left to replay *)
+  mutable ss_recorded_rev : Checkpoint.batch list;  (* completed, newest first *)
+  mutable ss_live : int;
+  mutable ss_replayed : int;
+  mutable ss_warnings : string list;
+  mutable ss_result : optimized option;
+}
+
+type step_outcome = [ `Live | `Replayed | `Finished of optimized ]
+
+let session_warnings s = List.rev s.ss_warnings
+let session_live_batches s = s.ss_live
+let session_replayed_batches s = s.ss_replayed
+let session_result s = s.ss_result
+let session_env s = s.ss_env
+
+(* Seed the pool's memos with everything the journal already knows: a
+   resumed run's live batches then hit the genome/binary memos exactly as
+   the uninterrupted run's would have — the persisted-memo half of the
+   checkpoint (a no-op under --no-cache). *)
+let seed_pool_from_journal pool batches =
+  let genomes = ref [] and keys = ref [] in
+  List.iter
+    (fun b ->
+       List.iter
+         (fun tk ->
+            let core = core_of_ckpt tk.Checkpoint.t_core in
+            genomes := (tk.Checkpoint.t_canon, core) :: !genomes;
+            match core with
+            | Core_measured { key; _ } -> keys := (key, core) :: !keys
+            | _ -> ())
+         b.Checkpoint.b_tasks)
+    batches;
+  Evalpool.seed_caches pool ~genomes:!genomes ~keys:!keys
+
+let start_search ?(seed = 99) ?(cfg = Ga.quick_config) ?jobs ?cache
+    ?memo_budget ?pool ?(corpus = []) ?(seed_genomes = []) ?quarantine
+    ?checkpoint ?abort_after app capture =
+  let qlog =
+    match quarantine with Some q -> q | None -> global_quarantine
+  in
+  let env = make_eval_env ~seed:(seed + 1) ~corpus ~quarantine:qlog app capture in
+  let mk_pool () = make_core_pool ?jobs ?cache ?memo_budget ?pool env in
+  let the_pool = ref (mk_pool ()) in
+  let fingerprint =
+    run_fingerprint ~app ~seed ~cfg ~corpus ~seed_genomes ~replays:10
+  in
+  let mk_search () =
+    let rng = Rng.create seed in
+    let body ~evaluate_batch =
+      let ga =
+        Ga.run ~seed_genomes rng cfg ~evaluate_batch
+          ?baseline_ms:
+            (if Float.is_nan env.android_region_ms then None
+             else Some env.android_region_ms)
+          ?o3_ms:
+            (if Float.is_nan env.o3_region_ms then None
+             else Some env.o3_region_ms)
+          ()
+      in
+      let best =
+        match ga.Ga.best with
+        | None -> None
+        | Some (genome, fit) ->
+          Some
+            (Ga.hill_climb_batch ~ev_base:ga.Ga.evaluations rng
+               ~evaluate_batch (genome, fit)
+               ~rounds:2)
+      in
+      let best_genome = Option.map fst best in
+      let best_binary = Option.bind best_genome (compile_genome env) in
+      { env; ga; best_genome; best_fitness = Option.map snd best;
+        best_binary; pool_stats = Evalpool.stats !the_pool }
+    in
+    (rng, Ga.coop body)
+  in
+  let journal, warnings =
+    match checkpoint with
+    | None -> ([], [])
+    | Some file ->
+      let cold why =
+        record_quarantine ~log:qlog ~key:("checkpoint:" ^ file) ~reason:why ();
+        ( [],
+          [ Printf.sprintf "checkpoint %s: %s (starting cold)" file why ] )
+      in
+      (match Checkpoint.load file with
+       | `Absent -> ([], [])
+       | `Damaged why -> cold why
+       | `Loaded (t, store_warnings) ->
+         if t.Checkpoint.fingerprint <> fingerprint then
+           cold "run configuration mismatch"
+         else begin
+           restore_quarantine qlog t.Checkpoint.quarantine;
+           seed_pool_from_journal !the_pool t.Checkpoint.batches;
+           Trace.add "ckpt.batches_resumed"
+             (List.length t.Checkpoint.batches);
+           ( t.Checkpoint.batches,
+             List.map
+               (fun w -> Printf.sprintf "checkpoint %s: %s" file w)
+               store_warnings )
+         end)
+  in
+  let rng, step = mk_search () in
+  { ss_env = env; ss_file = checkpoint; ss_fingerprint = fingerprint;
+    ss_abort_after = abort_after; ss_mk_pool = mk_pool; ss_pool = the_pool;
+    ss_mk_search = mk_search; ss_rng = rng; ss_step = step;
+    ss_journal = journal; ss_recorded_rev = []; ss_live = 0;
+    ss_replayed = 0; ss_warnings = List.rev warnings; ss_result = None }
+
+let save_checkpoint s =
+  match s.ss_file with
+  | None -> ()
+  | Some file ->
+    Checkpoint.save
+      { Checkpoint.fingerprint = s.ss_fingerprint;
+        batches = List.rev s.ss_recorded_rev;
+        quarantine = quarantine_entries s.ss_env.quarantine }
+      file
+
+(* The journal diverged from what the configured search asked for (same
+   fingerprint but different draws — a damaged-but-parseable journal, or a
+   code/configuration skew the fingerprint missed).  Nothing derived from
+   it can be trusted: warn, quarantine the file, and redo the whole search
+   live from scratch on a fresh pool. *)
+let cold_restart s why =
+  Trace.incr "ckpt.cold_restarts";
+  (match s.ss_file with
+   | Some file ->
+     record_quarantine ~log:s.ss_env.quarantine
+       ~key:("checkpoint:" ^ file) ~reason:why ();
+     s.ss_warnings <-
+       Printf.sprintf "checkpoint %s: %s (restarting cold)" file why
+       :: s.ss_warnings
+   | None ->
+     s.ss_warnings <-
+       Printf.sprintf "checkpoint: %s (restarting cold)" why
+       :: s.ss_warnings);
+  s.ss_journal <- [];
+  s.ss_recorded_rev <- [];
+  s.ss_live <- 0;
+  s.ss_replayed <- 0;
+  s.ss_pool := s.ss_mk_pool ();
+  let rng, step = s.ss_mk_search () in
+  s.ss_rng <- rng;
+  s.ss_step <- step
+
+let batch_matches b ~cursor tasks =
+  b.Checkpoint.b_cursor = cursor
+  && List.length b.Checkpoint.b_tasks = Array.length tasks
+  && List.for_all2
+       (fun tk (ev_index, genome) ->
+          tk.Checkpoint.t_ev_index = ev_index
+          && tk.Checkpoint.t_canon = Genome.canon genome)
+       b.Checkpoint.b_tasks
+       (Array.to_list tasks)
+
+let rec search_step s : step_outcome =
+  match s.ss_step with
+  | Ga.Step_done r ->
+    s.ss_result <- Some r;
+    `Finished r
+  | Ga.Step_eval (tasks, resume) ->
+    let cursor = Rng.cursor s.ss_rng in
+    (match s.ss_journal with
+     | b :: rest when batch_matches b ~cursor tasks ->
+       s.ss_journal <- rest;
+       s.ss_recorded_rev <- b :: s.ss_recorded_rev;
+       s.ss_replayed <- s.ss_replayed + 1;
+       Trace.incr "ckpt.batches_replayed";
+       let outcomes =
+         Array.of_list
+           (List.map
+              (fun tk ->
+                 outcome_of_core s.ss_env ~ev_index:tk.Checkpoint.t_ev_index
+                   (core_of_ckpt tk.Checkpoint.t_core))
+              b.Checkpoint.b_tasks)
+       in
+       s.ss_step <- resume outcomes;
+       `Replayed
+     | _ :: _ ->
+       cold_restart s "journal diverged from the configured search";
+       search_step s
+     | [] ->
+       let cores = Evalpool.evaluate_batch !(s.ss_pool) tasks in
+       idle_drain ();
+       let recorded =
+         { Checkpoint.b_cursor = cursor;
+           b_tasks =
+             Array.to_list
+               (Array.mapi
+                  (fun i core ->
+                     let ev_index, genome = tasks.(i) in
+                     { Checkpoint.t_ev_index = ev_index;
+                       t_canon = Genome.canon genome;
+                       t_core = ckpt_of_core core })
+                  cores) }
+       in
+       s.ss_recorded_rev <- recorded :: s.ss_recorded_rev;
+       s.ss_live <- s.ss_live + 1;
+       save_checkpoint s;
+       (match s.ss_abort_after with
+        | Some n when s.ss_live >= n -> raise Checkpoint.Injected_abort
+        | _ -> ());
+       let outcomes =
+         Array.mapi
+           (fun i core ->
+              outcome_of_core s.ss_env ~ev_index:(fst tasks.(i)) core)
+           cores
+       in
+       s.ss_step <- resume outcomes;
+       `Live)
+
+let optimize ?seed ?cfg ?jobs ?cache ?memo_budget ?pool ?(corpus = [])
+    ?seed_genomes ?quarantine ?checkpoint ?abort_after app capture =
   Trace.span ~cat:"pipeline" ~args:[ ("app", app.App.name) ] "optimize"
   @@ fun () ->
-  let env = make_eval_env ~seed:(seed + 1) ~corpus app capture in
-  let pool = make_pool ?jobs ?cache env in
-  let rng = Rng.create seed in
-  let evaluate_batch tasks =
-    let out = Evalpool.evaluate_batch pool tasks in
-    idle_drain ();
-    out
+  let s =
+    start_search ?seed ?cfg ?jobs ?cache ?memo_budget ?pool ~corpus
+      ?seed_genomes ?quarantine ?checkpoint ?abort_after app capture
   in
-  let ga =
-    Ga.run rng cfg ~evaluate_batch
-      ?baseline_ms:
-        (if Float.is_nan env.android_region_ms then None
-         else Some env.android_region_ms)
-      ?o3_ms:(if Float.is_nan env.o3_region_ms then None else Some env.o3_region_ms)
-      ()
+  let rec go () =
+    match search_step s with
+    | `Finished r -> r
+    | `Live | `Replayed -> go ()
   in
-  let best =
-    match ga.Ga.best with
-    | None -> None
-    | Some (genome, fit) ->
-      Some
-        (Ga.hill_climb_batch ~ev_base:ga.Ga.evaluations rng
-           ~evaluate_batch (genome, fit)
-           ~rounds:2)
-  in
-  let best_genome = Option.map fst best in
-  let best_binary = Option.bind best_genome (compile_genome env) in
-  { env; ga; best_genome; best_binary; pool_stats = Evalpool.stats pool }
+  go ()
 
 let overlay base overlay_binary =
   let funcs =

@@ -77,6 +77,60 @@ val capture_corpus : ?seed:int -> k:int -> App.t -> corpus option
     Pure in [(app, seed, k)].  [None] when no replayable hot region
     exists. *)
 
+(** {1 Quarantine accounting}
+
+    Binaries (and persisted artifacts) discarded as untrustworthy are
+    recorded in a {!quarantine_log}.  Logs are per-run values: the serve
+    scheduler gives every tenant its own, so concurrent searches can
+    never see — or reset — each other's entries.  Call sites that don't
+    pass [?log] use the process-wide default, which keeps the one-shot
+    CLI behaviour. *)
+
+(** One row of the quarantine report: a binary discarded as a
+    deterministic miscompile under fault injection, or a persisted
+    artifact (genome bank, checkpoint) that failed its integrity
+    checks. *)
+type quarantine_entry = {
+  q_binary : string;    (** {!binary_key} of the discarded binary, or an
+                            artifact key like ["bank:FILE"] /
+                            ["checkpoint:FILE"] *)
+  q_reason : string;    (** first verdict and retry verdict *)
+  q_count : int;        (** times it was (re-)verified into quarantine *)
+}
+
+(** A mutex-protected quarantine log (the verify stage runs on worker
+    domains). *)
+type quarantine_log
+
+val create_quarantine_log : unit -> quarantine_log
+
+val global_quarantine : quarantine_log
+(** The process-wide default log — what every [?log]-less call uses. *)
+
+val quarantine_summary : ?log:quarantine_log -> unit -> quarantine_entry list
+(** The log's entries since its last {!reset_quarantine}, sorted by key
+    (deterministic across worker counts). *)
+
+val reset_quarantine : ?log:quarantine_log -> unit -> unit
+(** Clear one log (call between independent runs/tests).  Only touches
+    [log] (default: the global one) — a tenant reset can no longer clobber
+    other tenants' reports. *)
+
+val record_quarantine :
+  ?log:quarantine_log -> key:string -> reason:string -> unit -> unit
+(** Add an entry directly.  Used by subsystems that detect persistent
+    corruption outside [verify_core] — e.g. the fleet genome bank or the
+    checkpoint loader routing a corrupted-file load into the same
+    quarantine policy — so every "discarded as untrustworthy" event shows
+    up in one report.  Bumps the [verify.quarantined] counter. *)
+
+val quarantine_entries : quarantine_log -> (string * string * int) list
+(** Raw [(key, reason, count)] rows in key order — the representation
+    checkpoints persist. *)
+
+val restore_quarantine : quarantine_log -> (string * string * int) list -> unit
+(** Replace/insert rows from a checkpoint into the log (resume path). *)
+
 type evaluation_env = {
   dx : Repro_dex.Bytecode.dexfile;
   app : App.t;
@@ -100,15 +154,19 @@ type evaluation_env = {
   (** noise streams are [Rng.of_pair measure_seed ev_index]: measured
       times depend only on the evaluation's identity, never on worker
       count, batching, or cache state *)
+  quarantine : quarantine_log;
+  (** where this run's verify/artifact quarantines are recorded *)
 }
 
 val make_eval_env :
   ?seed:int -> ?replays:int -> ?corpus:corpus_entry list ->
+  ?quarantine:quarantine_log ->
   App.t -> captured -> evaluation_env
 (** Interpreted replay for the verification map and type profile, plus
     baseline replay measurements.  [corpus] (default none) adds secondary
     verification inputs; fitness and baselines stay on the primary
-    capture. *)
+    capture.  [quarantine] (default: {!global_quarantine}) scopes the
+    run's quarantine entries. *)
 
 (** The deterministic part of one evaluation (everything but measurement
     noise): what {!make_pool} memoizes. *)
@@ -145,31 +203,9 @@ val verify_core : evaluation_env -> Repro_lir.Binary.t -> eval_core
     measured normally, counted by the [verify.retried] trace counter),
     while a deterministic miscompile fails again and the binary is
     {e quarantined} ({!Core_quarantined}, the [verify.quarantined] counter,
-    and the process-wide {!quarantine_summary} log).  Every decision is a
-    pure function of the fault seed and the binary, preserving the
+    and the environment's {!quarantine_log}).  Every decision is a pure
+    function of the fault seed and the binary, preserving the
     [-j N]/[--no-cache] determinism contract. *)
-
-(** One row of the quarantine report: a binary discarded as a
-    deterministic miscompile under fault injection. *)
-type quarantine_entry = {
-  q_binary : string;    (** {!binary_key} of the discarded binary *)
-  q_reason : string;    (** first verdict and retry verdict *)
-  q_count : int;        (** times it was (re-)verified into quarantine *)
-}
-
-val quarantine_summary : unit -> quarantine_entry list
-(** Process-wide quarantine log since the last {!reset_quarantine}, sorted
-    by binary key (deterministic across worker counts). *)
-
-val reset_quarantine : unit -> unit
-(** Clear the quarantine log (call between independent runs/tests). *)
-
-val record_quarantine : key:string -> reason:string -> unit
-(** Add an entry to the process-wide quarantine log directly.  Used by
-    subsystems that detect persistent corruption outside [verify_core] —
-    e.g. the fleet genome bank routing a corrupted-bank load into the same
-    quarantine policy — so every "discarded as untrustworthy" event shows
-    up in one report.  Bumps the [verify.quarantined] counter. *)
 
 val outcome_of_core :
   evaluation_env -> ev_index:int -> eval_core -> Repro_search.Ga.outcome
@@ -178,14 +214,19 @@ val outcome_of_core :
     frequency-pinned device: §4), seeded from [(measure_seed, ev_index)]. *)
 
 val make_pool :
-  ?jobs:int -> ?cache:bool -> evaluation_env ->
+  ?jobs:int -> ?cache:bool -> ?memo_budget:int ->
+  ?pool:Repro_search.Domainpool.t -> evaluation_env ->
   (Repro_lir.Binary.t, eval_core, Repro_search.Ga.outcome) Repro_search.Evalpool.t
 (** A parallel memoizing evaluator over [compile_core]/[verify_core] for
     this environment; feed {!Repro_search.Evalpool.evaluate_batch} to
-    {!Repro_search.Ga.run}. *)
+    {!Repro_search.Ga.run}.  [memo_budget] bounds the genome/binary memos
+    ({!Repro_search.Evalpool.default_memo_budget} entries by default);
+    [pool] runs batches on a shared persistent domain pool instead of
+    spawning [jobs] domains per batch (the serve scheduler's mode). *)
 
 val make_core_pool :
-  ?jobs:int -> ?cache:bool -> evaluation_env ->
+  ?jobs:int -> ?cache:bool -> ?memo_budget:int ->
+  ?pool:Repro_search.Domainpool.t -> evaluation_env ->
   (Repro_lir.Binary.t, eval_core, eval_core) Repro_search.Evalpool.t
 (** Like {!make_pool}, but the finished value is the raw {!eval_core}
     (no noise applied): the fleet coordinator synthesizes measurement
@@ -210,26 +251,99 @@ type optimized = {
   env : evaluation_env;
   ga : Repro_search.Ga.result;
   best_genome : Repro_search.Genome.t option;
+  best_fitness : float option;              (** after the hill climb *)
   best_binary : Repro_lir.Binary.t option;  (** verified best, if any *)
   pool_stats : Repro_search.Evalpool.stats; (** cache/worker counters *)
 }
 
+val search_digest : optimized -> string
+(** Hex digest over the whole search outcome: the GA history digest plus
+    the hill climb's final genome and fitness bits.  This is the value
+    the determinism contract asserts byte-identical across [-j N],
+    [--no-cache], scheduler interleavings and — via checkpoints —
+    process restarts. *)
+
 val optimize :
   ?seed:int -> ?cfg:Repro_search.Ga.config -> ?jobs:int -> ?cache:bool ->
-  ?corpus:corpus_entry list ->
+  ?memo_budget:int -> ?pool:Repro_search.Domainpool.t ->
+  ?corpus:corpus_entry list -> ?seed_genomes:Repro_search.Genome.t list ->
+  ?quarantine:quarantine_log -> ?checkpoint:string -> ?abort_after:int ->
   App.t -> captured -> optimized
 (** The full search, including the final hill-climbing step.  [jobs]
     (default 1) evaluates each generation on that many domains; [cache]
-    (default true) memoizes repeated genomes and binaries.  [corpus]
-    makes every candidate verify against the secondary inputs too (the
-    corpus verdict folds into the same retry/quarantine policy under
-    fault injection).  Results are identical for every [jobs]/[cache]
-    combination, and independent of corpus evaluation order.
+    (default true) memoizes repeated genomes and binaries (bounded by
+    [memo_budget]).  [corpus] makes every candidate verify against the
+    secondary inputs too (the corpus verdict folds into the same
+    retry/quarantine policy under fault injection).  Results are
+    identical for every [jobs]/[cache] combination, and independent of
+    corpus evaluation order.
+
+    [checkpoint] arms crash-safe resume: after every live evaluation
+    batch the search journal is atomically rewritten to that file, and a
+    restarted run with the same configuration replays the journal before
+    going live — the final {!search_digest} is byte-identical to an
+    uninterrupted run's.  [abort_after] is the simulated-kill hook: raise
+    {!Checkpoint.Injected_abort} immediately after the [n]-th live
+    batch's checkpoint write.  See {!start_search} for the stepping
+    interface this wraps.
 
     When a device store is attached, a bounded chunk of the spool queue is
     drained between evaluation batches — the paper's idle-priority flash
     writer.  Stored contents are a pure function of what was captured, so
     spool timing cannot affect search results. *)
+
+(** {1 Stepped (checkpointed) searches}
+
+    {!optimize} in resumable, schedulable form: {!start_search} builds a
+    suspended search, {!search_step} advances it by exactly one
+    evaluation batch.  The serve scheduler round-robins [search_step]
+    across tenants; the checkpoint machinery journals each live batch. *)
+
+type search_session
+
+type step_outcome = [ `Live | `Replayed | `Finished of optimized ]
+
+val start_search :
+  ?seed:int -> ?cfg:Repro_search.Ga.config -> ?jobs:int -> ?cache:bool ->
+  ?memo_budget:int -> ?pool:Repro_search.Domainpool.t ->
+  ?corpus:corpus_entry list -> ?seed_genomes:Repro_search.Genome.t list ->
+  ?quarantine:quarantine_log -> ?checkpoint:string -> ?abort_after:int ->
+  App.t -> captured -> search_session
+(** Build the environment and a suspended search.  With [checkpoint], an
+    existing journal is loaded and validated here: a missing file starts
+    cold silently; a damaged file or one whose fingerprint doesn't match
+    this configuration is quarantined (key ["checkpoint:FILE"]), warned
+    about ({!session_warnings}) and ignored; a valid journal seeds the
+    eval pool's memos and will be replayed batch-for-batch.  The
+    fingerprint covers app, seed, GA config, corpus and warm-start seeds
+    — but deliberately {e not} [jobs]/[cache]/[memo_budget], which are
+    result-invariant: a checkpoint taken at [-j4] resumes at
+    [-j1 --no-cache] and vice versa. *)
+
+val search_step : search_session -> step_outcome
+(** Advance by one batch.  [`Replayed]: the journal's next batch matched
+    the search's request (RNG cursor, evaluation indices, canonical
+    genomes) and was served without evaluating anything.  [`Live]: the
+    batch was evaluated on the pool and the checkpoint file (if any)
+    atomically rewritten; raises {!Checkpoint.Injected_abort} right after
+    the write once [abort_after] live batches have run.  A journal batch
+    that {e doesn't} match falls back to a full cold restart (fresh pool,
+    fresh RNG, empty journal) with a warning and a quarantine entry —
+    recorded state that diverges from the configured search cannot be
+    trusted at all.  [`Finished] yields the result (also via
+    {!session_result}). *)
+
+val session_result : search_session -> optimized option
+val session_env : search_session -> evaluation_env
+
+val session_warnings : search_session -> string list
+(** Checkpoint damage/mismatch warnings, oldest first. *)
+
+val session_live_batches : search_session -> int
+(** Batches evaluated live this process (the resume-overhead metric). *)
+
+val session_replayed_batches : search_session -> int
+(** Batches served from the journal this process. *)
 
 val final_binary : optimized -> Repro_lir.Binary.t
 (** Android code with the GA-optimized region installed on top. *)

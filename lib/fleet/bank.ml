@@ -66,33 +66,10 @@ let lookup bank ~app ~bucket =
 
 let magic = "REPROBANK1"
 
-let gene_to_string g =
-  if Array.length g.Genome.g_params = 0 then g.Genome.g_pass
-  else
-    g.Genome.g_pass ^ ":"
-    ^ String.concat ","
-        (List.map string_of_int (Array.to_list g.Genome.g_params))
-
-let gene_of_string s =
-  match String.index_opt s ':' with
-  | None -> { Genome.g_pass = s; g_params = [||] }
-  | Some i ->
-    let pass = String.sub s 0 i in
-    let rest = String.sub s (i + 1) (String.length s - i - 1) in
-    let params =
-      if rest = "" then [||]
-      else
-        Array.of_list
-          (List.map int_of_string (String.split_on_char ',' rest))
-    in
-    { Genome.g_pass = pass; g_params = params }
-
-let genome_to_string g = String.concat " " (List.map gene_to_string g)
-
-let genome_of_string s =
-  List.filter_map
-    (fun tok -> if tok = "" then None else Some (gene_of_string tok))
-    (String.split_on_char ' ' s)
+(* The gene/genome round-trip codec is shared with checkpoints and lives
+   in [Genome.to_text]/[Genome.of_text]. *)
+let genome_to_string = Genome.to_text
+let genome_of_string = Genome.of_text
 
 let to_text bank =
   let buf = Buffer.create 256 in
@@ -133,44 +110,18 @@ let of_text text =
 
 (* {2 Page image}
 
-   The text payload is framed with an 8-byte little-endian length, padded
-   with zeros to a whole number of store pages, and written as one blob
-   labelled "bank".  Storage.save then gives byte-determinism (frames
-   sorted by digest) and per-page checksums for free. *)
+   The text payload is framed into whole store pages by the shared
+   [Storage.pages_of_string] codec (8-byte little-endian length prefix,
+   zero padding) and written as one blob labelled "bank".  Storage.save
+   then gives byte-determinism (frames sorted by digest) and per-page
+   checksums for free. *)
 
-let words_per_page = Storage.page_bytes / 8
-
-let pages_of_text text =
-  let payload = Bytes.of_string text in
-  let framed_len = 8 + Bytes.length payload in
-  let n_pages = (framed_len + Storage.page_bytes - 1) / Storage.page_bytes in
-  let n_pages = max n_pages 1 in
-  let image = Bytes.make (n_pages * Storage.page_bytes) '\000' in
-  Bytes.set_int64_le image 0 (Int64.of_int (Bytes.length payload));
-  Bytes.blit payload 0 image 8 (Bytes.length payload);
-  List.init n_pages (fun p ->
-      ( p,
-        Array.init words_per_page (fun w ->
-            Bytes.get_int64_le image ((p * Storage.page_bytes) + (w * 8))) ))
+let pages_of_text = Storage.pages_of_string
 
 let text_of_pages pages =
-  let pages = List.sort (fun (a, _) (b, _) -> compare a b) pages in
-  let n_pages = List.length pages in
-  let image = Bytes.create (n_pages * Storage.page_bytes) in
-  List.iteri
-    (fun p (_, words) ->
-       if Array.length words <> words_per_page then
-         raise (Malformed "bad page geometry");
-       Array.iteri
-         (fun w word ->
-            Bytes.set_int64_le image ((p * Storage.page_bytes) + (w * 8)) word)
-         words)
-    pages;
-  if Bytes.length image < 8 then raise (Malformed "empty image");
-  let len = Int64.to_int (Bytes.get_int64_le image 0) in
-  if len < 0 || len > Bytes.length image - 8 then
-    raise (Malformed "bad payload length");
-  Bytes.sub_string image 8 len
+  match Storage.string_of_pages pages with
+  | Ok text -> text
+  | Error why -> raise (Malformed why)
 
 let save bank file =
   let st = Storage.create () in
@@ -180,7 +131,7 @@ let save bank file =
 
 let corrupt_result file reason =
   Trace.incr "fleet.bank_corrupt";
-  Pipeline.record_quarantine ~key:("bank:" ^ file) ~reason;
+  Pipeline.record_quarantine ~key:("bank:" ^ file) ~reason ();
   (create (), [ Printf.sprintf "bank %s: %s (starting cold)" file reason ])
 
 let load file =

@@ -36,29 +36,10 @@ type result = {
   pool_stats : Evalpool.stats;
 }
 
-(* Canonical history rendering: every float as its exact bit pattern, so
-   equal digests mean byte-identical searches. *)
-let render_outcome = function
-  | Ga.Measured m ->
-    Printf.sprintf "M size=%d key=%s times=%s" m.size m.key
-      (String.concat ","
-         (List.map
-            (fun t -> Printf.sprintf "%Lx" (Int64.bits_of_float t))
-            (Array.to_list m.times)))
-  | Ga.Compile_failed msg -> "CF " ^ msg
-  | Ga.Runtime_crashed msg -> "RC " ^ msg
-  | Ga.Runtime_hung -> "RH"
-  | Ga.Wrong_output -> "WO"
-  | Ga.Quarantined msg -> "Q " ^ msg
-
-let render_record (r : Ga.eval_record) =
-  Printf.sprintf "%d|%d|%s|%s" r.ev_index r.ev_generation
-    (Genome.to_string r.ev_genome)
-    (render_outcome r.ev_outcome)
-
-let history_digest (ga : Ga.result) =
-  Digest.to_hex
-    (Digest.string (String.concat "\n" (List.map render_record ga.history)))
+(* Canonical history rendering lives in [Ga.history_digest] (floats as
+   exact bit patterns, so equal digests mean byte-identical searches);
+   this alias keeps the fleet's public name. *)
+let history_digest = Ga.history_digest
 
 (* One device's contribution to one evaluation: a small batch of replay
    samples whose noise stream is pure in (device noise seed, ev_index) and

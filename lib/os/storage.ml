@@ -41,6 +41,7 @@ type blob = {
   bl_gen : int;                               (* write generation *)
   mutable bl_entries : (int * string) list;   (* (page, digest), reversed *)
   mutable bl_pending : int;                   (* queued, not yet spooled *)
+  mutable bl_tick : int;                      (* last touch, for LRU tiering *)
 }
 
 type pending = {
@@ -55,8 +56,14 @@ type t = {
   blobs : (string, blob) Hashtbl.t;
   queue : pending Queue.t;
   mutable gen : int;
+  mutable tick : int;          (* access clock for blob LRU eviction *)
   lock : Mutex.t;
 }
+
+(* caller holds the lock *)
+let touch_blob t bl =
+  t.tick <- t.tick + 1;
+  bl.bl_tick <- t.tick
 
 let with_lock t f =
   Mutex.lock t.lock;
@@ -69,6 +76,7 @@ let create () =
     blobs = Hashtbl.create 16;
     queue = Queue.create ();
     gen = 0;
+    tick = 0;
     lock = Mutex.create () }
 
 (* -- serialization of one page ------------------------------------------ *)
@@ -112,8 +120,9 @@ let write t ~label ~pages =
       t.gen <- t.gen + 1;
       let bl =
         { bl_label = label; bl_gen = t.gen; bl_entries = [];
-          bl_pending = List.length pages }
+          bl_pending = List.length pages; bl_tick = 0 }
       in
+      touch_blob t bl;
       Hashtbl.replace t.blobs label bl;
       List.iter
         (fun (p_index, p_data) ->
@@ -228,6 +237,7 @@ let read ?damage t ~label =
       match Hashtbl.find_opt t.blobs label with
       | None -> Error (Missing_blob { label })
       | Some bl ->
+          touch_blob t bl;
           let acc = ref [] in
           let consume index bytes =
             acc := (index, deserialize_page bytes) :: !acc
@@ -245,6 +255,7 @@ let validate t ~label =
       match Hashtbl.find_opt t.blobs label with
       | None -> Error (Missing_blob { label })
       | Some bl ->
+          touch_blob t bl;
           validate_entries t ~label ~damage:None
             ~consume:(fun _ _ -> ())
             (List.rev bl.bl_entries))
@@ -256,7 +267,9 @@ let manifest t ~label =
       settle_label t label;
       match Hashtbl.find_opt t.blobs label with
       | None -> None
-      | Some bl -> Some (List.rev bl.bl_entries))
+      | Some bl ->
+          touch_blob t bl;
+          Some (List.rev bl.bl_entries))
 
 let frame_refs t ~hash =
   with_lock t (fun () ->
@@ -378,6 +391,84 @@ let blob_accounting t =
           :: acc)
         t.blobs []
       |> List.sort (fun a b -> String.compare a.ba_label b.ba_label))
+
+(* -- tiering / eviction ------------------------------------------------- *)
+
+let physical_bytes_locked t =
+  Hashtbl.fold (fun _ fr acc -> acc + Bytes.length fr.fr_bytes) t.frames 0
+
+(* Evict whole blobs, least-recently-touched first (ties broken by label
+   so the result is deterministic), until the deduped footprint fits the
+   budget.  Refcounts do the tiering work: dropping a blob only reclaims
+   the frames no surviving blob references, so hot shared pages (the
+   boot-common image) stay resident while cold exclusive snapshots are
+   the ones that actually free bytes. *)
+let evict_to t ~budget_bytes =
+  with_lock t (fun () ->
+      ignore (drain_locked t);
+      let evicted = ref [] in
+      let continue_ = ref true in
+      while !continue_ && physical_bytes_locked t > budget_bytes do
+        let victim =
+          Hashtbl.fold
+            (fun _ bl acc ->
+              match acc with
+              | Some best
+                when (best.bl_tick, best.bl_label) <= (bl.bl_tick, bl.bl_label)
+                -> acc
+              | _ -> Some bl)
+            t.blobs None
+        in
+        match victim with
+        | None -> continue_ := false
+        | Some bl ->
+            release_blob t bl;
+            Trace.incr "storage.blob_evictions";
+            evicted := bl.bl_label :: !evicted
+      done;
+      List.rev !evicted)
+
+(* -- string framing ------------------------------------------------------
+
+   Frame an arbitrary string into whole store pages: an 8-byte LE length
+   prefix, then the payload, zero-padded.  The genome bank and the search
+   checkpoints both persist text payloads this way, inheriting the store's
+   per-page checksums and deterministic on-disk layout. *)
+
+let pages_of_string text =
+  let payload = Bytes.of_string text in
+  let framed_len = 8 + Bytes.length payload in
+  let n_pages = (framed_len + page_bytes - 1) / page_bytes in
+  let n_pages = max n_pages 1 in
+  let image = Bytes.make (n_pages * page_bytes) '\000' in
+  Bytes.set_int64_le image 0 (Int64.of_int (Bytes.length payload));
+  Bytes.blit payload 0 image 8 (Bytes.length payload);
+  List.init n_pages (fun p ->
+      ( p,
+        Array.init page_words (fun w ->
+            Bytes.get_int64_le image ((p * page_bytes) + (w * 8))) ))
+
+let string_of_pages pages =
+  let pages = List.sort (fun (a, _) (b, _) -> compare a b) pages in
+  let n_pages = List.length pages in
+  if List.exists (fun (_, words) -> Array.length words <> page_words) pages
+  then Error "bad page geometry"
+  else begin
+    let image = Bytes.create (n_pages * page_bytes) in
+    List.iteri
+      (fun p (_, words) ->
+        Array.iteri
+          (fun w word ->
+            Bytes.set_int64_le image ((p * page_bytes) + (w * 8)) word)
+          words)
+      pages;
+    if Bytes.length image < 8 then Error "empty image"
+    else
+      let len = Int64.to_int (Bytes.get_int64_le image 0) in
+      if len < 0 || len > Bytes.length image - 8 then
+        Error "bad payload length"
+      else Ok (Bytes.sub_string image 8 len)
+  end
 
 (* -- damage hooks ------------------------------------------------------- *)
 
@@ -516,7 +607,7 @@ let load file =
            t.gen <- t.gen + 1;
            Hashtbl.replace t.blobs label
              { bl_label = label; bl_gen = t.gen; bl_entries = !entries;
-               bl_pending = 0 }
+               bl_pending = 0; bl_tick = 0 }
          done
        with Short_file what -> warn "store file truncated at %s" what);
       (* recompute refcounts from the surviving manifests; reclaim frames

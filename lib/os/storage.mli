@@ -165,6 +165,32 @@ type blob_accounting = {
 val blob_accounting : t -> blob_accounting list
 (** One row per blob, sorted by label. *)
 
+(** {1 Tiering / eviction} *)
+
+val evict_to : t -> budget_bytes:int -> string list
+(** Evict whole blobs — least-recently-accessed first (write/read/validate/
+    manifest all count as access), ties broken by label — until
+    {!physical_bytes} is at or under [budget_bytes]; the spool queue is
+    drained first so accounting is exact.  Returns the evicted labels in
+    eviction order.  Refcounts drive what an eviction actually frees:
+    frames shared with surviving blobs (boot-common pages) stay resident,
+    so cold exclusive snapshots are evicted preferentially in effect.
+    Each eviction bumps the [storage.blob_evictions] counter.  A
+    long-running service calls this after checkpoint/bank saves to keep
+    thousands of accumulated snapshots inside a flash budget. *)
+
+(** {1 String framing} *)
+
+val pages_of_string : string -> (int * int64 array) list
+(** Frame an arbitrary string into whole store pages (8-byte LE length
+    prefix, zero padding): the payload a text image (genome bank, search
+    checkpoint) hands to {!write} so it inherits per-page checksums and
+    the deterministic save layout. *)
+
+val string_of_pages : (int * int64 array) list -> (string, string) result
+(** Invert {!pages_of_string} on pages returned by {!read}; [Error]
+    describes a malformed frame geometry or length prefix. *)
+
 (** {1 Damage hooks (tests, fault campaigns)} *)
 
 val corrupt : t -> hash:string -> byte:int -> unit

@@ -9,12 +9,23 @@
    synchronization beyond the work-queue index is needed and results are
    reproducible by construction.
 
+   Parallel stages either spawn fresh domains per batch (the legacy
+   one-shot path) or borrow a caller-supplied persistent [Domainpool] —
+   the serve scheduler shares one pool across every tenant's Evalpool so
+   process parallelism stays bounded.
+
+   The memos are budgeted LRU caches (Stagecache-style: per-entry tick,
+   evict the stalest when over budget).  Eviction can only cause
+   re-computation of a deterministic stage, never a different result, so
+   the search-history digest is invariant under any budget.
+
    Tracing: each batch is a span on the calling domain and each worker
    wraps its work loop in a span on its own domain, so an exported trace
    shows the real parallelism (distinct tids) and the cache short-circuits
    (counters). *)
 
 module Trace = Repro_util.Trace
+module Clock = Repro_util.Clock
 
 type worker = {
   w_id : int;
@@ -30,6 +41,7 @@ type stats = {
   key_hits : int;
   compiles : int;
   verifies : int;
+  evictions : int;
   workers : worker list;
 }
 
@@ -41,12 +53,13 @@ type counters = {
   mutable c_key_hits : int;
   mutable c_compiles : int;
   mutable c_verifies : int;
+  mutable c_evictions : int;
   c_workers : (int, (int * float) ref) Hashtbl.t;  (* id -> tasks, busy *)
 }
 
 let fresh_counters () = {
   c_batches = 0; c_tasks = 0; c_genome_hits = 0; c_genome_misses = 0;
-  c_key_hits = 0; c_compiles = 0; c_verifies = 0;
+  c_key_hits = 0; c_compiles = 0; c_verifies = 0; c_evictions = 0;
   c_workers = Hashtbl.create 8;
 }
 
@@ -61,6 +74,7 @@ let snapshot c = {
   key_hits = c.c_key_hits;
   compiles = c.c_compiles;
   verifies = c.c_verifies;
+  evictions = c.c_evictions;
   workers =
     Hashtbl.fold
       (fun id r acc ->
@@ -82,25 +96,39 @@ let record_worker c (id, tasks, busy) =
   let t, b = !r in
   r := (t + tasks, b +. busy)
 
+(* One memo entry: the cached core plus its last-touch tick for LRU. *)
+type 'core slot = { s_core : 'core; mutable s_tick : int }
+
 type ('bin, 'core, 'out) t = {
   jobs : int;
   cache : bool;
+  memo_budget : int;           (* max entries per memo table *)
+  pool : Domainpool.t option;
   canon : Genome.t -> string;
   compile : Genome.t -> ('bin, 'core) result;
   key_of : 'bin -> string;
   verify : 'bin -> 'core;
   finish : ev_index:int -> 'core -> 'out;
-  genome_cache : (string, 'core) Hashtbl.t;
-  key_cache : (string, 'core) Hashtbl.t;
+  genome_cache : (string, 'core slot) Hashtbl.t;
+  key_cache : (string, 'core slot) Hashtbl.t;
+  mutable tick : int;
   ctr : counters;
 }
 
-let create ?(jobs = 1) ?(cache = true) ~canon ~compile ~key_of ~verify ~finish
-    () =
+(* Bounded for a long-lived server, but comfortably above what one search
+   touches, so a default pool behaves exactly like the old unbounded one. *)
+let default_memo_budget = 65536
+
+let create ?(jobs = 1) ?(cache = true) ?(memo_budget = default_memo_budget)
+    ?pool ~canon ~compile ~key_of ~verify ~finish () =
   if jobs < 1 then invalid_arg "Evalpool.create: jobs must be >= 1";
-  { jobs; cache; canon; compile; key_of; verify; finish;
+  if memo_budget < 1 then
+    invalid_arg "Evalpool.create: memo_budget must be >= 1";
+  let jobs = match pool with Some p -> Domainpool.size p | None -> jobs in
+  { jobs; cache; memo_budget; pool; canon; compile; key_of; verify; finish;
     genome_cache = Hashtbl.create 256;
     key_cache = Hashtbl.create 256;
+    tick = 0;
     ctr = fresh_counters () }
 
 let jobs t = t.jobs
@@ -110,12 +138,60 @@ let reset_cumulative () =
   let c = cumulative in
   c.c_batches <- 0; c.c_tasks <- 0; c.c_genome_hits <- 0;
   c.c_genome_misses <- 0; c.c_key_hits <- 0; c.c_compiles <- 0;
-  c.c_verifies <- 0;
+  c.c_verifies <- 0; c.c_evictions <- 0;
   Hashtbl.reset c.c_workers
+
+(* ----------------------------- memo LRU ------------------------------ *)
+
+let touch t slot =
+  t.tick <- t.tick + 1;
+  slot.s_tick <- t.tick
+
+let memo_find t tbl key =
+  match Hashtbl.find_opt tbl key with
+  | None -> None
+  | Some slot ->
+    touch t slot;
+    Some slot.s_core
+
+(* Evict the least-recently-touched entry.  O(n) scan, same trade-off as
+   the stage cache: eviction is rare relative to lookups and the table is
+   budget-bounded. *)
+let evict_one t tbl =
+  let victim = ref None in
+  Hashtbl.iter
+    (fun key slot ->
+       match !victim with
+       | Some (_, best) when best <= slot.s_tick -> ()
+       | _ -> victim := Some (key, slot.s_tick))
+    tbl;
+  match !victim with
+  | None -> ()
+  | Some (key, _) ->
+    Hashtbl.remove tbl key;
+    t.ctr.c_evictions <- t.ctr.c_evictions + 1;
+    cumulative.c_evictions <- cumulative.c_evictions + 1;
+    Trace.incr "evalpool.memo_evictions"
+
+let memo_add t tbl key core =
+  if not (Hashtbl.mem tbl key) then begin
+    while Hashtbl.length tbl >= t.memo_budget do
+      evict_one t tbl
+    done;
+    t.tick <- t.tick + 1;
+    Hashtbl.add tbl key { s_core = core; s_tick = t.tick }
+  end
+
+let seed_caches t ~genomes ~keys =
+  if t.cache then begin
+    List.iter (fun (c, core) -> memo_add t t.genome_cache c core) genomes;
+    List.iter (fun (k, core) -> memo_add t t.key_cache k core) keys
+  end
 
 (* Run [f] over [arr] on up to [t.jobs] domains (the calling domain acts as
    worker 0).  Work-stealing via a shared atomic index; each output slot is
-   written by exactly one domain and published by [Domain.join]. *)
+   written by exactly one domain and published by [Domain.join] (legacy
+   path) or the pool's completion handshake (shared-pool path). *)
 let parallel_map t f arr =
   let n = Array.length arr in
   if n = 0 then [||]
@@ -128,7 +204,7 @@ let parallel_map t f arr =
         ~args:[ ("worker", string_of_int wid) ]
         "evalpool:worker"
       @@ fun () ->
-      let t0 = Unix.gettimeofday () in
+      let t0 = Clock.now () in
       let count = ref 0 in
       let rec loop () =
         let i = Atomic.fetch_and_add next 1 in
@@ -139,23 +215,9 @@ let parallel_map t f arr =
         end
       in
       loop ();
-      (wid, !count, Unix.gettimeofday () -. t0)
+      (wid, !count, Clock.elapsed t0)
     in
-    if nworkers = 1 then begin
-      let w = worker 0 in
-      record_worker t.ctr w;
-      record_worker cumulative w
-    end
-    else begin
-      let spawned =
-        Array.init (nworkers - 1) (fun k ->
-            Domain.spawn (fun () -> worker (k + 1)))
-      in
-      let w0 = try Ok (worker 0) with e -> Error e in
-      let joined =
-        Array.map (fun d -> try Ok (Domain.join d) with e -> Error e) spawned
-      in
-      let ws = Array.to_list (Array.append [| w0 |] joined) in
+    let finish_workers ws =
       List.iter
         (function
           | Ok w ->
@@ -166,7 +228,29 @@ let parallel_map t f arr =
       match List.find_opt Result.is_error ws with
       | Some (Error e) -> raise e
       | Some (Ok _) | None -> ()
-    end;
+    in
+    (match t.pool with
+     | _ when nworkers = 1 ->
+       let w = worker 0 in
+       record_worker t.ctr w;
+       record_worker cumulative w
+     | Some pool ->
+       let nw = Domainpool.size pool in
+       let slots = Array.make nw None in
+       Domainpool.run pool (fun wid ->
+           slots.(wid) <- Some (try Ok (worker wid) with e -> Error e));
+       finish_workers
+         (List.filter_map Fun.id (Array.to_list slots))
+     | None ->
+       let spawned =
+         Array.init (nworkers - 1) (fun k ->
+             Domain.spawn (fun () -> worker (k + 1)))
+       in
+       let w0 = try Ok (worker 0) with e -> Error e in
+       let joined =
+         Array.map (fun d -> try Ok (Domain.join d) with e -> Error e) spawned
+       in
+       finish_workers (Array.to_list (Array.append [| w0 |] joined)));
     Array.map (function Some v -> v | None -> assert false) out
   end
 
@@ -204,7 +288,7 @@ let evaluate_batch t tasks =
   Array.iteri
     (fun i (_, _) ->
        let c = canons.(i) in
-       match if t.cache then Hashtbl.find_opt t.genome_cache c else None with
+       match if t.cache then memo_find t t.genome_cache c else None with
        | Some core ->
          cores.(i) <- Some core;
          bump_hit ()
@@ -240,7 +324,7 @@ let evaluate_batch t tasks =
        match bin with
        | None -> ()
        | Some (_, key) ->
-         (match if t.cache then Hashtbl.find_opt t.key_cache key else None with
+         (match if t.cache then memo_find t t.key_cache key else None with
           | Some core ->
             rep_core.(k) <- Some core;
             bump_key_hit ()
@@ -279,20 +363,21 @@ let evaluate_batch t tasks =
     Array.iteri
       (fun k bin ->
          match bin, rep_core.(k) with
-         | Some (_, key), Some core ->
-           if not (Hashtbl.mem t.key_cache key) then
-             Hashtbl.add t.key_cache key core
+         | Some (_, key), Some core -> memo_add t t.key_cache key core
          | _, _ -> ())
       rep_bin;
-  (* Publish representative results (and the genome memo), then resolve the
-     in-batch duplicates from it. *)
+  (* Publish representative results into an in-batch table first (and the
+     genome memo when caching): duplicates later in the batch must resolve
+     even if the memo evicts a representative before they are filled. *)
+  let batch_results = Hashtbl.create 16 in
   Array.iteri
     (fun k i ->
        let core =
          match rep_core.(k) with Some c -> c | None -> assert false
        in
        cores.(i) <- Some core;
-       if t.cache then Hashtbl.replace t.genome_cache canons.(i) core)
+       Hashtbl.replace batch_results canons.(i) core;
+       if t.cache then memo_add t t.genome_cache canons.(i) core)
     reps;
   Array.mapi
     (fun i (ev_index, _) ->
@@ -301,7 +386,7 @@ let evaluate_batch t tasks =
          | Some c -> c
          | None ->
            (* duplicate of an earlier representative in this batch *)
-           Hashtbl.find t.genome_cache canons.(i)
+           Hashtbl.find batch_results canons.(i)
        in
        t.finish ~ev_index core)
     tasks
@@ -309,9 +394,10 @@ let evaluate_batch t tasks =
 let print_stats ?(label = "evalpool") s =
   Printf.printf
     "%s: %d evaluations in %d batches | genome cache %d hits / %d misses | \
-     binary-key reuse %d | %d compiles, %d verified replays\n"
+     binary-key reuse %d | %d compiles, %d verified replays | %d memo \
+     evictions\n"
     label s.tasks s.batches s.genome_hits s.genome_misses s.key_hits
-    s.compiles s.verifies;
+    s.compiles s.verifies s.evictions;
   List.iter
     (fun w ->
        Printf.printf "  worker %d: %d stage tasks, %.3f s busy\n"

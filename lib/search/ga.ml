@@ -64,6 +64,33 @@ type result = {
 (* Fitness from measured times: MAD outlier removal then mean (§4). *)
 let fitness_of_times times = Stats.mean (Stats.remove_outliers_mad times)
 
+(* Canonical history rendering: every float as its exact bit pattern, so
+   equal digests mean byte-identical searches.  This is the digest the
+   fleet coordinator, the checkpoint/resume property tests and the serve
+   scheduler all compare. *)
+let render_outcome = function
+  | Measured m ->
+    Printf.sprintf "M size=%d key=%s times=%s" m.size m.key
+      (String.concat ","
+         (List.map
+            (fun t -> Printf.sprintf "%Lx" (Int64.bits_of_float t))
+            (Array.to_list m.times)))
+  | Compile_failed msg -> "CF " ^ msg
+  | Runtime_crashed msg -> "RC " ^ msg
+  | Runtime_hung -> "RH"
+  | Wrong_output -> "WO"
+  | Quarantined msg -> "Q " ^ msg
+
+let render_record r =
+  Printf.sprintf "%d|%d|%s|%s" r.ev_index r.ev_generation
+    (Genome.to_string r.ev_genome)
+    (render_outcome r.ev_outcome)
+
+let history_digest result =
+  Digest.to_hex
+    (Digest.string
+       (String.concat "\n" (List.map render_record result.history)))
+
 type individual = {
   genome : Genome.t;
   outcome : outcome;
@@ -332,3 +359,38 @@ let hill_climb_batch ?(ev_base = 0) rng ~evaluate_batch (genome0, fit0)
 let hill_climb rng ~evaluate pair ~rounds =
   hill_climb_batch rng ~evaluate_batch:(sequential_batch evaluate) pair
     ~rounds
+
+(* ----------------------- cooperative stepping ----------------------- *)
+
+(* Invert control over a whole search without touching its code: the body
+   runs inside an effect handler where [evaluate_batch] performs an
+   effect, so the search suspends at exactly the points where it would
+   block on evaluation and the caller decides how (and when) each batch
+   is satisfied — live on an eval pool, replayed from a checkpoint
+   journal, or interleaved with other tenants by the serve scheduler. *)
+
+type 'r step =
+  | Step_done of 'r
+  | Step_eval of (int * Genome.t) array * (outcome array -> 'r step)
+
+type _ Effect.t +=
+  | Eval_batch : (int * Genome.t) array -> outcome array Effect.t
+
+let coop body =
+  let open Effect.Deep in
+  match_with
+    (fun () ->
+       Step_done
+         (body ~evaluate_batch:(fun tasks ->
+              Effect.perform (Eval_batch tasks))))
+    ()
+    { retc = Fun.id;
+      exnc = raise;
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+           match eff with
+           | Eval_batch tasks ->
+             Some
+               (fun (k : (a, _) continuation) ->
+                  Step_eval (tasks, fun outcomes -> continue k outcomes))
+           | _ -> None) }

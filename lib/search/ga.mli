@@ -110,3 +110,35 @@ val hill_climb :
   Repro_util.Rng.t -> evaluate:(Genome.t -> outcome) ->
   Genome.t * float -> rounds:int -> Genome.t * float
 (** {!hill_climb_batch} with a sequential one-genome evaluator. *)
+
+val render_record : eval_record -> string
+(** Canonical one-line rendering of a history record: floats as exact bit
+    patterns, so equal strings mean byte-identical evaluations. *)
+
+val history_digest : result -> string
+(** Hex digest of the canonically rendered history.  Two searches with
+    equal digests performed byte-identical evaluation sequences — the
+    contract checked across worker counts, cache settings, fleet
+    scheduling orders and (via checkpoints) process restarts. *)
+
+(** {2 Cooperative stepping}
+
+    A suspended search: either finished with a result, or waiting on one
+    evaluation batch.  Resuming a [Step_eval] consumes its one-shot
+    continuation — apply it at most once. *)
+type 'r step =
+  | Step_done of 'r
+  | Step_eval of (int * Genome.t) array * (outcome array -> 'r step)
+
+val coop :
+  (evaluate_batch:((int * Genome.t) array -> outcome array) -> 'r) ->
+  'r step
+(** [coop body] runs [body] (typically {!run} followed by
+    {!hill_climb_batch}) under an effect handler in which
+    [evaluate_batch] suspends the search instead of evaluating.  The
+    search logic is unchanged — same draws, same indices, same halting
+    rules — but the caller now controls how each batch is satisfied:
+    evaluate it live, serve it from a checkpoint journal, or interleave
+    it with other searches (the serve scheduler's round-robin).  The body
+    runs on the calling domain; steps must be resumed from the same
+    domain. *)

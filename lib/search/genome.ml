@@ -98,6 +98,39 @@ let canon_gene g = Passes.canon_token g.g_pass g.g_params
 
 let canon t = String.concat " | " (List.map canon_gene t)
 
+(* Machine round-trip format, shared by the genome bank and search
+   checkpoints: space-separated [pass:p1,p2] genes.  Pass names come from
+   the pass catalog and contain no whitespace, so the rendering is
+   unambiguous. *)
+
+let gene_to_text g =
+  if Array.length g.g_params = 0 then g.g_pass
+  else
+    g.g_pass ^ ":"
+    ^ String.concat ","
+        (List.map string_of_int (Array.to_list g.g_params))
+
+let gene_of_text s =
+  match String.index_opt s ':' with
+  | None -> { g_pass = s; g_params = [||] }
+  | Some i ->
+    let pass = String.sub s 0 i in
+    let rest = String.sub s (i + 1) (String.length s - i - 1) in
+    let params =
+      if rest = "" then [||]
+      else
+        Array.of_list
+          (List.map int_of_string (String.split_on_char ',' rest))
+    in
+    { g_pass = pass; g_params = params }
+
+let to_text t = String.concat " " (List.map gene_to_text t)
+
+let of_text s =
+  List.filter_map
+    (fun tok -> if tok = "" then None else Some (gene_of_text tok))
+    (String.split_on_char ' ' s)
+
 let to_string t =
   String.concat " | "
     (List.map

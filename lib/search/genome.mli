@@ -41,6 +41,15 @@ val dedup_adjacent : t -> t
 val to_string : t -> string
 (** Compact human-readable rendering, e.g. for logs and reports. *)
 
+val to_text : t -> string
+(** Machine round-trip rendering (space-separated [pass:p1,p2] genes) used
+    by the genome bank and the search checkpoints.  [of_text (to_text g)]
+    reproduces [g] exactly. *)
+
+val of_text : string -> t
+(** Parse the {!to_text} format.  Raises [Failure] on malformed parameter
+    lists (callers treat that as a corrupt persisted image). *)
+
 val canon_gene : gene -> string
 (** {!Repro_lir.Passes.canon_token} of the gene: its canonical identity. *)
 

@@ -1,0 +1,37 @@
+(* Monotonic wrapper over the wall clock: a process-wide high-water mark
+   (float bits in an atomic, CAS loop so concurrent domains agree) clamps
+   every read, so elapsed-time subtraction can never go negative even if
+   the underlying clock steps backwards (NTP). *)
+
+let source = ref Unix.gettimeofday
+
+(* neg_infinity floor: the first real read always wins. *)
+let floor_bits = Atomic.make (Int64.bits_of_float neg_infinity)
+let backwards = Atomic.make 0
+
+let rec clamp t =
+  let prev = Atomic.get floor_bits in
+  let prev_t = Int64.float_of_bits prev in
+  if t >= prev_t then
+    if Atomic.compare_and_set floor_bits prev (Int64.bits_of_float t) then t
+    else clamp t
+  else begin
+    Atomic.incr backwards;
+    prev_t
+  end
+
+let now () = clamp (!source ())
+let elapsed t0 = Float.max 0.0 (now () -. t0)
+let backward_steps () = Atomic.get backwards
+
+let reset_floor () =
+  Atomic.set floor_bits (Int64.bits_of_float neg_infinity);
+  Atomic.set backwards 0
+
+let set_source f =
+  source := f;
+  reset_floor ()
+
+let use_wall_clock () =
+  source := Unix.gettimeofday;
+  reset_floor ()

@@ -1,0 +1,33 @@
+(** Monotonic elapsed-time source.
+
+    Long-lived service processes cannot time intervals with the raw wall
+    clock: an NTP step between two [Unix.gettimeofday] reads yields a
+    negative (or wildly wrong) elapsed time, which would poison checkpoint
+    metadata, bench reports and trace durations.  [now] wraps the wall
+    clock behind a process-wide high-water mark, so consecutive reads never
+    decrease even if the underlying source steps backwards.  All duration
+    measurement in the repository routes through this module; the raw wall
+    clock is reserved for absolute timestamps that are never subtracted. *)
+
+val now : unit -> float
+(** Current time in seconds.  Non-decreasing across the whole process:
+    [now () >= t] holds for every value [t] previously returned by [now]
+    on any domain, even if the underlying clock steps backwards. *)
+
+val elapsed : float -> float
+(** [elapsed t0] is [now () -. t0] clamped to be non-negative — the safe
+    way to turn a start stamp from {!now} into a duration. *)
+
+val backward_steps : unit -> int
+(** Number of times the underlying source was observed to move backwards
+    (and was clamped).  0 in healthy runs; exported so tests and service
+    diagnostics can detect a misbehaving wall clock. *)
+
+val set_source : (unit -> float) -> unit
+(** Replace the underlying time source (tests only: e.g. a deliberately
+    backward-stepping clock).  Resets the high-water mark and the
+    backward-step counter so the injected source starts fresh. *)
+
+val use_wall_clock : unit -> unit
+(** Restore the default [Unix.gettimeofday] source (and reset the
+    high-water mark, as {!set_source} does). *)

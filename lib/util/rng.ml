@@ -16,6 +16,12 @@ let bits64 t =
 let split t = { state = bits64 t }
 let copy t = { state = t.state }
 
+(* The full generator state is one int64, so a stream position can be
+   captured and restored exactly — checkpoints record [cursor] per batch
+   and resume validation compares it against the replayed stream. *)
+let cursor t = t.state
+let of_cursor state = { state }
+
 (* An independent stream determined by a (seed, index) pair: used to give
    every GA evaluation its own noise stream so measurements do not depend
    on evaluation scheduling (worker count, batching, cache hits). *)

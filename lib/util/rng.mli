@@ -18,6 +18,15 @@ val copy : t -> t
 (** [copy t] duplicates the current state (both copies produce the same
     subsequent values). *)
 
+val cursor : t -> int64
+(** [cursor t] captures the exact stream position.  Recorded per batch in
+    search checkpoints so a resumed run can prove it is replaying the same
+    draw sequence. *)
+
+val of_cursor : int64 -> t
+(** [of_cursor c] rebuilds a generator at a previously captured
+    {!cursor} position. *)
+
 val of_pair : int -> int -> t
 (** [of_pair seed index] derives a stream that depends only on the pair:
     the same [(seed, index)] always yields the same stream, and different

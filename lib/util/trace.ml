@@ -20,8 +20,9 @@ let enabled_flag = Atomic.make false
 let enabled () = Atomic.get enabled_flag
 
 (* The clock is swappable for deterministic golden tests; [t0] is the epoch
-   subtracted from every timestamp. *)
-let clock = ref Unix.gettimeofday
+   subtracted from every timestamp.  The default routes through the
+   monotonic Clock so span durations stay non-negative across NTP steps. *)
+let clock = ref Clock.now
 let t0 = Atomic.make 0.0
 
 type buffer = {

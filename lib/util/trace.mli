@@ -48,7 +48,8 @@ val reset : unit -> unit
     epoch.  Call from the main domain with no tracing workers live. *)
 
 val set_clock : (unit -> float) -> unit
-(** Replace the time source (default [Unix.gettimeofday]); for tests that
+(** Replace the time source (default: the monotonic {!Clock.now}, so span
+    durations stay non-negative across wall-clock steps); for tests that
     need deterministic timestamps.  Call [reset] afterwards. *)
 
 val span : ?cat:string -> ?args:(string * string) list ->

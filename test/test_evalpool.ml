@@ -108,11 +108,11 @@ let test_plan_cache_tracks_binary_memo () =
 
 (* Synthetic stages over toy "binaries" (the genome itself): compile and
    verify count their invocations so the memo behaviour is observable. *)
-let counting_pool ?(jobs = 1) ?(cache = true) ?key_of () =
+let counting_pool ?(jobs = 1) ?(cache = true) ?memo_budget ?key_of () =
   let compiles = ref 0 and verifies = ref 0 in
   let key = match key_of with Some k -> k | None -> Genome.to_string in
   let pool =
-    Evalpool.create ~jobs ~cache ~canon:Genome.to_string
+    Evalpool.create ~jobs ~cache ?memo_budget ~canon:Genome.to_string
       ~compile:(fun g -> incr compiles; Ok g)
       ~key_of:key
       ~verify:(fun g -> incr verifies; String.length (Genome.to_string g))
@@ -168,6 +168,46 @@ let test_cache_disabled_is_honest () =
   Alcotest.(check int) "no hits without cache" 0
     (s.Evalpool.genome_hits + s.Evalpool.key_hits)
 
+(* --------------------- bounded (LRU) memo budget ---------------------- *)
+
+let genome_of_int i = [ { Genome.g_pass = "p" ^ string_of_int i;
+                          g_params = [| i |] } ]
+
+let test_memo_budget_bounds_and_evicts () =
+  let pool, compiles, _ = counting_pool ~memo_budget:2 () in
+  (* three distinct genomes through a 2-entry budget: someone is evicted *)
+  let batch =
+    Array.init 3 (fun i -> (i + 1, genome_of_int i))
+  in
+  ignore (Evalpool.evaluate_batch pool batch);
+  Alcotest.(check int) "three unique compiles" 3 !compiles;
+  Alcotest.(check bool) "evictions happened" true
+    ((Evalpool.stats pool).Evalpool.evictions > 0);
+  (* the victim was the least-recently-used entry (genome 0): asking for
+     it again recompiles, while the freshest entry is still memoized *)
+  ignore (Evalpool.evaluate_batch pool [| (10, genome_of_int 2) |]);
+  Alcotest.(check int) "fresh entry still cached" 3 !compiles;
+  ignore (Evalpool.evaluate_batch pool [| (11, genome_of_int 0) |]);
+  Alcotest.(check int) "evicted entry recompiles" 4 !compiles
+
+(* Eviction must never change what the search *sees* — an LRU-bounded
+   memo is a cache, not a semantics change.  A full FFT search under an
+   absurdly small budget (constant evictions) must be byte-identical to
+   the unbounded reference. *)
+let test_memo_budget_digest_invariant () =
+  let app = Option.get (App.find "FFT") in
+  let cap = Option.get (Pipeline.capture_once ~seed:5 app) in
+  let reference =
+    fingerprint (Pipeline.optimize ~seed:3 ~cfg:tiny_cfg app cap)
+  in
+  let bounded =
+    Pipeline.optimize ~seed:3 ~cfg:tiny_cfg ~memo_budget:4 app cap
+  in
+  Alcotest.(check bool) "tiny budget, identical search" true
+    (fingerprint bounded = reference);
+  Alcotest.(check bool) "and the budget really bit" true
+    (bounded.Pipeline.pool_stats.Evalpool.evictions > 0)
+
 let test_parallel_matches_sequential () =
   (* pure stages, so domains can run them without shared state *)
   let make jobs =
@@ -222,7 +262,11 @@ let () =
          Alcotest.test_case "binary-key reuse" `Quick
            test_key_memo_reuses_verification;
          Alcotest.test_case "cache disabled" `Quick
-           test_cache_disabled_is_honest ]);
+           test_cache_disabled_is_honest;
+         Alcotest.test_case "memo budget bounds and evicts" `Quick
+           test_memo_budget_bounds_and_evicts;
+         Alcotest.test_case "eviction never changes the search" `Quick
+           test_memo_budget_digest_invariant ]);
       ("parallelism",
        [ Alcotest.test_case "parallel = sequential" `Quick
            test_parallel_matches_sequential;

@@ -669,6 +669,72 @@ let prop_storage_totals_dedup_adjusted =
             (Storage.blob_accounting s)
           = ac.Storage.ac_logical_bytes)
 
+(* ----------------------- tiering / eviction --------------------------- *)
+
+let test_storage_evict_to_budget () =
+  let s = Storage.create () in
+  write_pages s "cold" [ 1; 2 ];
+  write_pages s "warm" [ 3; 4 ];
+  write_pages s "shared" [ 1; 5 ];   (* shares frame 1 with "cold" *)
+  Storage.flush s;
+  ignore (Storage.read s ~label:"warm");
+  ignore (Storage.read s ~label:"shared");
+  Alcotest.(check int) "five distinct frames" (5 * Storage.page_bytes)
+    (Storage.physical_bytes s);
+  let evicted = Storage.evict_to s ~budget_bytes:(4 * Storage.page_bytes) in
+  Alcotest.(check (list string)) "least-recently-touched blob goes first"
+    [ "cold" ] evicted;
+  Alcotest.(check bool) "evicted blob gone" false
+    (Storage.contains s ~label:"cold");
+  (* frame 1 must survive: the surviving "shared" blob still references
+     it — refcount-driven tiering, not blind deletion *)
+  Alcotest.(check bool) "shared frame kept readable" true
+    (Result.is_ok (Storage.read s ~label:"shared"));
+  Alcotest.(check int) "within budget" (4 * Storage.page_bytes)
+    (Storage.physical_bytes s);
+  (* a zero budget drains the rest, deterministically *)
+  let rest = Storage.evict_to s ~budget_bytes:0 in
+  Alcotest.(check int) "remaining blobs evicted" 2 (List.length rest);
+  Alcotest.(check int) "store empty" 0 (Storage.physical_bytes s)
+
+let test_storage_evict_noop_within_budget () =
+  let s = Storage.create () in
+  write_pages s "a" [ 1 ];
+  Storage.flush s;
+  Alcotest.(check (list string)) "nothing to do" []
+    (Storage.evict_to s ~budget_bytes:(10 * Storage.page_bytes));
+  Alcotest.(check bool) "blob intact" true (Storage.contains s ~label:"a")
+
+(* -------------------------- string framing ---------------------------- *)
+
+let test_storage_string_framing_roundtrip () =
+  let roundtrip text =
+    match Storage.string_of_pages (Storage.pages_of_string text) with
+    | Ok text' -> Alcotest.(check string) "round trip" text text'
+    | Error why -> Alcotest.fail why
+  in
+  roundtrip "";
+  roundtrip "hello\tworld\n";
+  roundtrip (String.init 10_000 (fun i -> Char.chr (i mod 256)));
+  (match Storage.string_of_pages [ (0, [| 1L |]) ] with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "bad geometry accepted");
+  (* a page image whose length prefix exceeds the payload is malformed *)
+  match
+    Storage.string_of_pages
+      (List.map
+         (fun (i, words) ->
+            if i = 0 then begin
+              let w = Array.copy words in
+              w.(0) <- Int64.max_int;
+              (i, w)
+            end
+            else (i, words))
+         (Storage.pages_of_string "payload"))
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bad length prefix accepted"
+
 let () =
   Alcotest.run "os"
     [ ("mem",
@@ -710,7 +776,13 @@ let () =
            test_storage_load_degrades_on_partial_write;
          Alcotest.test_case "load drops corrupt frames" `Quick
            test_storage_load_drops_corrupt_frames;
-         Alcotest.test_case "missing blob" `Quick test_storage_missing_blob ]);
+         Alcotest.test_case "missing blob" `Quick test_storage_missing_blob;
+         Alcotest.test_case "evict to budget" `Quick
+           test_storage_evict_to_budget;
+         Alcotest.test_case "evict noop within budget" `Quick
+           test_storage_evict_noop_within_budget;
+         Alcotest.test_case "string framing roundtrip" `Quick
+           test_storage_string_framing_roundtrip ]);
       ("os-properties",
        List.map QCheck_alcotest.to_alcotest
          [ prop_read_after_write; prop_fork_isolation; prop_clone_isolation;

@@ -3,6 +3,7 @@
 module Rng = Repro_util.Rng
 module Stats = Repro_util.Stats
 module Table = Repro_util.Table
+module Clock = Repro_util.Clock
 
 let check_float = Alcotest.(check (float 1e-9))
 let check_float_loose = Alcotest.(check (float 1e-2))
@@ -338,6 +339,45 @@ let qcheck_cases =
   List.map QCheck_alcotest.to_alcotest
     [ prop_median_bounds; prop_outlier_subset; prop_percentile_monotone ]
 
+(* ------------------------------ Clock -------------------------------- *)
+
+(* The monotonic clamp: a wall clock stepped backwards (NTP) must never
+   yield a decreasing [now] or a negative elapsed time — the bug that
+   used to corrupt trace spans and worker timings on long-lived serves. *)
+let test_clock_clamps_backward_steps () =
+  let script = ref [ 100.0; 105.0; 103.0; 104.0; 110.0 ] in
+  let fake () =
+    match !script with
+    | [] -> 110.0
+    | t :: rest -> script := rest; t
+  in
+  Clock.set_source fake;
+  Fun.protect ~finally:Clock.use_wall_clock @@ fun () ->
+  let base = Clock.backward_steps () in
+  let a = Clock.now () in            (* 100 *)
+  let b = Clock.now () in            (* 105 *)
+  let c = Clock.now () in            (* 103 -> clamped to 105 *)
+  let d = Clock.now () in            (* 104 -> clamped to 105 *)
+  let e = Clock.now () in            (* 110 *)
+  check_float "first" 100.0 a;
+  check_float "advances" 105.0 b;
+  check_float "backward step clamped" 105.0 c;
+  check_float "still clamped" 105.0 d;
+  check_float "resumes when real time catches up" 110.0 e;
+  Alcotest.(check int) "backward steps counted" (base + 2)
+    (Clock.backward_steps ())
+
+let test_clock_elapsed_never_negative () =
+  let t = ref 50.0 in
+  Clock.set_source (fun () -> !t);
+  Fun.protect ~finally:Clock.use_wall_clock @@ fun () ->
+  let t0 = Clock.now () in
+  t := 49.0;                          (* clock stepped backwards mid-span *)
+  Alcotest.(check bool) "elapsed clamped to zero" true
+    (Clock.elapsed t0 >= 0.0);
+  t := 52.5;
+  check_float "normal elapsed" 2.5 (Clock.elapsed t0)
+
 let () =
   Alcotest.run "util"
     [ ("rng",
@@ -376,4 +416,9 @@ let () =
            test_counter_listing_sorted_by_name;
          Alcotest.test_case "block order insertion-independent" `Quick
            test_block_order_insertion_independent ]);
+      ("clock",
+       [ Alcotest.test_case "backward steps clamped" `Quick
+           test_clock_clamps_backward_steps;
+         Alcotest.test_case "elapsed never negative" `Quick
+           test_clock_elapsed_never_negative ]);
       ("stats-properties", qcheck_cases) ]
